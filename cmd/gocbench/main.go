@@ -1,0 +1,53 @@
+// Command gocbench regenerates the paper-reproduction experiments (E1–E10,
+// see DESIGN.md §4 and EXPERIMENTS.md) and prints their tables and ASCII
+// figures.
+//
+// Usage:
+//
+//	gocbench [-seed N] [-run E1,E4,...]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"gameofcoins/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "gocbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("gocbench", flag.ContinueOnError)
+	seed := fs.Uint64("seed", 11, "experiment seed")
+	only := fs.String("run", "", "comma-separated experiment IDs (default all)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	want := map[string]bool{}
+	if *only != "" {
+		for _, id := range strings.Split(*only, ",") {
+			want[strings.ToUpper(strings.TrimSpace(id))] = true
+		}
+	}
+	failures := 0
+	for _, rep := range experiments.All(*seed) {
+		if len(want) > 0 && !want[rep.ID] {
+			continue
+		}
+		fmt.Println(rep.String())
+		if !rep.Pass {
+			failures++
+		}
+	}
+	if failures > 0 {
+		return fmt.Errorf("%d experiment(s) did not reproduce the expected shape", failures)
+	}
+	return nil
+}

@@ -1,0 +1,23 @@
+package main
+
+import "testing"
+
+func TestRunSingleExperiment(t *testing.T) {
+	if err := run([]string{"-seed", "11", "-run", "E3"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunUnknownIDIsNoop(t *testing.T) {
+	// Filtering to a non-existent ID runs nothing and therefore fails
+	// nothing.
+	if err := run([]string{"-run", "E99"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if err := run([]string{"-definitely-not-a-flag"}); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}

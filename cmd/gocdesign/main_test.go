@@ -1,0 +1,15 @@
+package main
+
+import "testing"
+
+func TestRunFindsGameAndConverges(t *testing.T) {
+	if err := run([]string{"-miners", "5", "-coins", "2", "-seed", "7"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if err := run([]string{"-nope"}); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}

@@ -1,0 +1,62 @@
+// Command gocsim runs the multi-coin market simulator on the synthetic
+// BTC/BCH scenario and emits the recorded series as CSV (stdout) or as
+// ASCII plots (-plot).
+//
+// Usage:
+//
+//	gocsim [-miners N] [-epochs H] [-spike H] [-seed N] [-plot]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"gameofcoins/internal/replay"
+	"gameofcoins/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "gocsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("gocsim", flag.ContinueOnError)
+	miners := fs.Int("miners", 200, "fleet size")
+	epochs := fs.Int("epochs", 24*120, "simulation length in hours")
+	spike := fs.Int("spike", 1200, "hour at which the BCH rate spike begins")
+	seed := fs.Uint64("seed", 1, "simulation seed")
+	plot := fs.Bool("plot", false, "render ASCII plots instead of CSV")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	sc, err := replay.New(replay.ScenarioParams{
+		Miners:    *miners,
+		Epochs:    *epochs,
+		SpikeHour: *spike,
+		Seed:      *seed,
+	})
+	if err != nil {
+		return err
+	}
+	sc.Run()
+	out := sc.Outcome()
+	fmt.Fprintf(os.Stderr, "pre-spike BCH share %.3f, peak %.3f, final %.3f\n",
+		out.PreSpikeBCHShare, out.PeakBCHShare, out.FinalBCHShare)
+	s := sc.Sim
+	if *plot {
+		fmt.Println(trace.Plot(trace.PlotOptions{Title: "BCH hashrate share", Width: 72, Height: 14},
+			s.ShareSeries[sc.BCH]))
+		fmt.Println(trace.Plot(trace.PlotOptions{Title: "exchange rates", Width: 72, Height: 14},
+			s.RateSeries[sc.BTC], s.RateSeries[sc.BCH]))
+		return nil
+	}
+	return trace.WriteCSV(os.Stdout,
+		s.ShareSeries[sc.BTC], s.ShareSeries[sc.BCH],
+		s.RateSeries[sc.BTC], s.RateSeries[sc.BCH],
+		s.WeightSeries[sc.BTC], s.WeightSeries[sc.BCH],
+		s.SwitchSeries)
+}

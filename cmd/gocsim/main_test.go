@@ -1,0 +1,21 @@
+package main
+
+import "testing"
+
+func TestRunSmallScenarioCSV(t *testing.T) {
+	if err := run([]string{"-miners", "30", "-epochs", "48", "-spike", "24", "-seed", "3"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSmallScenarioPlot(t *testing.T) {
+	if err := run([]string{"-miners", "30", "-epochs", "48", "-spike", "24", "-plot"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if err := run([]string{"-nope"}); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}

@@ -1,0 +1,76 @@
+package gameofcoins_test
+
+import (
+	"fmt"
+
+	"gameofcoins"
+)
+
+// ExampleLearn demonstrates Theorem 1: better-response learning converges
+// to a pure equilibrium from any starting configuration.
+func ExampleLearn() {
+	g, _ := gameofcoins.NewGame(
+		[]gameofcoins.Miner{
+			{Name: "p1", Power: 13},
+			{Name: "p2", Power: 11},
+			{Name: "p3", Power: 7},
+			{Name: "p4", Power: 5},
+			{Name: "p5", Power: 3},
+		},
+		[]gameofcoins.Coin{{Name: "btc"}, {Name: "bch"}},
+		[]float64{17, 19},
+	)
+	res, _ := gameofcoins.Learn(g, gameofcoins.UniformConfig(5, 0),
+		gameofcoins.NewRoundRobinScheduler(), gameofcoins.NewRand(1),
+		gameofcoins.LearnOptions{})
+	fmt.Println("converged:", res.Converged)
+	fmt.Println("equilibrium:", g.IsEquilibrium(res.Final))
+	// Output:
+	// converged: true
+	// equilibrium: true
+}
+
+// ExampleNewDesigner demonstrates Theorem 2: the reward design mechanism
+// moves the system between any two equilibria at bounded cost.
+func ExampleNewDesigner() {
+	g, _ := gameofcoins.NewGame(
+		[]gameofcoins.Miner{
+			{Name: "p1", Power: 13},
+			{Name: "p2", Power: 11},
+			{Name: "p3", Power: 7},
+			{Name: "p4", Power: 5},
+			{Name: "p5", Power: 3},
+		},
+		[]gameofcoins.Coin{{Name: "btc"}, {Name: "bch"}},
+		[]float64{17, 19},
+	)
+	s0, sf, _ := gameofcoins.TwoDistinctEquilibria(g)
+	d, _ := gameofcoins.NewDesigner(g, gameofcoins.DesignOptions{})
+	res, _ := d.Run(s0, sf, gameofcoins.NewRand(3))
+	fmt.Println("reached target:", res.Final.Equal(sf))
+	fmt.Println("cost is positive and bounded:", res.TotalCost > 0)
+	// Output:
+	// reached target: true
+	// cost is positive and bounded: true
+}
+
+// ExampleBetterEquilibriumFor demonstrates Proposition 2: some miner always
+// prefers another equilibrium.
+func ExampleBetterEquilibriumFor() {
+	g, _ := gameofcoins.NewGame(
+		[]gameofcoins.Miner{
+			{Name: "p1", Power: 13},
+			{Name: "p2", Power: 11},
+			{Name: "p3", Power: 7},
+			{Name: "p4", Power: 5},
+			{Name: "p5", Power: 3},
+		},
+		[]gameofcoins.Coin{{Name: "btc"}, {Name: "bch"}},
+		[]float64{17, 19},
+	)
+	eq, _ := gameofcoins.ConstructEquilibrium(g)
+	imp, _ := gameofcoins.BetterEquilibriumFor(g, eq)
+	fmt.Println("some miner gains elsewhere:", imp.Gain > 0)
+	// Output:
+	// some miner gains elsewhere: true
+}

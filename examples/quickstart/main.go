@@ -1,0 +1,56 @@
+// Quickstart: build a game, run better-response learning to equilibrium,
+// and inspect payoffs — the minimal end-to-end use of the public API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"gameofcoins"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// Five miners with descending power compete over two coins whose
+	// rewards (weights) reflect fees × exchange rate.
+	g, err := gameofcoins.NewGame(
+		[]gameofcoins.Miner{
+			{Name: "pool-a", Power: 13},
+			{Name: "pool-b", Power: 11},
+			{Name: "pool-c", Power: 7},
+			{Name: "solo-1", Power: 5},
+			{Name: "solo-2", Power: 3},
+		},
+		[]gameofcoins.Coin{{Name: "btc"}, {Name: "bch"}},
+		[]float64{17, 19},
+	)
+	if err != nil {
+		return err
+	}
+
+	// Start with everyone on btc and let arbitrary better-response learning
+	// run. Theorem 1: it converges, whatever the order of moves.
+	start := gameofcoins.UniformConfig(g.NumMiners(), 0)
+	res, err := gameofcoins.Learn(g, start, gameofcoins.NewRandomScheduler(),
+		gameofcoins.NewRand(42), gameofcoins.LearnOptions{RecordMoves: true})
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("converged after %d better-response steps\n", res.Steps)
+	for _, mv := range res.Moves {
+		fmt.Printf("  %s: c%d → c%d (payoff %.3f → %.3f)\n",
+			g.Miner(mv.Miner).Name, mv.From, mv.To, mv.PayoffBefore, mv.PayoffAfter)
+	}
+	fmt.Printf("equilibrium: %v (stable: %v)\n", res.Final, g.IsEquilibrium(res.Final))
+	for p := 0; p < g.NumMiners(); p++ {
+		fmt.Printf("  %-7s on %s earns %.3f\n",
+			g.Miner(p).Name, g.Coin(res.Final[p]).Name, g.Payoff(res.Final, p))
+	}
+	return nil
+}

@@ -1,0 +1,62 @@
+package gameofcoins
+
+import (
+	"gameofcoins/internal/design"
+	"gameofcoins/internal/equilibria"
+	"gameofcoins/internal/exact"
+	"gameofcoins/internal/learning"
+	"gameofcoins/internal/security"
+)
+
+// Extended facade: ablations, verification, and security analysis.
+
+// SimultaneousResult reports a LearnSimultaneous run.
+type SimultaneousResult = learning.SimultaneousResult
+
+// LearnSimultaneous runs the simultaneous-best-response ablation dynamic:
+// unlike the sequential model Theorem 1 covers, it may cycle (Result.Cycled).
+func LearnSimultaneous(g *Game, s0 Config, maxRounds int) (SimultaneousResult, error) {
+	return learning.RunSimultaneous(g, s0, maxRounds)
+}
+
+// NaiveDesignResult reports a NaiveOneShotDesign attempt.
+type NaiveDesignResult = design.NaiveResult
+
+// NaiveOneShotDesign is the baseline manipulation strategy the staged
+// Designer is measured against: a single subsidy shot followed by
+// relaxation. It frequently misses the target (see EXPERIMENTS.md E13).
+func NaiveOneShotDesign(g *Game, s0, sf Config, sched Scheduler, r *Rand) (NaiveDesignResult, error) {
+	return design.NaiveOneShot(g, s0, sf, sched, r)
+}
+
+// CoinSecurity is the per-coin decentralization snapshot (max miner share,
+// HHI, Nakamoto coefficient).
+type CoinSecurity = security.CoinReport
+
+// SecuritySnapshot computes per-coin decentralization metrics for s.
+func SecuritySnapshot(g *Game, s Config) []CoinSecurity { return security.Snapshot(g, s) }
+
+// Insecure reports whether any non-empty coin of s has a 51% attacker.
+func Insecure(g *Game, s Config) bool { return security.Insecure(g, s) }
+
+// EngineDisagreement is a configuration/miner/coin triple on which the fast
+// float engine and the exact rational engine disagree about a better
+// response — evidence of a near-tie the epsilon resolves.
+type EngineDisagreement = exact.Disagreement
+
+// CrossValidate compares every better-response decision of the float engine
+// against exact big.Rat arithmetic at configuration s.
+func CrossValidate(g *Game, s Config) []EngineDisagreement { return exact.CrossValidate(g, s) }
+
+// PayoffSpread is a miner's min/max payoff across a set of equilibria.
+type PayoffSpread = equilibria.PayoffSpread
+
+// EquilibriumSpreads computes per-miner payoff spreads over equilibria —
+// the redistribution a Section-5 manipulator can shop from.
+func EquilibriumSpreads(g *Game, eqs []Config) []PayoffSpread { return equilibria.Spreads(g, eqs) }
+
+// BestEquilibriumFor returns the equilibrium in eqs that maximizes miner
+// p's payoff, and that payoff.
+func BestEquilibriumFor(g *Game, eqs []Config, p MinerID) (Config, float64) {
+	return equilibria.BestTargetFor(g, eqs, p)
+}

@@ -1,0 +1,226 @@
+package gameofcoins_test
+
+import (
+	"testing"
+
+	"gameofcoins"
+)
+
+// The facade tests double as the public-API contract: everything a user
+// needs for the paper's three headline results must be reachable without
+// touching internal packages.
+
+func newGame(t *testing.T) *gameofcoins.Game {
+	t.Helper()
+	g, err := gameofcoins.NewGame(
+		[]gameofcoins.Miner{
+			{Name: "p1", Power: 13},
+			{Name: "p2", Power: 11},
+			{Name: "p3", Power: 7},
+			{Name: "p4", Power: 5},
+			{Name: "p5", Power: 3},
+		},
+		[]gameofcoins.Coin{{Name: "btc"}, {Name: "bch"}},
+		[]float64{17, 19},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestTheorem1ThroughFacade(t *testing.T) {
+	g := newGame(t)
+	for _, sched := range gameofcoins.AllSchedulers() {
+		res, err := gameofcoins.Learn(g, gameofcoins.UniformConfig(5, 0), sched, gameofcoins.NewRand(1), gameofcoins.LearnOptions{})
+		if err != nil {
+			t.Fatalf("%s: %v", sched.Name(), err)
+		}
+		if !res.Converged || !g.IsEquilibrium(res.Final) {
+			t.Fatalf("%s: did not converge to equilibrium", sched.Name())
+		}
+	}
+}
+
+func TestPotentialThroughFacade(t *testing.T) {
+	g := newGame(t)
+	s := gameofcoins.UniformConfig(5, 0)
+	res, err := gameofcoins.Learn(g, s, gameofcoins.NewMaxGainScheduler(), gameofcoins.NewRand(2), gameofcoins.LearnOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Steps > 0 && !gameofcoins.PotentialLess(g, s, res.Final) {
+		t.Fatal("potential did not increase over the run")
+	}
+}
+
+func TestProposition2ThroughFacade(t *testing.T) {
+	g := newGame(t)
+	eq, err := gameofcoins.ConstructEquilibrium(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	imp, err := gameofcoins.BetterEquilibriumFor(g, eq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if imp.Gain <= 0 {
+		t.Fatalf("improvement gain %v", imp.Gain)
+	}
+}
+
+func TestTheorem2ThroughFacade(t *testing.T) {
+	g := newGame(t)
+	a, b, err := gameofcoins.TwoDistinctEquilibria(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := gameofcoins.NewDesigner(g, gameofcoins.DesignOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := d.Run(a, b, gameofcoins.NewRand(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Final.Equal(b) {
+		t.Fatalf("design ended at %v, want %v", res.Final, b)
+	}
+	if res.TotalCost <= 0 {
+		t.Fatal("no cost accounted")
+	}
+}
+
+func TestEnumerateThroughFacade(t *testing.T) {
+	g := newGame(t)
+	eqs, err := gameofcoins.EnumerateEquilibria(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(eqs) < 2 {
+		t.Fatalf("found %d equilibria", len(eqs))
+	}
+}
+
+func TestRandomGameThroughFacade(t *testing.T) {
+	r := gameofcoins.NewRand(4)
+	g, err := gameofcoins.RandomGame(r, gameofcoins.GenSpec{Miners: 6, Coins: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := gameofcoins.RandomConfig(r, g)
+	if err := g.ValidateConfig(s); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAsymmetricThroughFacade(t *testing.T) {
+	g, err := gameofcoins.NewGame(
+		[]gameofcoins.Miner{{Name: "a", Power: 3}, {Name: "b", Power: 2}, {Name: "c", Power: 1}},
+		[]gameofcoins.Coin{{Name: "x"}, {Name: "y"}},
+		[]float64{5, 7},
+		gameofcoins.WithEligibility(func(p gameofcoins.MinerID, c gameofcoins.CoinID) bool {
+			return p != 2 || c == 1
+		}),
+		gameofcoins.WithEpsilon(1e-12),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := gameofcoins.Learn(g, gameofcoins.Config{0, 0, 1}, gameofcoins.NewRoundRobinScheduler(), gameofcoins.NewRand(5), gameofcoins.LearnOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.IsEquilibrium(res.Final) {
+		t.Fatal("restricted game did not converge")
+	}
+}
+
+func TestExtendedFacade(t *testing.T) {
+	g := newGame(t)
+
+	// Security metrics.
+	s := gameofcoins.UniformConfig(5, 0)
+	reps := gameofcoins.SecuritySnapshot(g, s)
+	if len(reps) != 2 {
+		t.Fatalf("security snapshot has %d coins", len(reps))
+	}
+	if gameofcoins.Insecure(g, s) {
+		t.Fatal("13/39 < 0.5 share flagged insecure")
+	}
+
+	// Cross-validation: integer game, no disagreements.
+	if ds := gameofcoins.CrossValidate(g, s); len(ds) != 0 {
+		t.Fatalf("engines disagree: %v", ds)
+	}
+
+	// Naive design baseline runs.
+	a, b, err := gameofcoins.TwoDistinctEquilibria(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := gameofcoins.NaiveOneShotDesign(g, a, b, gameofcoins.NewRandomScheduler(), gameofcoins.NewRand(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cost <= 0 {
+		t.Fatal("naive design cost not accounted")
+	}
+
+	// Simultaneous ablation runs.
+	sres, err := gameofcoins.LearnSimultaneous(g, s, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sres.Converged && !sres.Cycled && sres.Rounds < 200 {
+		t.Fatalf("simultaneous run inconsistent: %+v", sres)
+	}
+}
+
+func TestFacadeSpreadsAndSchedulers(t *testing.T) {
+	g := newGame(t)
+	eqs, err := gameofcoins.EnumerateEquilibria(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spreads := gameofcoins.EquilibriumSpreads(g, eqs)
+	if len(spreads) != g.NumMiners() {
+		t.Fatalf("spreads = %d", len(spreads))
+	}
+	for p := 0; p < g.NumMiners(); p++ {
+		target, u := gameofcoins.BestEquilibriumFor(g, eqs, p)
+		if g.Payoff(target, p) != u {
+			t.Fatal("best target payoff mismatch")
+		}
+		if u < spreads[p].Min || u > spreads[p].Max {
+			t.Fatal("best payoff outside spread")
+		}
+	}
+	// Every named scheduler constructor yields a working scheduler.
+	for _, sched := range []gameofcoins.Scheduler{
+		gameofcoins.NewRoundRobinScheduler(),
+		gameofcoins.NewRandomScheduler(),
+		gameofcoins.NewMaxGainScheduler(),
+		gameofcoins.NewMinGainScheduler(),
+		gameofcoins.NewSmallestFirstScheduler(),
+		gameofcoins.NewLargestFirstScheduler(),
+	} {
+		res, err := gameofcoins.Learn(g, gameofcoins.UniformConfig(5, 1), sched, gameofcoins.NewRand(9), gameofcoins.LearnOptions{})
+		if err != nil {
+			t.Fatalf("%s: %v", sched.Name(), err)
+		}
+		if !g.IsEquilibrium(res.Final) {
+			t.Fatalf("%s: bad final", sched.Name())
+		}
+	}
+	// Potential comparator and random-game helpers.
+	r := gameofcoins.NewRand(10)
+	rg, err := gameofcoins.RandomGame(r, gameofcoins.GenSpec{Miners: 4, Coins: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := gameofcoins.RandomConfig(r, rg)
+	if gameofcoins.PotentialLess(rg, s, s) {
+		t.Fatal("potential less reflexive")
+	}
+}

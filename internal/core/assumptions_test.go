@@ -1,0 +1,148 @@
+package core
+
+import (
+	"errors"
+	"testing"
+)
+
+// crowdedGame has many miners relative to coins so Assumption 1 plausibly
+// holds: 5 miners, 2 coins, generic powers and rewards.
+func crowdedGame(t *testing.T) *Game {
+	t.Helper()
+	return MustNewGame(
+		[]Miner{
+			{Name: "p1", Power: 13},
+			{Name: "p2", Power: 11},
+			{Name: "p3", Power: 7},
+			{Name: "p4", Power: 5},
+			{Name: "p5", Power: 3},
+		},
+		[]Coin{{Name: "c0"}, {Name: "c1"}},
+		[]float64{17, 19},
+	)
+}
+
+func TestCheckNeverAloneHolds(t *testing.T) {
+	if err := crowdedGame(t).CheckNeverAlone(); err != nil {
+		t.Fatalf("assumption 1 should hold: %v", err)
+	}
+}
+
+func TestCheckNeverAloneFailsWithFewMiners(t *testing.T) {
+	// 2 miners, 2 coins: the paper notes Assumption 1 cannot hold when
+	// |Π| < 2|C|.
+	g := MustNewGame(
+		[]Miner{{Name: "p1", Power: 2}, {Name: "p2", Power: 1}},
+		[]Coin{{Name: "c0"}, {Name: "c1"}},
+		[]float64{1, 1},
+	)
+	err := g.CheckNeverAlone()
+	var viol *NeverAloneViolation
+	if !errors.As(err, &viol) {
+		t.Fatalf("err = %v, want NeverAloneViolation", err)
+	}
+	if viol.Error() == "" {
+		t.Fatal("violation message empty")
+	}
+	// The witness must actually violate the assumption: coin has ≤1 miner
+	// and attracts nobody.
+	count := 0
+	for _, c := range viol.Config {
+		if c == viol.Coin {
+			count++
+		}
+	}
+	if count > 1 {
+		t.Fatalf("witness coin has %d miners", count)
+	}
+	for p := range viol.Config {
+		if viol.Config[p] != viol.Coin && g.IsBetterResponse(viol.Config, p, viol.Coin) {
+			t.Fatal("witness coin attracts a miner; not a violation")
+		}
+	}
+}
+
+func TestCheckGenericHolds(t *testing.T) {
+	if err := crowdedGame(t).CheckGeneric(); err != nil {
+		t.Fatalf("assumption 2 should hold: %v", err)
+	}
+}
+
+func TestCheckGenericDetectsSymmetry(t *testing.T) {
+	// Equal rewards violate genericity: F(c0)/m(P) == F(c1)/m(P) for any P.
+	g := MustNewGame(
+		[]Miner{{Name: "p1", Power: 2}, {Name: "p2", Power: 1}},
+		[]Coin{{Name: "c0"}, {Name: "c1"}},
+		[]float64{1, 1},
+	)
+	err := g.CheckGeneric()
+	var viol *GenericityViolation
+	if !errors.As(err, &viol) {
+		t.Fatalf("err = %v, want GenericityViolation", err)
+	}
+	if viol.CoinA == viol.CoinB {
+		t.Fatal("violation cites a single coin")
+	}
+	if viol.Error() == "" {
+		t.Fatal("violation message empty")
+	}
+}
+
+func TestCheckGenericDetectsCrossCoinTie(t *testing.T) {
+	// F(c0)/m(p1) = 4/2 = 2 and F(c1)/m(p2) = 2/1 = 2.
+	g := MustNewGame(
+		[]Miner{{Name: "p1", Power: 2}, {Name: "p2", Power: 1}},
+		[]Coin{{Name: "c0"}, {Name: "c1"}},
+		[]float64{4, 2},
+	)
+	var viol *GenericityViolation
+	if err := g.CheckGeneric(); !errors.As(err, &viol) {
+		t.Fatalf("err = %v, want GenericityViolation", err)
+	}
+}
+
+func TestCheckGenericTooLarge(t *testing.T) {
+	miners := make([]Miner, 23)
+	for i := range miners {
+		miners[i] = Miner{Name: "m", Power: float64(i + 1)}
+	}
+	g := MustNewGame(miners, []Coin{{Name: "a"}, {Name: "b"}}, []float64{1, 2})
+	if err := g.CheckGeneric(); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("err = %v, want ErrTooLarge", err)
+	}
+}
+
+func TestObservation3OnStableConfigs(t *testing.T) {
+	// Observation 3: in every stable configuration of a game satisfying
+	// Assumption 1, Σ u_p(s) = Σ F(c). Enumerate all equilibria of the
+	// crowded game and verify.
+	g := crowdedGame(t)
+	if err := g.CheckNeverAlone(); err != nil {
+		t.Skipf("assumption 1 does not hold for this instance: %v", err)
+	}
+	total := g.TotalReward()
+	found := 0
+	err := g.EnumerateConfigs(func(s Config) bool {
+		if g.IsEquilibrium(s) {
+			found++
+			if got := g.SumPayoffs(s); !approxEqual(got, total) {
+				t.Fatalf("stable %v: Σu = %v, want %v", s, got, total)
+			}
+		}
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if found == 0 {
+		t.Fatal("no equilibria found; enumeration broken?")
+	}
+}
+
+func approxEqual(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d <= 1e-9*(1+b)
+}

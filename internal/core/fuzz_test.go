@@ -1,0 +1,71 @@
+package core
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzGameJSONDecode hardens the JSON codec: arbitrary input must either be
+// rejected or decode into a game satisfying all construction invariants.
+// (Seeds run under plain `go test`; `go test -fuzz=FuzzGameJSONDecode`
+// explores further.)
+func FuzzGameJSONDecode(f *testing.F) {
+	valid := MustNewGame(
+		[]Miner{{Name: "a", Power: 3}, {Name: "b", Power: 1}},
+		[]Coin{{Name: "x"}, {Name: "y"}},
+		[]float64{1, 2},
+	)
+	data, err := json.Marshal(valid)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(string(data))
+	f.Add(`{}`)
+	f.Add(`{"miners":[{"name":"a","power":1}],"coins":[{"name":"c"}],"rewards":[1],"epsilon":0}`)
+	f.Add(`{"miners":[{"name":"a","power":-1}],"coins":[{"name":"c"}],"rewards":[1],"epsilon":0}`)
+	f.Add(`{"miners":null,"coins":null,"rewards":null,"epsilon":-5}`)
+	f.Fuzz(func(t *testing.T, raw string) {
+		var g Game
+		if err := json.Unmarshal([]byte(raw), &g); err != nil {
+			return // rejection is fine
+		}
+		// Accepted games must be fully usable.
+		if g.NumMiners() == 0 || g.NumCoins() == 0 {
+			t.Fatalf("decoded degenerate game from %q", raw)
+		}
+		for p := 0; p < g.NumMiners(); p++ {
+			if !(g.Power(p) > 0) {
+				t.Fatalf("decoded non-positive power from %q", raw)
+			}
+			if p > 0 && g.Power(p-1) < g.Power(p) {
+				t.Fatalf("decoded unsorted miners from %q", raw)
+			}
+		}
+		for c := 0; c < g.NumCoins(); c++ {
+			if !(g.Reward(c) > 0) {
+				t.Fatalf("decoded non-positive reward from %q", raw)
+			}
+		}
+		// The game must behave: uniform config is valid and payoffs are
+		// finite and positive.
+		s := UniformConfig(g.NumMiners(), 0)
+		if g.Eligible(0, 0) {
+			if err := g.ValidateConfig(s); err == nil {
+				for p := range s {
+					if !(g.Payoff(s, p) > 0) {
+						t.Fatalf("non-positive payoff in decoded game from %q", raw)
+					}
+				}
+			}
+		}
+		// Round trip must be stable.
+		re, err := json.Marshal(&g)
+		if err != nil {
+			t.Fatalf("re-encode failed for %q: %v", raw, err)
+		}
+		var g2 Game
+		if err := json.Unmarshal(re, &g2); err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+	})
+}

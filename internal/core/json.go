@@ -1,0 +1,90 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// gameJSON is the wire form of a Game. Eligibility is encoded as an
+// explicit matrix (rows = miners in sorted order) when restricted.
+type gameJSON struct {
+	Miners   []minerJSON `json:"miners"`
+	Coins    []coinJSON  `json:"coins"`
+	Rewards  []float64   `json:"rewards"`
+	Epsilon  float64     `json:"epsilon"`
+	Eligible [][]bool    `json:"eligible,omitempty"`
+}
+
+type minerJSON struct {
+	Name  string  `json:"name"`
+	Power float64 `json:"power"`
+}
+
+type coinJSON struct {
+	Name string `json:"name"`
+}
+
+// MarshalJSON implements json.Marshaler. The encoded miner order is the
+// game's sorted order, so round-tripping preserves MinerIDs.
+func (g *Game) MarshalJSON() ([]byte, error) {
+	out := gameJSON{
+		Rewards: g.Rewards(),
+		Epsilon: g.eps,
+	}
+	for _, m := range g.miners {
+		out.Miners = append(out.Miners, minerJSON{Name: m.Name, Power: m.Power})
+	}
+	for _, c := range g.coins {
+		out.Coins = append(out.Coins, coinJSON{Name: c.Name})
+	}
+	if g.eligible != nil {
+		out.Eligible = make([][]bool, len(g.eligible))
+		for p := range g.eligible {
+			out.Eligible[p] = append([]bool(nil), g.eligible[p]...)
+		}
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON implements json.Unmarshaler; it validates through NewGame,
+// so a decoded Game satisfies the same invariants as a constructed one.
+func (g *Game) UnmarshalJSON(data []byte) error {
+	var in gameJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return fmt.Errorf("core: decode game: %w", err)
+	}
+	miners := make([]Miner, len(in.Miners))
+	for i, m := range in.Miners {
+		miners[i] = Miner{Name: m.Name, Power: m.Power}
+	}
+	coins := make([]Coin, len(in.Coins))
+	for i, c := range in.Coins {
+		coins[i] = Coin{Name: c.Name}
+	}
+	opts := []Option{WithEpsilon(in.Epsilon)}
+	if in.Eligible != nil {
+		if len(in.Eligible) != len(miners) {
+			return fmt.Errorf("core: decode game: eligibility rows %d != miners %d", len(in.Eligible), len(miners))
+		}
+		matrix := in.Eligible
+		for p := range matrix {
+			if len(matrix[p]) != len(coins) {
+				return fmt.Errorf("core: decode game: eligibility row %d has %d cols", p, len(matrix[p]))
+			}
+		}
+		opts = append(opts, WithEligibility(func(p MinerID, c CoinID) bool { return matrix[p][c] }))
+	}
+	ng, err := NewGame(miners, coins, in.Rewards, opts...)
+	if err != nil {
+		return fmt.Errorf("core: decode game: %w", err)
+	}
+	// The wire order is the sorted order, but NewGame re-sorts defensively;
+	// verify the order survived so MinerIDs stay stable across the wire.
+	for p := range miners {
+		if ng.miners[p] != miners[p] {
+			return fmt.Errorf("core: decode game: miner order not canonical (miner %d)", p)
+		}
+	}
+	*g = *ng
+	return nil
+}

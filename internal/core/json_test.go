@@ -1,0 +1,101 @@
+package core
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestGameJSONRoundTrip(t *testing.T) {
+	g := MustNewGame(
+		[]Miner{{Name: "big", Power: 7}, {Name: "small", Power: 2}},
+		[]Coin{{Name: "btc"}, {Name: "bch"}},
+		[]float64{17, 19},
+		WithEpsilon(1e-6),
+	)
+	data, err := json.Marshal(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Game
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.NumMiners() != 2 || back.NumCoins() != 2 {
+		t.Fatal("sizes lost")
+	}
+	if back.Miner(0).Name != "big" || back.Power(1) != 2 {
+		t.Fatal("miners lost")
+	}
+	if back.Reward(1) != 19 || back.Epsilon() != 1e-6 {
+		t.Fatal("rewards or epsilon lost")
+	}
+	// Behaviour must survive: same equilibria predicate.
+	for _, s := range []Config{{0, 0}, {0, 1}, {1, 0}, {1, 1}} {
+		if g.IsEquilibrium(s) != back.IsEquilibrium(s) {
+			t.Fatalf("equilibrium predicate differs at %v", s)
+		}
+	}
+}
+
+func TestGameJSONRoundTripEligibility(t *testing.T) {
+	g := MustNewGame(
+		[]Miner{{Name: "a", Power: 3}, {Name: "b", Power: 1}},
+		[]Coin{{Name: "x"}, {Name: "y"}},
+		[]float64{1, 2},
+		WithEligibility(func(p MinerID, c CoinID) bool { return p != 1 || c == 1 }),
+	)
+	data, err := json.Marshal(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Game
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !back.Restricted() {
+		t.Fatal("restriction lost")
+	}
+	for p := 0; p < 2; p++ {
+		for c := 0; c < 2; c++ {
+			if g.Eligible(p, c) != back.Eligible(p, c) {
+				t.Fatalf("eligibility differs at (%d,%d)", p, c)
+			}
+		}
+	}
+}
+
+func TestGameJSONRejectsInvalid(t *testing.T) {
+	cases := map[string]string{
+		"no miners":       `{"miners":[],"coins":[{"name":"c"}],"rewards":[1],"epsilon":0}`,
+		"bad reward":      `{"miners":[{"name":"a","power":1}],"coins":[{"name":"c"}],"rewards":[0],"epsilon":0}`,
+		"arity":           `{"miners":[{"name":"a","power":1}],"coins":[{"name":"c"}],"rewards":[1,2],"epsilon":0}`,
+		"bad eligibility": `{"miners":[{"name":"a","power":1}],"coins":[{"name":"c"}],"rewards":[1],"epsilon":0,"eligible":[[true],[false]]}`,
+		"ragged matrix":   `{"miners":[{"name":"a","power":1}],"coins":[{"name":"c"}],"rewards":[1],"epsilon":0,"eligible":[[]]}`,
+		"non-canonical":   `{"miners":[{"name":"a","power":1},{"name":"b","power":5}],"coins":[{"name":"c"}],"rewards":[1],"epsilon":0}`,
+		"malformed":       `{`,
+	}
+	for name, raw := range cases {
+		var g Game
+		if err := json.Unmarshal([]byte(raw), &g); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestGameJSONFieldNames(t *testing.T) {
+	g := MustNewGame(
+		[]Miner{{Name: "a", Power: 1}},
+		[]Coin{{Name: "c"}},
+		[]float64{1},
+	)
+	data, err := json.Marshal(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"miners"`, `"coins"`, `"rewards"`, `"epsilon"`} {
+		if !strings.Contains(string(data), want) {
+			t.Fatalf("encoded game missing %s: %s", want, data)
+		}
+	}
+}

@@ -1,0 +1,71 @@
+package design
+
+import (
+	"fmt"
+
+	"gameofcoins/internal/core"
+	"gameofcoins/internal/learning"
+	"gameofcoins/internal/rng"
+)
+
+// NaiveResult reports a NaiveOneShot attempt.
+type NaiveResult struct {
+	Final   core.Config
+	Reached bool
+	Cost    float64
+	Steps   int
+}
+
+// NaiveOneShot is the obvious manipulation strategy Algorithm 2 is measured
+// against (ablation experiment E13): in a single shot, deploy the reward
+// function that makes the *target* configuration sf look ideal — every coin
+// priced so that sf's RPUs are all equal to a level above the current
+// maximum — let better-response learning converge once, then revert to the
+// base rewards and let learning converge again.
+//
+// Under the one-shot rewards sf is an equilibrium, but typically not the
+// only one, and learning from s0 is free to settle anywhere; the staged
+// mechanism exists precisely because single-shot subsidies cannot steer the
+// *path*. NaiveOneShot therefore frequently ends at the wrong equilibrium,
+// which is the quantitative content of E13.
+func NaiveOneShot(g *core.Game, s0, sf core.Config, sched learning.Scheduler, r *rng.Rand) (NaiveResult, error) {
+	if err := g.ValidateConfig(s0); err != nil {
+		return NaiveResult{}, err
+	}
+	if err := g.ValidateConfig(sf); err != nil {
+		return NaiveResult{}, err
+	}
+	// Price every coin occupied in sf at level·M_c(sf) so that sf's RPUs
+	// all equal `level`, chosen above the current max RPU so the subsidy is
+	// a genuine increase; empty-in-sf coins keep their base reward.
+	level := 2 * MaxOccupiedRPU(g, s0)
+	powersAtTarget := g.CoinPowers(sf)
+	rewards := g.Rewards()
+	for c := range rewards {
+		if powersAtTarget[c] > 0 {
+			if subsidized := level * powersAtTarget[c]; subsidized > rewards[c] {
+				rewards[c] = subsidized
+			}
+		}
+	}
+	subsidized, err := g.WithRewards(rewards)
+	if err != nil {
+		return NaiveResult{}, err
+	}
+	var res NaiveResult
+	res.Cost = PhaseCost(g.Rewards(), rewards)
+	lr, err := learning.Run(subsidized, s0, sched, r, learning.Options{})
+	if err != nil {
+		return NaiveResult{}, fmt.Errorf("design: naive subsidized phase: %w", err)
+	}
+	res.Steps += lr.Steps
+	// Revert to base rewards; the system relaxes from wherever it landed.
+	lr2, err := learning.Run(g, lr.Final, sched, r, learning.Options{})
+	if err != nil {
+		return NaiveResult{}, fmt.Errorf("design: naive relaxation phase: %w", err)
+	}
+	res.Steps += lr2.Steps
+	res.Final = lr2.Final
+	res.Reached = res.Final.Equal(sf)
+	return res, nil
+}

@@ -1,0 +1,88 @@
+package design
+
+import (
+	"testing"
+
+	"gameofcoins/internal/core"
+	"gameofcoins/internal/equilibria"
+	"gameofcoins/internal/learning"
+	"gameofcoins/internal/rng"
+)
+
+func TestNaiveOneShotRunsAndAccounts(t *testing.T) {
+	g := strictGame(t)
+	eqs := mustEquilibria(t, g)
+	res, err := NaiveOneShot(g, eqs[0], eqs[1], learning.NewRandom(), rng.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cost <= 0 {
+		t.Fatalf("naive subsidy cost = %v", res.Cost)
+	}
+	if !g.IsEquilibrium(res.Final) {
+		t.Fatalf("naive relaxation ended off-equilibrium at %v", res.Final)
+	}
+	if res.Reached != res.Final.Equal(eqs[1]) {
+		t.Fatal("Reached flag inconsistent with Final")
+	}
+}
+
+// TestStagedBeatsNaive is the E13 ablation at unit-test scale: across random
+// games and pairs, the staged mechanism reaches the target every time while
+// the naive one-shot subsidy misses at least sometimes.
+func TestStagedBeatsNaive(t *testing.T) {
+	r := rng.New(31)
+	stagedHits, naiveHits, pairs := 0, 0, 0
+	for trial := 0; trial < 200 && pairs < 40; trial++ {
+		g, err := core.RandomGame(r, core.GenSpec{Miners: 5, Coins: 2})
+		if err != nil {
+			continue
+		}
+		if !strictlyDescending(g) {
+			continue
+		}
+		eqs, err := equilibria.Enumerate(g)
+		if err != nil || len(eqs) < 2 {
+			continue
+		}
+		d, err := NewDesigner(g, Options{})
+		if err != nil {
+			continue
+		}
+		for _, s0 := range eqs {
+			for _, sf := range eqs {
+				if s0.Equal(sf) || pairs >= 40 {
+					continue
+				}
+				pairs++
+				if res, err := d.Run(s0, sf, r.Split()); err == nil && res.Final.Equal(sf) {
+					stagedHits++
+				}
+				if res, err := NaiveOneShot(g, s0, sf, learning.NewRandom(), r.Split()); err == nil && res.Reached {
+					naiveHits++
+				}
+			}
+		}
+	}
+	if pairs < 10 {
+		t.Fatalf("only %d pairs exercised", pairs)
+	}
+	if stagedHits != pairs {
+		t.Fatalf("staged mechanism missed: %d/%d", stagedHits, pairs)
+	}
+	if naiveHits >= pairs {
+		t.Fatalf("naive one-shot also hit %d/%d; ablation shows nothing", naiveHits, pairs)
+	}
+	t.Logf("staged %d/%d, naive %d/%d", stagedHits, pairs, naiveHits, pairs)
+}
+
+func TestNaiveOneShotValidates(t *testing.T) {
+	g := strictGame(t)
+	eqs := mustEquilibria(t, g)
+	if _, err := NaiveOneShot(g, core.Config{0}, eqs[0], learning.NewRandom(), rng.New(1)); err == nil {
+		t.Fatal("short s0 accepted")
+	}
+	if _, err := NaiveOneShot(g, eqs[0], core.Config{9, 9, 9, 9, 9}, learning.NewRandom(), rng.New(1)); err == nil {
+		t.Fatal("invalid sf accepted")
+	}
+}

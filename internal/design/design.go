@@ -1,0 +1,339 @@
+// Package design implements Section 5 of "Game of Coins": the dynamic
+// reward design mechanism that moves a system of better-response learners
+// from any initial pure equilibrium s₀ to any desired pure equilibrium s_f
+// by temporarily inflating coin rewards, at bounded total cost.
+//
+// # The algorithm (paper's Algorithm 2)
+//
+// The mechanism runs n = |Π| stages. Stage i establishes the intermediate
+// target sⁱ (Equation 3): miners p₁,…,pᵢ sit at their final coins and
+// pᵢ₊₁,…,p_n are parked at s_f.pᵢ. Stage 1 uses the reward function H₁
+// (Equation 5), which makes the coin s_f.p₁ so valuable that every
+// better-response learning collapses onto it. Stage i > 1 repeatedly picks
+// the mover m_i(s) — the largest-index miner not yet at s_f.pᵢ — and the
+// anchor a_i(s) = m_i(s)−1, and deploys the reward function H_i (Equation 4)
+// that (a) equalizes the RPUs of all coins except the target, and (b) prices
+// the target so that exactly the mover (and every smaller miner, but they
+// move later) benefits from switching to it; Lemma 1 shows each learning
+// phase then lands in a configuration where the mover has joined the target
+// and no larger miner has left its slot, so the stage's progress rank Φᵢ
+// strictly increases and the stage terminates (Theorem 2).
+//
+// # Fidelity notes (deviations from the paper's literal equations)
+//
+//  1. Equation 5 sets H₁(s_f.p₁) = max F · Σ m_p, which dominates every
+//     alternative only when all powers are ≥ 1 (with fractional powers a
+//     lone miner elsewhere can still earn more). We use the power-scale-free
+//     constant 2 · max F · Σm / min m, which coincides in spirit and
+//     guarantees dominance for arbitrary positive powers.
+//  2. Equation 4 assigns an empty non-target coin the reward R(s)·0 = 0,
+//     which is outside R⁺ and would leave its RPU undefined. We give such
+//     coins the negligible positive reward R(s)·min m/2, which no miner can
+//     prefer (a deviator would earn at most R(s)·min m/2 < m_p·R(s)), and
+//     define R(s) = max RPU over *occupied* coins.
+//  3. Algorithm 1's constraint H(s)(c) ≥ F(c) is violated by the paper's own
+//     Equation 4 on empty coins (see 2); Designer accounts manipulation cost
+//     as Σ_c max(0, H(c) − F(c)) per learning phase, i.e. only reward
+//     *increases* cost the manipulator.
+package design
+
+import (
+	"errors"
+	"fmt"
+
+	"gameofcoins/internal/core"
+	"gameofcoins/internal/learning"
+	"gameofcoins/internal/rng"
+)
+
+// Errors returned by the designer.
+var (
+	ErrNotEquilibrium = errors.New("design: configuration is not a pure equilibrium of the base game")
+	ErrRestricted     = errors.New("design: reward design requires an unrestricted game")
+	ErrStageStuck     = errors.New("design: stage iteration limit exceeded")
+)
+
+// StageTarget returns the paper's intermediate configuration sⁱ
+// (Equation 3) for stage ∈ [1, n]: miners 0…stage−1 (0-based) at their final
+// coins, all later miners at sf[stage−1].
+func StageTarget(sf core.Config, stage int) core.Config {
+	t := stage - 1 // 0-based index of p_i
+	s := make(core.Config, len(sf))
+	for k := range s {
+		if k <= t {
+			s[k] = sf[k]
+		} else {
+			s[k] = sf[t]
+		}
+	}
+	return s
+}
+
+// Mover returns the paper's m_i(s) as a 0-based miner index: the
+// largest-index miner not yet at the stage target coin, equivalently the
+// minimal j such that every later miner is at the target. ok is false when
+// every miner from the stage onward is already at the target.
+func Mover(s core.Config, target core.CoinID) (core.MinerID, bool) {
+	for p := len(s) - 1; p >= 0; p-- {
+		if s[p] != target {
+			return p, true
+		}
+	}
+	return 0, false
+}
+
+// MaxOccupiedRPU returns the paper's R(s): the maximum RPU over coins, with
+// the maximum restricted to occupied coins so that it is finite (see the
+// package fidelity notes).
+func MaxOccupiedRPU(g *core.Game, s core.Config) float64 {
+	powers := g.CoinPowers(s)
+	best := 0.0
+	for c, m := range powers {
+		if m == 0 {
+			continue
+		}
+		if r := g.Reward(c) / m; r > best {
+			best = r
+		}
+	}
+	return best
+}
+
+// StageOneRewards returns H₁ (Equation 5, generalized per fidelity note 1):
+// the stage-1 target coin gets a reward so large that mining it is dominant
+// for every miner even when all miners share it; every other coin keeps its
+// original reward.
+func StageOneRewards(g *core.Game, target core.CoinID) []float64 {
+	maxF := 0.0
+	for c := 0; c < g.NumCoins(); c++ {
+		if f := g.Reward(c); f > maxF {
+			maxF = f
+		}
+	}
+	minPower := g.Power(g.NumMiners() - 1) // miners sorted descending
+	rewards := g.Rewards()
+	rewards[target] = 2 * maxF * g.TotalPower() / minPower
+	return rewards
+}
+
+// StageRewards returns H_i(s) (Equation 4) for stage i > 1: every occupied
+// non-target coin c gets R(s)·M_c(s) (equalizing RPUs at R(s)), the target
+// gets R(s)·(M_target(s) + m_anchor), and empty non-target coins get the
+// negligible reward R(s)·min m/2 (fidelity note 2).
+func StageRewards(g *core.Game, s core.Config, target core.CoinID, anchor core.MinerID) []float64 {
+	r := MaxOccupiedRPU(g, s)
+	powers := g.CoinPowers(s)
+	minPower := g.Power(g.NumMiners() - 1)
+	rewards := make([]float64, g.NumCoins())
+	for c := range rewards {
+		switch {
+		case c == target:
+			rewards[c] = r * (powers[c] + g.Power(anchor))
+		case powers[c] > 0:
+			rewards[c] = r * powers[c]
+		default:
+			rewards[c] = r * minPower / 2
+		}
+	}
+	return rewards
+}
+
+// PhaseCost is the manipulator's cost of running one learning phase under
+// designed rewards H relative to the base rewards F: Σ_c max(0, H(c)−F(c)).
+func PhaseCost(base, designed []float64) float64 {
+	var cost float64
+	for c := range base {
+		if d := designed[c] - base[c]; d > 0 {
+			cost += d
+		}
+	}
+	return cost
+}
+
+// PhaseStats describes one learning phase (one iteration of a stage's
+// repeat loop).
+type PhaseStats struct {
+	Stage     int // 1-based stage number
+	Iteration int // 1-based iteration within the stage
+	Mover     core.MinerID
+	Steps     int     // better-response steps taken in the phase
+	Cost      float64 // PhaseCost of the deployed rewards
+}
+
+// StageStats aggregates a completed stage.
+type StageStats struct {
+	Stage      int
+	Iterations int
+	Steps      int
+	Cost       float64
+}
+
+// Result reports a completed reward design run.
+type Result struct {
+	Final      core.Config
+	Stages     []StageStats
+	Phases     []PhaseStats
+	TotalSteps int
+	TotalCost  float64
+}
+
+// Options configure a Designer run.
+type Options struct {
+	// NewScheduler supplies a fresh scheduler per learning phase (schedulers
+	// may be stateful). Defaults to the uniform-random scheduler, the
+	// weakest adversary assumption.
+	NewScheduler func() learning.Scheduler
+	// MaxPhaseSteps caps better-response steps within one learning phase
+	// (0 = learning package default).
+	MaxPhaseSteps int
+	// MaxStageIterations caps the repeat loop of a stage; 0 means
+	// 4·2^min(n,16) + 16, comfortably above the Φ-rank bound.
+	MaxStageIterations int
+	// CheckInvariants enables runtime verification of Lemma 1's Ψ₁–Ψ₅
+	// invariants during every within-stage learning phase, plus the
+	// first-move uniqueness property. Violations abort the run with a
+	// descriptive error. Intended for tests; costs O(n) per step.
+	CheckInvariants bool
+}
+
+// Designer executes the dynamic reward design mechanism on a base game.
+type Designer struct {
+	game *core.Game
+	opts Options
+}
+
+// NewDesigner returns a Designer for the base game g (with the original
+// reward function F). Reward design is defined for unrestricted games only.
+func NewDesigner(g *core.Game, opts Options) (*Designer, error) {
+	if g.Restricted() {
+		return nil, ErrRestricted
+	}
+	if opts.NewScheduler == nil {
+		opts.NewScheduler = func() learning.Scheduler { return learning.NewRandom() }
+	}
+	if opts.MaxStageIterations == 0 {
+		n := g.NumMiners()
+		if n > 16 {
+			n = 16
+		}
+		opts.MaxStageIterations = 4*(1<<n) + 16
+	}
+	return &Designer{game: g, opts: opts}, nil
+}
+
+// Run moves the system from the pure equilibrium s0 to the pure equilibrium
+// sf through the staged mechanism, driving the supplied scheduler's
+// better-response learning to convergence inside every phase. Both
+// endpoints must be equilibria of the base game.
+func (d *Designer) Run(s0, sf core.Config, r *rng.Rand) (Result, error) {
+	g := d.game
+	if err := g.ValidateConfig(s0); err != nil {
+		return Result{}, err
+	}
+	if err := g.ValidateConfig(sf); err != nil {
+		return Result{}, err
+	}
+	if !g.IsEquilibrium(s0) {
+		return Result{}, fmt.Errorf("%w: initial %v", ErrNotEquilibrium, s0)
+	}
+	if !g.IsEquilibrium(sf) {
+		return Result{}, fmt.Errorf("%w: desired %v", ErrNotEquilibrium, sf)
+	}
+	var res Result
+	s := s0.Clone()
+	n := g.NumMiners()
+	for stage := 1; stage <= n; stage++ {
+		st, ns, err := d.runStage(stage, s, sf, r)
+		if err != nil {
+			return Result{}, fmt.Errorf("design: stage %d: %w", stage, err)
+		}
+		s = ns
+		res.Stages = append(res.Stages, st.stage)
+		res.Phases = append(res.Phases, st.phases...)
+		res.TotalSteps += st.stage.Steps
+		res.TotalCost += st.stage.Cost
+	}
+	if !s.Equal(sf) {
+		return Result{}, fmt.Errorf("design: terminated at %v, want %v", s, sf)
+	}
+	// sf is an equilibrium of the base game, so reverting to F keeps the
+	// system there; re-verify as a safety net.
+	if !g.IsEquilibrium(s) {
+		return Result{}, fmt.Errorf("%w: final %v", ErrNotEquilibrium, s)
+	}
+	res.Final = s
+	return res, nil
+}
+
+type stageOutcome struct {
+	stage  StageStats
+	phases []PhaseStats
+}
+
+func (d *Designer) runStage(stage int, s, sf core.Config, r *rng.Rand) (stageOutcome, core.Config, error) {
+	g := d.game
+	target := StageTarget(sf, stage)
+	targetCoin := sf[stage-1]
+	out := stageOutcome{stage: StageStats{Stage: stage}}
+	for iter := 1; !s.Equal(target); iter++ {
+		if iter > d.opts.MaxStageIterations {
+			return out, s, fmt.Errorf("%w after %d iterations", ErrStageStuck, iter-1)
+		}
+		var rewards []float64
+		var mover core.MinerID
+		if stage == 1 {
+			rewards = StageOneRewards(g, targetCoin)
+			mover, _ = Mover(s, targetCoin)
+		} else {
+			m, ok := Mover(s, targetCoin)
+			if !ok {
+				// Every miner is at the target coin but s != sⁱ: impossible
+				// inside T_i; indicates an invariant break upstream.
+				return out, s, fmt.Errorf("design: no mover but stage %d incomplete at %v", stage, s)
+			}
+			if m < stage-1 {
+				return out, s, fmt.Errorf("design: mover %d precedes stage miner %d at %v", m, stage-1, s)
+			}
+			mover = m
+			rewards = StageRewards(g, s, targetCoin, m-1)
+		}
+		phased, err := g.WithRewards(rewards)
+		if err != nil {
+			return out, s, err
+		}
+		opts := learning.Options{MaxSteps: d.opts.MaxPhaseSteps}
+		if d.opts.CheckInvariants && stage > 1 {
+			inv := newInvariantChecker(g, s, sf, stage, mover)
+			opts.Invariant = inv.check
+		}
+		lr, err := learning.Run(phased, s, d.opts.NewScheduler(), r, opts)
+		if err != nil {
+			return out, s, err
+		}
+		cost := PhaseCost(g.Rewards(), rewards)
+		out.phases = append(out.phases, PhaseStats{
+			Stage:     stage,
+			Iteration: iter,
+			Mover:     mover,
+			Steps:     lr.Steps,
+			Cost:      cost,
+		})
+		out.stage.Iterations = iter
+		out.stage.Steps += lr.Steps
+		out.stage.Cost += cost
+		if d.opts.CheckInvariants && stage > 1 {
+			if lr.Final[mover] != targetCoin {
+				return out, s, fmt.Errorf("design: Lemma 1(2) violated: mover %d at coin %d, want %d",
+					mover, lr.Final[mover], targetCoin)
+			}
+			for k := 0; k < mover; k++ {
+				if lr.Final[k] != s[k] {
+					return out, s, fmt.Errorf("design: Lemma 1(1) violated: miner %d moved %d→%d",
+						k, s[k], lr.Final[k])
+				}
+			}
+		}
+		s = lr.Final
+	}
+	return out, s, nil
+}

@@ -1,0 +1,457 @@
+package design
+
+import (
+	"errors"
+	"testing"
+
+	"gameofcoins/internal/core"
+	"gameofcoins/internal/equilibria"
+	"gameofcoins/internal/learning"
+	"gameofcoins/internal/rng"
+)
+
+// strictGame returns a game with strictly descending powers (§5 requires
+// m_{p1} > m_{p2} > … > m_{pn}) that satisfies Assumptions 1–2.
+func strictGame(t *testing.T) *core.Game {
+	t.Helper()
+	return core.MustNewGame(
+		[]core.Miner{
+			{Name: "p1", Power: 13},
+			{Name: "p2", Power: 11},
+			{Name: "p3", Power: 7},
+			{Name: "p4", Power: 5},
+			{Name: "p5", Power: 3},
+		},
+		[]core.Coin{{Name: "c0"}, {Name: "c1"}},
+		[]float64{17, 19},
+	)
+}
+
+func TestStageTarget(t *testing.T) {
+	sf := core.Config{1, 0, 1, 0}
+	tests := []struct {
+		stage int
+		want  core.Config
+	}{
+		{1, core.Config{1, 1, 1, 1}},
+		{2, core.Config{1, 0, 0, 0}},
+		{3, core.Config{1, 0, 1, 1}},
+		{4, core.Config{1, 0, 1, 0}}, // sⁿ = s_f
+	}
+	for _, tt := range tests {
+		if got := StageTarget(sf, tt.stage); !got.Equal(tt.want) {
+			t.Errorf("StageTarget(stage %d) = %v, want %v", tt.stage, got, tt.want)
+		}
+	}
+}
+
+func TestMover(t *testing.T) {
+	s := core.Config{0, 1, 0, 1, 1}
+	if m, ok := Mover(s, 1); !ok || m != 2 {
+		t.Fatalf("Mover = %d, %v; want 2, true", m, ok)
+	}
+	if m, ok := Mover(s, 0); !ok || m != 4 {
+		t.Fatalf("Mover = %d, %v; want 4, true", m, ok)
+	}
+	if _, ok := Mover(core.Config{1, 1}, 1); ok {
+		t.Fatal("Mover on complete config should report ok=false")
+	}
+}
+
+func TestMaxOccupiedRPU(t *testing.T) {
+	g := strictGame(t)
+	s := core.UniformConfig(5, 0) // coin 1 empty
+	want := g.Reward(0) / g.TotalPower()
+	if got := MaxOccupiedRPU(g, s); got != want {
+		t.Fatalf("R(s) = %v, want %v", got, want)
+	}
+	// Split: R is the max of the two occupied RPUs.
+	split := core.Config{0, 1, 0, 1, 0}
+	r0 := g.Reward(0) / g.CoinPower(split, 0)
+	r1 := g.Reward(1) / g.CoinPower(split, 1)
+	want = r0
+	if r1 > r0 {
+		want = r1
+	}
+	if got := MaxOccupiedRPU(g, split); got != want {
+		t.Fatalf("R(split) = %v, want %v", got, want)
+	}
+}
+
+func TestStageOneRewardsDominance(t *testing.T) {
+	g := strictGame(t)
+	rewards := StageOneRewards(g, 1)
+	phased, err := g.WithRewards(rewards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// In the H₁ game, moving to the target must be a better response for
+	// every miner from every configuration where it is not already there.
+	if err := g.EnumerateConfigs(func(s core.Config) bool {
+		for p := 0; p < g.NumMiners(); p++ {
+			if s[p] != 1 && !phased.IsBetterResponse(s, p, 1) {
+				t.Fatalf("H₁ not dominant: miner %d at %v", p, s)
+			}
+		}
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// And the all-at-target configuration must be the unique equilibrium.
+	eqs, err := equilibria.Enumerate(phased)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(eqs) != 1 || !eqs[0].Equal(core.UniformConfig(5, 1)) {
+		t.Fatalf("H₁ equilibria = %v", eqs)
+	}
+}
+
+func TestStageRewardsEqualizeRPUs(t *testing.T) {
+	g := strictGame(t)
+	s := core.Config{0, 0, 0, 1, 1} // mixed occupancy
+	target := core.CoinID(1)
+	mover, ok := Mover(s, target)
+	if !ok {
+		t.Fatal("no mover")
+	}
+	rewards := StageRewards(g, s, target, mover-1)
+	r := MaxOccupiedRPU(g, s)
+	phased, err := g.WithRewards(rewards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Non-target occupied coins have RPU exactly R(s).
+	if got := phased.RPU(s, 0); !approx(got, r) {
+		t.Fatalf("RPU(c0) = %v, want %v", got, r)
+	}
+	// The target's RPU strictly exceeds R(s).
+	if got := phased.RPU(s, target); got <= r {
+		t.Fatalf("target RPU %v ≤ R %v", got, r)
+	}
+}
+
+func TestStageRewardsOnlyMoverImproves(t *testing.T) {
+	// The crux of Lemma 1: under H_i, the unique better response in s is the
+	// mover switching to the target.
+	g := strictGame(t)
+	sf := mustEquilibria(t, g)[0]
+	// Build a stage-2 starting configuration s¹ (everyone at sf.p1's coin).
+	s := StageTarget(sf, 1)
+	target := sf[1]
+	if s[1] == target {
+		t.Skip("stage 2 trivial for this equilibrium")
+	}
+	mover, ok := Mover(s, target)
+	if !ok {
+		t.Fatal("no mover")
+	}
+	rewards := StageRewards(g, s, target, mover-1)
+	phased, err := g.WithRewards(rewards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p := 0; p < g.NumMiners(); p++ {
+		brs := phased.BetterResponses(s, p)
+		if p == mover {
+			if len(brs) != 1 || brs[0] != target {
+				t.Fatalf("mover %d better responses = %v, want [%d]", p, brs, target)
+			}
+		} else if len(brs) != 0 {
+			t.Fatalf("non-mover %d has better responses %v", p, brs)
+		}
+	}
+}
+
+func mustEquilibria(t *testing.T, g *core.Game) []core.Config {
+	t.Helper()
+	eqs, err := equilibria.Enumerate(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(eqs) < 2 {
+		t.Fatalf("need ≥2 equilibria, got %d", len(eqs))
+	}
+	return eqs
+}
+
+func TestPhaseCost(t *testing.T) {
+	base := []float64{10, 20}
+	designed := []float64{15, 5}
+	if got := PhaseCost(base, designed); got != 5 {
+		t.Fatalf("cost = %v, want 5 (decreases are free)", got)
+	}
+}
+
+// TestDesignerAllPairs is the Theorem 2 test: for every ordered pair of
+// distinct equilibria (s₀, s_f), the mechanism moves the system to s_f.
+func TestDesignerAllPairs(t *testing.T) {
+	g := strictGame(t)
+	eqs := mustEquilibria(t, g)
+	d, err := NewDesigner(g, Options{CheckInvariants: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(2024)
+	pairs := 0
+	for _, s0 := range eqs {
+		for _, sf := range eqs {
+			if s0.Equal(sf) {
+				continue
+			}
+			pairs++
+			res, err := d.Run(s0, sf, r.Split())
+			if err != nil {
+				t.Fatalf("%v → %v: %v", s0, sf, err)
+			}
+			if !res.Final.Equal(sf) {
+				t.Fatalf("%v → %v: ended at %v", s0, sf, res.Final)
+			}
+			if !g.IsEquilibrium(res.Final) {
+				t.Fatal("final not stable under original rewards")
+			}
+			if res.TotalCost <= 0 {
+				t.Fatalf("zero design cost for a non-trivial move")
+			}
+			if len(res.Stages) != g.NumMiners() {
+				t.Fatalf("got %d stages, want %d", len(res.Stages), g.NumMiners())
+			}
+		}
+	}
+	if pairs == 0 {
+		t.Fatal("no equilibrium pairs exercised")
+	}
+}
+
+// TestDesignerAllSchedulers: Theorem 2 holds for any better-response
+// learning, so every scheduler must work.
+func TestDesignerAllSchedulers(t *testing.T) {
+	g := strictGame(t)
+	eqs := mustEquilibria(t, g)
+	s0, sf := eqs[0], eqs[1]
+	for _, name := range []string{"round-robin", "random", "max-gain", "min-gain", "smallest-first", "largest-first"} {
+		mk := schedulerFactory(name)
+		d, err := NewDesigner(g, Options{NewScheduler: mk, CheckInvariants: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := d.Run(s0, sf, rng.New(5))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !res.Final.Equal(sf) {
+			t.Fatalf("%s: ended at %v", name, res.Final)
+		}
+	}
+}
+
+func schedulerFactory(name string) func() learning.Scheduler {
+	return func() learning.Scheduler {
+		for _, s := range learning.AllSchedulers() {
+			if s.Name() == name {
+				return s
+			}
+		}
+		panic("unknown scheduler " + name)
+	}
+}
+
+// TestDesignerRandomGames sweeps random strictly-descending-power games and
+// random equilibrium pairs.
+func TestDesignerRandomGames(t *testing.T) {
+	r := rng.New(99)
+	done := 0
+	for trial := 0; trial < 60 && done < 15; trial++ {
+		g, err := core.RandomGame(r, core.GenSpec{Miners: 4 + r.Intn(3), Coins: 2 + r.Intn(2)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strictlyDescending(g) {
+			continue
+		}
+		eqs, err := equilibria.Enumerate(g)
+		if err != nil || len(eqs) < 2 {
+			continue
+		}
+		done++
+		d, err := NewDesigner(g, Options{CheckInvariants: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s0 := eqs[r.Intn(len(eqs))]
+		sf := eqs[r.Intn(len(eqs))]
+		res, err := d.Run(s0, sf, r.Split())
+		if err != nil {
+			t.Fatalf("trial %d: %v → %v: %v", trial, s0, sf, err)
+		}
+		if !res.Final.Equal(sf) {
+			t.Fatalf("trial %d: ended at %v, want %v", trial, res.Final, sf)
+		}
+	}
+	if done < 5 {
+		t.Fatalf("exercised only %d games", done)
+	}
+}
+
+func strictlyDescending(g *core.Game) bool {
+	for p := 0; p+1 < g.NumMiners(); p++ {
+		if !(g.Power(p) > g.Power(p+1)) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestDesignerIdentityPair(t *testing.T) {
+	// Moving from sf to sf must succeed (possibly trivially but the stage
+	// machinery still runs stage 1, which displaces everyone and brings
+	// them back via later stages).
+	g := strictGame(t)
+	eqs := mustEquilibria(t, g)
+	d, err := NewDesigner(g, Options{CheckInvariants: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := d.Run(eqs[0], eqs[0], rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Final.Equal(eqs[0]) {
+		t.Fatalf("ended at %v", res.Final)
+	}
+}
+
+func TestDesignerRejectsNonEquilibrium(t *testing.T) {
+	g := strictGame(t)
+	eqs := mustEquilibria(t, g)
+	d, err := NewDesigner(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	unstable := core.UniformConfig(g.NumMiners(), 0)
+	if g.IsEquilibrium(unstable) {
+		t.Skip("uniform config stable for this game")
+	}
+	if _, err := d.Run(unstable, eqs[0], rng.New(1)); !errors.Is(err, ErrNotEquilibrium) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := d.Run(eqs[0], unstable, rng.New(1)); !errors.Is(err, ErrNotEquilibrium) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestDesignerRejectsRestrictedGame(t *testing.T) {
+	g := core.MustNewGame(
+		[]core.Miner{{Name: "a", Power: 2}, {Name: "b", Power: 1}},
+		[]core.Coin{{Name: "c0"}, {Name: "c1"}},
+		[]float64{1, 2},
+		core.WithEligibility(func(core.MinerID, core.CoinID) bool { return true }),
+	)
+	if _, err := NewDesigner(g, Options{}); !errors.Is(err, ErrRestricted) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestDesignerPhaseAccounting(t *testing.T) {
+	g := strictGame(t)
+	eqs := mustEquilibria(t, g)
+	d, err := NewDesigner(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := d.Run(eqs[0], eqs[1], rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var steps int
+	var cost float64
+	for _, ph := range res.Phases {
+		steps += ph.Steps
+		cost += ph.Cost
+		if ph.Stage < 1 || ph.Stage > g.NumMiners() {
+			t.Fatalf("phase stage out of range: %+v", ph)
+		}
+	}
+	if steps != res.TotalSteps {
+		t.Fatalf("phase steps %d != total %d", steps, res.TotalSteps)
+	}
+	if !approx(cost, res.TotalCost) {
+		t.Fatalf("phase cost %v != total %v", cost, res.TotalCost)
+	}
+	var stageSteps int
+	for _, st := range res.Stages {
+		stageSteps += st.Steps
+	}
+	if stageSteps != res.TotalSteps {
+		t.Fatalf("stage steps %d != total %d", stageSteps, res.TotalSteps)
+	}
+}
+
+func TestDesignerDeterministicWithSeed(t *testing.T) {
+	g := strictGame(t)
+	eqs := mustEquilibria(t, g)
+	d, err := NewDesigner(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := d.Run(eqs[0], eqs[1], rng.New(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := d.Run(eqs[0], eqs[1], rng.New(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.TotalSteps != b.TotalSteps || !approx(a.TotalCost, b.TotalCost) {
+		t.Fatal("design run not reproducible under fixed seed")
+	}
+}
+
+// TestDesignerFractionalPowers exercises fidelity note 1: powers below 1
+// must still work with the generalized H₁.
+func TestDesignerFractionalPowers(t *testing.T) {
+	g := core.MustNewGame(
+		[]core.Miner{
+			{Name: "p1", Power: 0.9},
+			{Name: "p2", Power: 0.61},
+			{Name: "p3", Power: 0.37},
+			{Name: "p4", Power: 0.23},
+			{Name: "p5", Power: 0.11},
+		},
+		[]core.Coin{{Name: "c0"}, {Name: "c1"}},
+		[]float64{1.7, 2.3},
+	)
+	eqs, err := equilibria.Enumerate(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(eqs) < 2 {
+		t.Skip("instance has a unique equilibrium")
+	}
+	d, err := NewDesigner(g, Options{CheckInvariants: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := d.Run(eqs[0], eqs[1], rng.New(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Final.Equal(eqs[1]) {
+		t.Fatalf("ended at %v", res.Final)
+	}
+}
+
+func approx(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	scale := b
+	if scale < 0 {
+		scale = -scale
+	}
+	if scale < 1 {
+		scale = 1
+	}
+	return d <= 1e-9*scale
+}

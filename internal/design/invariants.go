@@ -1,0 +1,98 @@
+package design
+
+import (
+	"fmt"
+
+	"gameofcoins/internal/core"
+)
+
+// invariantChecker enforces Lemma 1's Ψ₁–Ψ₅ invariants on every
+// configuration reached during one within-stage learning phase. The paper
+// proves these hold by induction on better-response steps; the checker turns
+// that proof into an executable assertion.
+//
+// With s the phase's starting configuration, c = s_f.p_{i-1}, c' = s_f.p_i,
+// mover m = m_i(s), and s⁰ = (s₋m, c'):
+//
+//	Ψ₁ ∀k < m:          s'.p_k = s.p_k
+//	Ψ₂                   s'.p_m = c'
+//	Ψ₃ ∀k > m:          s'.p_k ∈ {c, c'}
+//	Ψ₄                   M_c(s⁰) ≤ M_c(s') ≤ M_c(s)
+//	Ψ₅                   M_c'(s)  ≤ M_c'(s') ≤ M_c'(s⁰)
+//
+// The very first step of the phase is the mover's unique better response
+// (s → s⁰); the checker accepts s itself as the pre-step state and enforces
+// the Ψ properties on every subsequent configuration.
+type invariantChecker struct {
+	g         *core.Game
+	start     core.Config
+	mover     core.MinerID
+	coinFrom  core.CoinID // c  = s_f.p_{i-1}
+	coinTo    core.CoinID // c' = s_f.p_i
+	mcStart   float64     // M_c(s)
+	mcAfter   float64     // M_c(s⁰)
+	mcpStart  float64     // M_c'(s)
+	mcpAfter  float64     // M_c'(s⁰)
+	seenFirst bool
+	tol       float64
+}
+
+func newInvariantChecker(g *core.Game, s, sf core.Config, stage int, mover core.MinerID) *invariantChecker {
+	coinFrom := sf[stage-2]
+	coinTo := sf[stage-1]
+	s0 := g.Apply(s, mover, coinTo)
+	return &invariantChecker{
+		g:        g,
+		start:    s.Clone(),
+		mover:    mover,
+		coinFrom: coinFrom,
+		coinTo:   coinTo,
+		mcStart:  g.CoinPower(s, coinFrom),
+		mcAfter:  g.CoinPower(s0, coinFrom),
+		mcpStart: g.CoinPower(s, coinTo),
+		mcpAfter: g.CoinPower(s0, coinTo),
+		tol:      1e-9 * (1 + g.TotalPower()),
+	}
+}
+
+// check validates one reached configuration; it is wired into
+// learning.Options.Invariant.
+func (ic *invariantChecker) check(s core.Config) error {
+	if !ic.seenFirst {
+		// The first applied step must be the mover's unique better response
+		// s → s⁰ = (s₋mover, c').
+		ic.seenFirst = true
+		for k := range s {
+			want := ic.start[k]
+			if k == ic.mover {
+				want = ic.coinTo
+			}
+			if s[k] != want {
+				return fmt.Errorf("first step is not the mover's move to c': miner %d at %d", k, s[k])
+			}
+		}
+		return nil
+	}
+	for k := 0; k < ic.mover; k++ { // Ψ₁
+		if s[k] != ic.start[k] {
+			return fmt.Errorf("Ψ₁: miner %d moved %d→%d", k, ic.start[k], s[k])
+		}
+	}
+	if s[ic.mover] != ic.coinTo { // Ψ₂
+		return fmt.Errorf("Ψ₂: mover %d left target: at %d", ic.mover, s[ic.mover])
+	}
+	for k := ic.mover + 1; k < len(s); k++ { // Ψ₃
+		if s[k] != ic.coinFrom && s[k] != ic.coinTo {
+			return fmt.Errorf("Ψ₃: miner %d at coin %d ∉ {%d,%d}", k, s[k], ic.coinFrom, ic.coinTo)
+		}
+	}
+	mc := ic.g.CoinPower(s, ic.coinFrom)
+	if mc < ic.mcAfter-ic.tol || mc > ic.mcStart+ic.tol { // Ψ₄
+		return fmt.Errorf("Ψ₄: M_c = %v ∉ [%v, %v]", mc, ic.mcAfter, ic.mcStart)
+	}
+	mcp := ic.g.CoinPower(s, ic.coinTo)
+	if mcp < ic.mcpStart-ic.tol || mcp > ic.mcpAfter+ic.tol { // Ψ₅
+		return fmt.Errorf("Ψ₅: M_c' = %v ∉ [%v, %v]", mcp, ic.mcpStart, ic.mcpAfter)
+	}
+	return nil
+}

@@ -1,0 +1,153 @@
+package design
+
+import (
+	"testing"
+	"testing/quick"
+
+	"gameofcoins/internal/core"
+	"gameofcoins/internal/rng"
+)
+
+// TestStageTargetProperties checks Equation 3's invariants with
+// testing/quick: sⁿ = s_f, s¹ is uniform on s_f.p₁, and consecutive stage
+// targets differ only on miners after the stage index.
+func TestStageTargetProperties(t *testing.T) {
+	f := func(seed uint32, nRaw, mRaw uint8) bool {
+		n := 1 + int(nRaw%10)
+		m := 1 + int(mRaw%4)
+		r := rng.New(uint64(seed))
+		sf := make(core.Config, n)
+		for i := range sf {
+			sf[i] = r.Intn(m)
+		}
+		// sⁿ = s_f.
+		if !StageTarget(sf, n).Equal(sf) {
+			return false
+		}
+		// s¹ is uniform on sf[0].
+		s1 := StageTarget(sf, 1)
+		for _, c := range s1 {
+			if c != sf[0] {
+				return false
+			}
+		}
+		// Stage i fixes miners 0..i-1 at their final coins.
+		for stage := 1; stage <= n; stage++ {
+			si := StageTarget(sf, stage)
+			for k := 0; k < stage; k++ {
+				if si[k] != sf[k] {
+					return false
+				}
+			}
+			for k := stage; k < n; k++ {
+				if si[k] != sf[stage-1] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMoverProperties: the mover is always the largest-index mismatch, and
+// applying the mover's move strictly decreases the mismatch count.
+func TestMoverProperties(t *testing.T) {
+	f := func(seed uint32, nRaw, mRaw uint8) bool {
+		n := 1 + int(nRaw%10)
+		m := 1 + int(mRaw%4)
+		r := rng.New(uint64(seed))
+		s := make(core.Config, n)
+		for i := range s {
+			s[i] = r.Intn(m)
+		}
+		target := core.CoinID(r.Intn(m))
+		mv, ok := Mover(s, target)
+		if !ok {
+			// Everyone at target.
+			for _, c := range s {
+				if c != target {
+					return false
+				}
+			}
+			return true
+		}
+		if s[mv] == target {
+			return false
+		}
+		for k := mv + 1; k < n; k++ {
+			if s[k] != target {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStageRewardsAreFeasible: designed rewards are always positive and the
+// H(c) ≥ F(c) Algorithm-1 constraint holds for every *occupied* coin.
+func TestStageRewardsAreFeasible(t *testing.T) {
+	r := rng.New(77)
+	for trial := 0; trial < 200; trial++ {
+		g, err := core.RandomGame(r, core.GenSpec{Miners: 2 + r.Intn(6), Coins: 2 + r.Intn(3)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := core.RandomConfig(r, g)
+		target := core.CoinID(r.Intn(g.NumCoins()))
+		mv, ok := Mover(s, target)
+		if !ok || mv == 0 {
+			continue
+		}
+		rewards := StageRewards(g, s, target, mv-1)
+		powers := g.CoinPowers(s)
+		for c, rw := range rewards {
+			if !(rw > 0) {
+				t.Fatalf("non-positive designed reward %v for coin %d", rw, c)
+			}
+			if c != target && powers[c] > 0 && rw < g.Reward(c)-1e-9*g.Reward(c) {
+				t.Fatalf("H(c%d)=%v < F=%v with M=%v", c, rw, g.Reward(c), powers[c])
+			}
+		}
+		// The target coin is strictly sweeter than the equalized level.
+		phased, err := g.WithRewards(rewards)
+		if err != nil {
+			t.Fatal(err)
+		}
+		level := MaxOccupiedRPU(g, s)
+		if powers[target] > 0 && !(phased.RPU(s, target) > level) {
+			t.Fatalf("target RPU %v not above level %v", phased.RPU(s, target), level)
+		}
+	}
+}
+
+// TestStageOneRewardsProperty: under H₁, for every configuration the target
+// coin is a better response for every miner not already there.
+func TestStageOneRewardsProperty(t *testing.T) {
+	r := rng.New(88)
+	for trial := 0; trial < 100; trial++ {
+		g, err := core.RandomGame(r, core.GenSpec{
+			Miners: 2 + r.Intn(4), Coins: 2 + r.Intn(3),
+			PowerLo: 0.1, PowerHi: 5, // include fractional powers
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		target := core.CoinID(r.Intn(g.NumCoins()))
+		phased, err := g.WithRewards(StageOneRewards(g, target))
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := core.RandomConfig(r, g)
+		for p := 0; p < g.NumMiners(); p++ {
+			if s[p] != target && !phased.IsBetterResponse(s, p, target) {
+				t.Fatalf("H₁ not dominant at %v for miner %d (target %d)", s, p, target)
+			}
+		}
+	}
+}

@@ -1,0 +1,186 @@
+// Package equilibria provides equilibrium tooling for the mining game:
+//
+//   - Construct: Appendix A's constructive proof of equilibrium existence —
+//     add miners in descending power, each choosing its myopically best coin;
+//     the resulting configuration is stable (Proposition 3).
+//   - TwoDistinct: Lemma 2's construction of two different equilibria for
+//     games satisfying Assumptions 1–2.
+//   - Enumerate: exhaustive equilibrium enumeration for small games.
+//   - BetterEquilibriumFor: Proposition 2's guarantee — for every stable s
+//     there is a miner p and a stable s' with u_p(s') > u_p(s).
+package equilibria
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"gameofcoins/internal/core"
+)
+
+// ErrNotStable is returned by constructions whose assumptions failed to
+// deliver a stable configuration (e.g. TwoDistinct on a game violating
+// Assumption 1 or 2).
+var ErrNotStable = errors.New("equilibria: constructed configuration is not stable")
+
+// ErrNoBetter is returned by BetterEquilibriumFor when no dominating
+// equilibrium exists — impossible under Assumptions 1–2 (Proposition 2) but
+// reachable for games outside those assumptions.
+var ErrNoBetter = errors.New("equilibria: no equilibrium improves any miner")
+
+// Construct builds a pure equilibrium of g by the Appendix-A induction:
+// miners join in descending power order (the Game's native order), each
+// picking the coin maximizing its payoff given the miners placed so far:
+//
+//	c = argmax_{c'} F(c') · m_p / (M_{c'}(s) + m_p)
+//
+// Claim 6 shows each addition preserves stability, so the result is a pure
+// equilibrium. For eligibility-restricted games the argmax ranges over the
+// miner's eligible coins only; stability of the result is then checked and
+// ErrNotStable returned if the restriction broke the induction.
+func Construct(g *core.Game) (core.Config, error) {
+	n := g.NumMiners()
+	s := make(core.Config, n)
+	powers := make([]float64, g.NumCoins())
+	for p := 0; p < n; p++ {
+		mp := g.Power(p)
+		best := -1
+		bestU := 0.0
+		for c := 0; c < g.NumCoins(); c++ {
+			if !g.Eligible(p, c) {
+				continue
+			}
+			u := g.Reward(c) * mp / (powers[c] + mp)
+			if best == -1 || u > bestU {
+				best, bestU = c, u
+			}
+		}
+		if best == -1 {
+			return nil, fmt.Errorf("equilibria: miner %d has no eligible coin", p)
+		}
+		s[p] = best
+		powers[best] += mp
+	}
+	if g.Restricted() && !g.IsEquilibrium(s) {
+		return nil, fmt.Errorf("%w: greedy construction under eligibility restrictions", ErrNotStable)
+	}
+	return s, nil
+}
+
+// TwoDistinct builds two different pure equilibria of g following Lemma 2:
+// seed the two largest miners on the two highest-reward coins in opposite
+// orders, then extend greedily as in Construct. It requires at least two
+// miners and two coins, and the stability of both results relies on
+// Assumptions 1–2; if either constructed configuration ends up unstable,
+// ErrNotStable is returned.
+func TwoDistinct(g *core.Game) (core.Config, core.Config, error) {
+	if g.NumMiners() < 2 || g.NumCoins() < 2 {
+		return nil, nil, errors.New("equilibria: TwoDistinct needs ≥2 miners and ≥2 coins")
+	}
+	// Coins sorted by decreasing reward.
+	order := make([]core.CoinID, g.NumCoins())
+	for c := range order {
+		order[c] = c
+	}
+	sort.SliceStable(order, func(i, j int) bool { return g.Reward(order[i]) > g.Reward(order[j]) })
+	c1, c2 := order[0], order[1]
+
+	build := func(first, second core.CoinID) core.Config {
+		n := g.NumMiners()
+		s := make(core.Config, n)
+		powers := make([]float64, g.NumCoins())
+		s[0] = first
+		powers[first] += g.Power(0)
+		s[1] = second
+		powers[second] += g.Power(1)
+		for p := 2; p < n; p++ {
+			mp := g.Power(p)
+			best := 0
+			bestU := 0.0
+			for c := 0; c < g.NumCoins(); c++ {
+				u := g.Reward(c) * mp / (powers[c] + mp)
+				if c == 0 || u > bestU {
+					best, bestU = c, u
+				}
+			}
+			s[p] = best
+			powers[best] += mp
+		}
+		return s
+	}
+
+	sA := build(c1, c2)
+	sB := build(c2, c1)
+	if sA.Equal(sB) {
+		return nil, nil, fmt.Errorf("%w: constructions coincide", ErrNotStable)
+	}
+	if !g.IsEquilibrium(sA) {
+		return nil, nil, fmt.Errorf("%w: first construction %v", ErrNotStable, sA)
+	}
+	if !g.IsEquilibrium(sB) {
+		return nil, nil, fmt.Errorf("%w: second construction %v", ErrNotStable, sB)
+	}
+	return sA, sB, nil
+}
+
+// Enumerate returns every pure equilibrium of g in lexicographic order.
+// It is exhaustive and therefore restricted to small games; it propagates
+// core.ErrTooLarge beyond the enumeration limit.
+func Enumerate(g *core.Game) ([]core.Config, error) {
+	var out []core.Config
+	err := g.EnumerateConfigs(func(s core.Config) bool {
+		if g.IsEquilibrium(s) {
+			out = append(out, s.Clone())
+		}
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Improvement is a Proposition 2 witness: miner Miner strictly prefers the
+// equilibrium Better over the reference equilibrium.
+type Improvement struct {
+	Miner  core.MinerID
+	Better core.Config
+	Gain   float64 // u_p(Better) − u_p(reference) > 0
+}
+
+// BetterEquilibriumFor finds, for the stable configuration s, a miner and a
+// different stable configuration in which that miner's payoff is strictly
+// higher (Proposition 2). The search enumerates all equilibria, so it is
+// limited to small games. If s is the unique equilibrium or no miner
+// improves anywhere, ErrNoBetter is returned — which, per Proposition 2,
+// certifies that g violates Assumption 1 or 2.
+func BetterEquilibriumFor(g *core.Game, s core.Config) (Improvement, error) {
+	if !g.IsEquilibrium(s) {
+		return Improvement{}, fmt.Errorf("equilibria: reference %v is not stable", s)
+	}
+	eqs, err := Enumerate(g)
+	if err != nil {
+		return Improvement{}, err
+	}
+	base := g.Payoffs(s)
+	bestGain := 0.0
+	var best Improvement
+	found := false
+	for _, e := range eqs {
+		if e.Equal(s) {
+			continue
+		}
+		us := g.Payoffs(e)
+		for p := range us {
+			if gain := us[p] - base[p]; gain > bestGain {
+				found = true
+				bestGain = gain
+				best = Improvement{Miner: p, Better: e, Gain: gain}
+			}
+		}
+	}
+	if !found {
+		return Improvement{}, ErrNoBetter
+	}
+	return best, nil
+}

@@ -1,0 +1,49 @@
+package equilibria
+
+import "gameofcoins/internal/core"
+
+// PayoffSpread reports, per miner, the minimum and maximum payoff the miner
+// receives across a set of equilibria. Observation 3 makes the *sum*
+// invariant across equilibria of Assumption-1 games, so spreads quantify
+// the pure redistribution between equilibria — which is what a manipulator
+// shopping for a target equilibrium (Section 5) cares about.
+type PayoffSpread struct {
+	Min, Max float64
+}
+
+// Spreads computes the per-miner payoff spread over the given equilibria.
+// It returns nil for an empty set.
+func Spreads(g *core.Game, eqs []core.Config) []PayoffSpread {
+	if len(eqs) == 0 {
+		return nil
+	}
+	out := make([]PayoffSpread, g.NumMiners())
+	for i, e := range eqs {
+		us := g.Payoffs(e)
+		for p, u := range us {
+			if i == 0 || u < out[p].Min {
+				out[p].Min = u
+			}
+			if i == 0 || u > out[p].Max {
+				out[p].Max = u
+			}
+		}
+	}
+	return out
+}
+
+// BestTargetFor returns the equilibrium in eqs maximizing miner p's payoff
+// (ties to the earliest), and that payoff. It panics on an empty set.
+func BestTargetFor(g *core.Game, eqs []core.Config, p core.MinerID) (core.Config, float64) {
+	if len(eqs) == 0 {
+		panic("equilibria: BestTargetFor on empty set")
+	}
+	best := eqs[0]
+	bestU := g.Payoff(eqs[0], p)
+	for _, e := range eqs[1:] {
+		if u := g.Payoff(e, p); u > bestU {
+			best, bestU = e, u
+		}
+	}
+	return best, bestU
+}

@@ -1,0 +1,75 @@
+package equilibria
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSpreads(t *testing.T) {
+	g := crowded(t)
+	eqs, err := Enumerate(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(eqs) < 2 {
+		t.Fatalf("need ≥2 equilibria, got %d", len(eqs))
+	}
+	spreads := Spreads(g, eqs)
+	if len(spreads) != g.NumMiners() {
+		t.Fatalf("spreads for %d miners", len(spreads))
+	}
+	anyGap := false
+	for p, sp := range spreads {
+		if sp.Min > sp.Max {
+			t.Fatalf("miner %d: min %v > max %v", p, sp.Min, sp.Max)
+		}
+		if sp.Max > sp.Min {
+			anyGap = true
+		}
+		// Bounds must be attained by some equilibrium.
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, e := range eqs {
+			u := g.Payoff(e, p)
+			lo = math.Min(lo, u)
+			hi = math.Max(hi, u)
+		}
+		if lo != sp.Min || hi != sp.Max {
+			t.Fatalf("miner %d spread [%v,%v], recomputed [%v,%v]", p, sp.Min, sp.Max, lo, hi)
+		}
+	}
+	if !anyGap {
+		t.Fatal("no miner has a payoff gap across distinct equilibria; suspicious under Assumption 2")
+	}
+	if Spreads(g, nil) != nil {
+		t.Fatal("empty set should give nil")
+	}
+}
+
+func TestBestTargetFor(t *testing.T) {
+	g := crowded(t)
+	eqs, err := Enumerate(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p := 0; p < g.NumMiners(); p++ {
+		target, u := BestTargetFor(g, eqs, p)
+		for _, e := range eqs {
+			if g.Payoff(e, p) > u {
+				t.Fatalf("miner %d: better equilibrium than reported best", p)
+			}
+		}
+		if got := g.Payoff(target, p); got != u {
+			t.Fatalf("reported payoff %v, recomputed %v", u, got)
+		}
+	}
+}
+
+func TestBestTargetForEmptyPanics(t *testing.T) {
+	g := crowded(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on empty set")
+		}
+	}()
+	BestTargetFor(g, nil, 0)
+}

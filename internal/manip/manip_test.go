@@ -1,0 +1,129 @@
+package manip
+
+import (
+	"testing"
+
+	"gameofcoins/internal/chain"
+	"gameofcoins/internal/market"
+	"gameofcoins/internal/mining"
+	"gameofcoins/internal/sim"
+)
+
+func newSim(t *testing.T) *sim.Simulator {
+	t.Helper()
+	mk := func(name string) *market.CoinMarket {
+		ch, err := chain.New(chain.Params{
+			Name:               name,
+			TargetBlockSeconds: 600,
+			RetargetWindow:     144,
+			MaxRetargetFactor:  4,
+			BlockSubsidy:       10,
+			InitialDifficulty:  600,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cm, err := market.NewCoinMarket(ch, market.Constant(2), 0.5, 600)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return cm
+	}
+	s, err := sim.New(sim.Config{
+		Coins: []*market.CoinMarket{mk("a"), mk("b")},
+		Agents: []mining.Agent{
+			{Name: "m1", Power: 3, Policy: mining.BetterResponse{}},
+			{Name: "m2", Power: 2, Policy: mining.BetterResponse{}},
+			{Name: "m3", Power: 1, Policy: mining.BetterResponse{}},
+		},
+		Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestWhaleTxRaisesWeightAndCharges(t *testing.T) {
+	s := newSim(t)
+	var l Ledger
+	w0 := s.Coins()[1].Weight()
+	if err := WhaleTx(s, &l, 1, 50); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Coins()[1].Weight(); got <= w0 {
+		t.Fatalf("weight %v did not rise from %v", got, w0)
+	}
+	// Cost = fee × rate = 50 × 2.
+	if l.Total() != 100 {
+		t.Fatalf("ledger total = %v, want 100", l.Total())
+	}
+	evs := l.Events()
+	if len(evs) != 1 || evs[0].Kind != "whale-tx" || evs[0].Coin != 1 {
+		t.Fatalf("events = %+v", evs)
+	}
+}
+
+func TestWhaleTxValidation(t *testing.T) {
+	s := newSim(t)
+	var l Ledger
+	if err := WhaleTx(s, &l, 5, 1); err == nil {
+		t.Fatal("invalid coin accepted")
+	}
+	if err := WhaleTx(s, &l, 0, 0); err == nil {
+		t.Fatal("zero fee accepted")
+	}
+	if l.Total() != 0 {
+		t.Fatal("failed actions charged the ledger")
+	}
+}
+
+func TestApplyPumpRaisesWeightByFactor(t *testing.T) {
+	s := newSim(t)
+	var l Ledger
+	w0 := s.Coins()[0].Weight()
+	if err := ApplyPump(s, &l, 0, 1.5, 1); err != nil {
+		t.Fatal(err)
+	}
+	w1 := s.Coins()[0].Weight()
+	if ratio := w1 / w0; ratio < 1.45 || ratio > 1.55 {
+		t.Fatalf("pump ratio = %v, want ≈1.5", ratio)
+	}
+	// Cost = (factor−1)·W·depth = 0.5·w0·1.
+	if got := l.Total(); got < 0.49*w0 || got > 0.51*w0 {
+		t.Fatalf("cost = %v, want ≈%v", got, 0.5*w0)
+	}
+}
+
+func TestApplyPumpValidation(t *testing.T) {
+	s := newSim(t)
+	var l Ledger
+	if err := ApplyPump(s, &l, 0, 1.0, 1); err == nil {
+		t.Fatal("factor 1 accepted")
+	}
+	if err := ApplyPump(s, &l, 0, 2, 0); err == nil {
+		t.Fatal("zero depth accepted")
+	}
+	if err := ApplyPump(s, &l, 9, 2, 1); err == nil {
+		t.Fatal("invalid coin accepted")
+	}
+}
+
+func TestWhaleAttractsMiners(t *testing.T) {
+	// A large standing whale subsidy on coin b must pull hashrate there.
+	s := newSim(t)
+	var l Ledger
+	s.OnEpoch(func(_ int, sm *sim.Simulator) {
+		// Re-inject every epoch to keep the weight inflated.
+		_ = WhaleTx(sm, &l, 1, 200)
+	})
+	_ = WhaleTx(s, &l, 1, 200)
+	s.Run(30)
+	powers := s.CoinPowers()
+	if powers[1] <= powers[0] {
+		t.Fatalf("whale-subsidized coin did not attract the majority: %v", powers)
+	}
+	if l.Total() <= 0 {
+		t.Fatal("no cost recorded")
+	}
+}

@@ -1,0 +1,210 @@
+// Package market models the economic side of a multi-coin mining market:
+// fiat exchange-rate processes, per-coin weight computation (the reward
+// function F the game consumes), and a whattomine-style profitability index.
+//
+// A coin's weight in the paper is "the reward it divides among its miners",
+// which in practice depends on its transaction rate, transaction fees, and
+// fiat exchange rate (§1). Weight here is fiat issuance per unit time:
+//
+//	F(c) = (block subsidy + average fees per block) · rate(c) / block time
+//
+// computed from the live chain state, so hashrate migration feeds back into
+// weights through difficulty retargeting exactly as it does in reality.
+package market
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"gameofcoins/internal/chain"
+	"gameofcoins/internal/rng"
+)
+
+// RateProcess evolves a coin's fiat exchange rate in simulation time.
+// Implementations are stepped by the simulator; Rate returns the current
+// value.
+type RateProcess interface {
+	// Rate returns the current exchange rate (fiat per coin).
+	Rate() float64
+	// Step advances the process by dt seconds.
+	Step(dt float64, r *rng.Rand)
+}
+
+// Constant is a flat exchange rate.
+type Constant float64
+
+// Rate implements RateProcess.
+func (c Constant) Rate() float64 { return float64(c) }
+
+// Step implements RateProcess.
+func (Constant) Step(float64, *rng.Rand) {}
+
+// GBM is geometric Brownian motion: dS = μS dt + σS dW, the standard model
+// for fiat crypto prices over short horizons.
+type GBM struct {
+	S     float64 // current rate
+	Mu    float64 // drift per second
+	Sigma float64 // volatility per √second
+}
+
+// NewGBM returns a GBM starting at s0.
+func NewGBM(s0, muPerSecond, sigmaPerSqrtSecond float64) *GBM {
+	return &GBM{S: s0, Mu: muPerSecond, Sigma: sigmaPerSqrtSecond}
+}
+
+// Rate implements RateProcess.
+func (g *GBM) Rate() float64 { return g.S }
+
+// Step implements RateProcess using the exact log-normal increment.
+func (g *GBM) Step(dt float64, r *rng.Rand) {
+	if dt <= 0 {
+		return
+	}
+	z := r.NormFloat64()
+	g.S *= math.Exp((g.Mu-0.5*g.Sigma*g.Sigma)*dt + g.Sigma*math.Sqrt(dt)*z)
+}
+
+// Jump is a scheduled multiplicative shock: at Time, the rate is multiplied
+// by Factor. This is how replay scenarios encode events like the
+// November 12, 2017 BCH spike.
+type Jump struct {
+	Time   float64
+	Factor float64
+}
+
+// JumpDiffusion is a GBM with scheduled deterministic jumps.
+type JumpDiffusion struct {
+	gbm   GBM
+	jumps []Jump
+	now   float64
+	next  int
+}
+
+// NewJumpDiffusion returns a jump-diffusion starting at s0 with the given
+// scheduled jumps (sorted by time internally).
+func NewJumpDiffusion(s0, mu, sigma float64, jumps []Jump) *JumpDiffusion {
+	js := append([]Jump(nil), jumps...)
+	sort.Slice(js, func(i, j int) bool { return js[i].Time < js[j].Time })
+	return &JumpDiffusion{gbm: GBM{S: s0, Mu: mu, Sigma: sigma}, jumps: js}
+}
+
+// Rate implements RateProcess.
+func (jd *JumpDiffusion) Rate() float64 { return jd.gbm.S }
+
+// Step implements RateProcess.
+func (jd *JumpDiffusion) Step(dt float64, r *rng.Rand) {
+	end := jd.now + dt
+	for jd.next < len(jd.jumps) && jd.jumps[jd.next].Time <= end {
+		j := jd.jumps[jd.next]
+		jd.gbm.Step(j.Time-jd.now, r)
+		jd.gbm.S *= j.Factor
+		jd.now = j.Time
+		jd.next++
+	}
+	jd.gbm.Step(end-jd.now, r)
+	jd.now = end
+}
+
+// Piecewise is a deterministic piecewise-linear rate path given as (time,
+// rate) knots; it interpolates linearly and holds the last value. Replay
+// scenarios use it for calibrated historical shapes.
+type Piecewise struct {
+	Times []float64
+	Rates []float64
+	now   float64
+}
+
+// NewPiecewise builds a piecewise path. Knots must be strictly increasing in
+// time and non-empty.
+func NewPiecewise(times, rates []float64) (*Piecewise, error) {
+	if len(times) == 0 || len(times) != len(rates) {
+		return nil, errors.New("market: piecewise needs equal non-empty knots")
+	}
+	for i := 1; i < len(times); i++ {
+		if times[i] <= times[i-1] {
+			return nil, fmt.Errorf("market: knot times not increasing at %d", i)
+		}
+	}
+	return &Piecewise{Times: append([]float64(nil), times...), Rates: append([]float64(nil), rates...)}, nil
+}
+
+// Rate implements RateProcess.
+func (pw *Piecewise) Rate() float64 {
+	t := pw.now
+	if t <= pw.Times[0] {
+		return pw.Rates[0]
+	}
+	last := len(pw.Times) - 1
+	if t >= pw.Times[last] {
+		return pw.Rates[last]
+	}
+	i := sort.SearchFloat64s(pw.Times, t)
+	if pw.Times[i] == t {
+		return pw.Rates[i]
+	}
+	lo, hi := i-1, i
+	frac := (t - pw.Times[lo]) / (pw.Times[hi] - pw.Times[lo])
+	return pw.Rates[lo]*(1-frac) + pw.Rates[hi]*frac
+}
+
+// Step implements RateProcess.
+func (pw *Piecewise) Step(dt float64, _ *rng.Rand) { pw.now += dt }
+
+// CoinMarket couples one chain with its exchange-rate process, a baseline
+// fee flow, and the protocol constants weight computation needs.
+type CoinMarket struct {
+	Chain *chain.Chain
+	Rate  RateProcess
+	// FeePerBlock is the steady-state fee volume collected by each block,
+	// in the chain's own coin, on top of whale injections.
+	FeePerBlock float64
+
+	targetBlockSeconds float64
+}
+
+// NewCoinMarket builds a CoinMarket for the chain. targetBlockSeconds must
+// match the chain's Params (the chain package does not expose it); the
+// block subsidy is read live from the chain, so halvings flow into weights
+// automatically.
+func NewCoinMarket(ch *chain.Chain, rate RateProcess, feePerBlock, targetBlockSeconds float64) (*CoinMarket, error) {
+	if ch == nil || rate == nil {
+		return nil, errors.New("market: nil chain or rate")
+	}
+	if feePerBlock < 0 || targetBlockSeconds <= 0 {
+		return nil, errors.New("market: invalid coin market constants")
+	}
+	return &CoinMarket{
+		Chain:              ch,
+		Rate:               rate,
+		FeePerBlock:        feePerBlock,
+		targetBlockSeconds: targetBlockSeconds,
+	}, nil
+}
+
+// Weight returns the coin's current weight F(c): expected fiat issuance per
+// hour at the protocol's target block rate (difficulty retargeting drives
+// realized production toward it). Whale fees pending on the chain raise the
+// weight until they are collected — the §5 manipulation channel — and
+// subsidy halvings lower it.
+func (cm *CoinMarket) Weight() float64 {
+	blocksPerHour := 3600 / cm.targetBlockSeconds
+	coinPerBlock := cm.Chain.Subsidy() + cm.FeePerBlock + cm.Chain.PendingFees()
+	return coinPerBlock * blocksPerHour * cm.Rate.Rate()
+}
+
+// FeesForExtraWeight returns the pending-fee injection (in coin units) that
+// raises Weight() by deltaW fiat/hour at the current exchange rate. It
+// errors when the rate is non-positive (no fee volume can move the weight).
+func (cm *CoinMarket) FeesForExtraWeight(deltaW float64) (float64, error) {
+	if deltaW < 0 {
+		return 0, errors.New("market: negative weight delta")
+	}
+	rate := cm.Rate.Rate()
+	if rate <= 0 {
+		return 0, errors.New("market: non-positive exchange rate")
+	}
+	blocksPerHour := 3600 / cm.targetBlockSeconds
+	return deltaW / (blocksPerHour * rate), nil
+}

@@ -1,0 +1,28 @@
+package market
+
+import "sort"
+
+// ProfitEntry is one row of the profitability index: a coin and the fiat
+// profit per hour a miner would earn there right now.
+type ProfitEntry struct {
+	Coin          int
+	ProfitPerHour float64
+}
+
+// ProfitabilityIndex is the whattomine-style ranking (§1 [10]): given the
+// current coin weights (fiat/hour) and the total power on each coin, it
+// ranks coins by the profit a miner with the given power and hourly
+// electricity cost would earn after joining. The joining miner's power is
+// added to the coin's denominator, matching the game's PayoffAfterMove.
+func ProfitabilityIndex(weights, coinPowers []float64, minerPower, costPerHour float64) []ProfitEntry {
+	out := make([]ProfitEntry, len(weights))
+	for c := range weights {
+		revenue := 0.0
+		if minerPower > 0 {
+			revenue = weights[c] * minerPower / (coinPowers[c] + minerPower)
+		}
+		out[c] = ProfitEntry{Coin: c, ProfitPerHour: revenue - costPerHour}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].ProfitPerHour > out[j].ProfitPerHour })
+	return out
+}

@@ -1,0 +1,79 @@
+package potential
+
+import (
+	"testing"
+	"testing/quick"
+
+	"gameofcoins/internal/core"
+	"gameofcoins/internal/rng"
+)
+
+// TestCompareIsTotalOrder checks with testing/quick that Compare behaves as
+// a total order on random lists: antisymmetric, reflexive on equals, and
+// transitive.
+func TestCompareIsTotalOrder(t *testing.T) {
+	gen := func(seed uint32, n int) []ListEntry {
+		r := rng.New(uint64(seed))
+		out := make([]ListEntry, n)
+		for i := range out {
+			out[i] = ListEntry{RPU: float64(r.Intn(5)), Coin: core.CoinID(r.Intn(3))}
+		}
+		return out
+	}
+	f := func(a, b, c uint32, nRaw uint8) bool {
+		n := 1 + int(nRaw%4)
+		la, lb, lc := gen(a, n), gen(b, n), gen(c, n)
+		// Antisymmetry.
+		if Compare(la, lb) != -Compare(lb, la) {
+			return false
+		}
+		// Reflexivity.
+		if Compare(la, la) != 0 {
+			return false
+		}
+		// Transitivity: la ≤ lb ≤ lc ⇒ la ≤ lc.
+		if Compare(la, lb) <= 0 && Compare(lb, lc) <= 0 && Compare(la, lc) > 0 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestListInvariantUnderMinerPermutation: list(s) depends only on the
+// power-per-coin aggregates, so permuting which same-power miners sit where
+// must not change it.
+func TestListInvariantUnderMinerPermutation(t *testing.T) {
+	g := core.MustNewGame(
+		[]core.Miner{
+			{Name: "a", Power: 4}, {Name: "b", Power: 4},
+			{Name: "c", Power: 2}, {Name: "d", Power: 2},
+		},
+		[]core.Coin{{Name: "c0"}, {Name: "c1"}},
+		[]float64{5, 7},
+	)
+	// Swapping the two power-4 miners (indices 0,1) and the two power-2
+	// miners (indices 2,3) preserves the list.
+	s1 := core.Config{0, 1, 0, 1}
+	s2 := core.Config{1, 0, 1, 0}
+	if Compare(List(g, s1), List(g, s2)) != 0 {
+		t.Fatalf("lists differ under same-power permutation:\n%v\n%v", List(g, s1), List(g, s2))
+	}
+}
+
+// TestLessIsIrreflexive: no configuration is below itself.
+func TestLessIsIrreflexive(t *testing.T) {
+	r := rng.New(3)
+	for trial := 0; trial < 100; trial++ {
+		g, err := core.RandomGame(r, core.GenSpec{Miners: 5, Coins: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := core.RandomConfig(r, g)
+		if Less(g, s, s) {
+			t.Fatal("Less(s, s) true")
+		}
+	}
+}

@@ -1,0 +1,197 @@
+// Package replay builds the synthetic November-2017 BTC/Bitcoin-Cash
+// scenario that regenerates Figure 1 of "Game of Coins".
+//
+// The paper's Figure 1 shows (a) the BTC and BCH fiat exchange rates around
+// November 12, 2017, when the BCH price roughly tripled against its
+// pre-spike level while BTC dipped, and (b) the corresponding hashrate
+// series, where a large miner cohort rushed from BTC to BCH and back as the
+// rate swing made BCH temporarily more profitable per hash.
+//
+// We do not have the authors' scraped data (bitinfocharts); the substitution
+// (DESIGN.md §1) is a calibrated synthetic path: piecewise-linear rate
+// curves reproducing the qualitative shape — flat, spike over ~2 days,
+// partial retracement — driving a fleet of Zipf-powered profit-chasing
+// miners over two PoW chains with BTC-like parameters. What the experiment
+// must reproduce is the *mechanism*: hashrate share tracking relative
+// profitability with the characteristic overshoot-and-relax shape.
+package replay
+
+import (
+	"fmt"
+
+	"gameofcoins/internal/chain"
+	"gameofcoins/internal/market"
+	"gameofcoins/internal/mining"
+	"gameofcoins/internal/rng"
+	"gameofcoins/internal/sim"
+)
+
+// ScenarioParams tune the synthetic replay.
+type ScenarioParams struct {
+	Miners       int     // fleet size (default 200)
+	ZipfExponent float64 // hashrate concentration (default 1.1)
+	Epochs       int     // simulation length in hours (default 24*120 ≈ 4 months)
+	SpikeHour    int     // hour at which the BCH rate begins to spike (default 1200)
+	SpikeFactor  float64 // peak BCH rate relative to baseline (default 3.2)
+	Activity     float64 // per-epoch probability an agent re-evaluates (default 0.15)
+	Hysteresis   float64 // relative gain required to switch (default 0.02)
+	Seed         uint64
+}
+
+func (p *ScenarioParams) fill() {
+	if p.Miners == 0 {
+		p.Miners = 200
+	}
+	if p.ZipfExponent == 0 {
+		p.ZipfExponent = 1.1
+	}
+	if p.Epochs == 0 {
+		p.Epochs = 24 * 120
+	}
+	if p.SpikeHour == 0 {
+		p.SpikeHour = 1200
+	}
+	if p.SpikeFactor == 0 {
+		p.SpikeFactor = 3.2
+	}
+	if p.Activity == 0 {
+		p.Activity = 0.15
+	}
+	if p.Hysteresis == 0 {
+		p.Hysteresis = 0.02
+	}
+}
+
+// Scenario is a ready-to-run Figure-1 replay.
+type Scenario struct {
+	Sim    *sim.Simulator
+	Params ScenarioParams
+	// BTC and BCH are coin indices into the simulator.
+	BTC, BCH int
+}
+
+// New builds the scenario. The BCH rate path is piecewise linear:
+// baseline 0.18 (of BTC's unit price) until SpikeHour, tripling over ~36
+// hours, oscillating at the top for ~2 days, then retracing about half of
+// the spike — the November-2017 shape. BTC's own rate dips ~15% during the
+// event, as it did.
+func New(p ScenarioParams) (*Scenario, error) {
+	p.fill()
+	btcChain, err := chain.New(chain.Params{
+		Name:               "btc",
+		TargetBlockSeconds: 600,
+		RetargetWindow:     2016,
+		MaxRetargetFactor:  4,
+		BlockSubsidy:       12.5,
+		InitialDifficulty:  600, // calibrated so unit fleet power ≈ target rate
+	})
+	if err != nil {
+		return nil, err
+	}
+	bchChain, err := chain.New(chain.Params{
+		Name:               "bch",
+		TargetBlockSeconds: 600,
+		// BCH ran an emergency difficulty adjustment: much faster retargets.
+		RetargetWindow:    144,
+		MaxRetargetFactor: 4,
+		BlockSubsidy:      12.5,
+		InitialDifficulty: 120,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	spike := float64(p.SpikeHour)
+	base := 0.18
+	peak := base * p.SpikeFactor
+	settle := base + (peak-base)*0.45
+	bchPath, err := market.NewPiecewise(
+		[]float64{0, spike * 3600, (spike + 36) * 3600, (spike + 60) * 3600, (spike + 84) * 3600, (spike + 180) * 3600},
+		[]float64{base, base, peak, peak * 0.8, peak * 0.95, settle},
+	)
+	if err != nil {
+		return nil, err
+	}
+	btcPath, err := market.NewPiecewise(
+		[]float64{0, spike * 3600, (spike + 36) * 3600, (spike + 120) * 3600},
+		[]float64{1.0, 1.0, 0.85, 1.0},
+	)
+	if err != nil {
+		return nil, err
+	}
+
+	btcMarket, err := market.NewCoinMarket(btcChain, btcPath, 0.8, 600)
+	if err != nil {
+		return nil, err
+	}
+	bchMarket, err := market.NewCoinMarket(bchChain, bchPath, 0.2, 600)
+	if err != nil {
+		return nil, err
+	}
+
+	powers := rng.Zipf(p.Miners, p.ZipfExponent, 1.0)
+	agents := make([]mining.Agent, p.Miners)
+	assignment := make([]int, p.Miners)
+	for i := range agents {
+		agents[i] = mining.Agent{
+			Name:  fmt.Sprintf("m%d", i),
+			Power: powers[i],
+			Policy: mining.Sticky{
+				Activity: p.Activity,
+				Inner:    mining.BetterResponse{Hysteresis: p.Hysteresis},
+			},
+		}
+		// Start everyone on BTC except a small native BCH cohort (~10% of
+		// miners), seeding the pre-spike split.
+		if i%10 == 9 {
+			assignment[i] = 1
+		}
+	}
+
+	s, err := sim.New(sim.Config{
+		Coins:        []*market.CoinMarket{btcMarket, bchMarket},
+		Agents:       agents,
+		Assignment:   assignment,
+		EpochSeconds: 3600,
+		Seed:         p.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Scenario{Sim: s, Params: p, BTC: 0, BCH: 1}, nil
+}
+
+// Run executes the full scenario.
+func (sc *Scenario) Run() { sc.Sim.Run(sc.Params.Epochs) }
+
+// Outcome summarizes the migration the scenario produced.
+type Outcome struct {
+	PreSpikeBCHShare float64 // mean BCH hashrate share before the spike
+	PeakBCHShare     float64 // max share during/after the spike
+	FinalBCHShare    float64 // share at the end of the run
+}
+
+// Outcome computes the migration summary from the recorded series.
+func (sc *Scenario) Outcome() Outcome {
+	shares := sc.Sim.ShareSeries[sc.BCH]
+	var out Outcome
+	pre := 0.0
+	preN := 0
+	for i := range shares.Xs {
+		x, y := shares.Xs[i], shares.Ys[i]
+		if int(x) < sc.Params.SpikeHour {
+			pre += y
+			preN++
+		}
+		if y > out.PeakBCHShare {
+			out.PeakBCHShare = y
+		}
+	}
+	if preN > 0 {
+		out.PreSpikeBCHShare = pre / float64(preN)
+	}
+	if n := shares.Len(); n > 0 {
+		out.FinalBCHShare = shares.Ys[n-1]
+	}
+	return out
+}

@@ -1,0 +1,161 @@
+// Package rng provides a small, deterministic, splittable pseudo-random
+// number generator used throughout the simulator.
+//
+// Reproducibility is a first-class requirement for the experiment harness:
+// every experiment in EXPERIMENTS.md is regenerated from a fixed seed, and
+// sub-simulations (per-coin chains, per-miner decisions) draw from
+// independent streams split off a parent generator so that adding a consumer
+// never perturbs the draws seen by existing consumers.
+//
+// The generator is PCG-XSH-RR 64/32 extended to 64-bit output by combining
+// two 32-bit outputs; it is fast, has a 2^64 period per stream, and supports
+// 2^63 independent streams selected by the increment.
+package rng
+
+import "math"
+
+const (
+	pcgMultiplier = 6364136223846793005
+	pcgDefaultInc = 1442695040888963407
+)
+
+// Rand is a deterministic pseudo-random number generator. It is NOT safe for
+// concurrent use; split independent streams instead of sharing one.
+type Rand struct {
+	state uint64
+	inc   uint64
+}
+
+// New returns a generator seeded with seed on the default stream.
+func New(seed uint64) *Rand {
+	return NewStream(seed, 0)
+}
+
+// NewStream returns a generator seeded with seed on the given stream.
+// Distinct stream values yield statistically independent sequences.
+func NewStream(seed, stream uint64) *Rand {
+	r := &Rand{inc: (stream << 1) | 1}
+	r.state = 0
+	r.next32()
+	r.state += seed
+	r.next32()
+	return r
+}
+
+// Split derives a new independent generator from r. The parent advances by
+// two draws, so splitting is itself deterministic.
+func (r *Rand) Split() *Rand {
+	seed := r.Uint64()
+	stream := r.Uint64() >> 1
+	return NewStream(seed, stream)
+}
+
+func (r *Rand) next32() uint32 {
+	old := r.state
+	r.state = old*pcgMultiplier + r.inc
+	xorshifted := uint32(((old >> 18) ^ old) >> 27)
+	rot := uint32(old >> 59)
+	return (xorshifted >> rot) | (xorshifted << ((-rot) & 31))
+}
+
+// Uint64 returns a uniformly distributed 64-bit value.
+func (r *Rand) Uint64() uint64 {
+	hi := uint64(r.next32())
+	lo := uint64(r.next32())
+	return hi<<32 | lo
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform value in [0, n). It panics if n <= 0, matching the
+// contract of math/rand.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn called with non-positive n")
+	}
+	return int(r.boundedUint64(uint64(n)))
+}
+
+// boundedUint64 returns a uniform value in [0, bound) using Lemire's
+// debiased multiply-shift rejection method.
+func (r *Rand) boundedUint64(bound uint64) uint64 {
+	// Rejection zone to remove modulo bias.
+	threshold := -bound % bound
+	for {
+		v := r.Uint64()
+		if v >= threshold {
+			return v % bound
+		}
+	}
+}
+
+// Perm returns a pseudo-random permutation of [0, n).
+func (r *Rand) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	r.Shuffle(len(p), func(i, j int) { p[i], p[j] = p[j], p[i] })
+	return p
+}
+
+// Shuffle pseudo-randomizes the order of n elements using swap.
+func (r *Rand) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// NormFloat64 returns a standard normal variate (Marsaglia polar method).
+func (r *Rand) NormFloat64() float64 {
+	for {
+		u := 2*r.Float64() - 1
+		v := 2*r.Float64() - 1
+		s := u*u + v*v
+		if s > 0 && s < 1 {
+			return u * math.Sqrt(-2*math.Log(s)/s)
+		}
+	}
+}
+
+// ExpFloat64 returns an exponential variate with rate 1.
+func (r *Rand) ExpFloat64() float64 {
+	for {
+		u := r.Float64()
+		if u > 0 {
+			return -math.Log(u)
+		}
+	}
+}
+
+// Exp returns an exponential variate with the given rate (events per unit
+// time). It panics if rate <= 0.
+func (r *Rand) Exp(rate float64) float64 {
+	if rate <= 0 {
+		panic("rng: Exp called with non-positive rate")
+	}
+	return r.ExpFloat64() / rate
+}
+
+// Zipf returns n weights following a Zipf distribution with exponent s,
+// normalized to sum to total. Zipf-distributed mining power is the standard
+// model for hashrate concentration.
+func Zipf(n int, s, total float64) []float64 {
+	if n <= 0 {
+		return nil
+	}
+	w := make([]float64, n)
+	var sum float64
+	for i := range w {
+		w[i] = 1 / math.Pow(float64(i+1), s)
+		sum += w[i]
+	}
+	for i := range w {
+		w[i] = w[i] / sum * total
+	}
+	return w
+}

@@ -1,0 +1,137 @@
+// Package security quantifies the decentralization concern raised in the
+// paper's discussion (§6): learning dynamics — and especially reward-design
+// manipulation — can pass through "bad" configurations in which one miner
+// holds a dominant position in a coin, "killing (at least for a while) the
+// basic guarantee of non-manipulation (security) for that coin".
+//
+// The package computes the standard concentration metrics per coin:
+//
+//   - MaxShare: the largest single miner's fraction of the coin's power
+//     (≥ 0.5 ⇒ a 51% attacker exists);
+//   - HHI: the Herfindahl–Hirschman index Σ share², the economists'
+//     concentration measure;
+//   - Nakamoto coefficient: the minimum number of miners jointly controlling
+//     more than half the coin's power.
+//
+// Experiment E11 tracks these along reward-design runs and shows the
+// mechanism transits maximally-insecure states (stage 1 parks *all* miners
+// on one coin, leaving every other coin with zero security and the target
+// coin dominated by p₁).
+package security
+
+import (
+	"math"
+	"sort"
+
+	"gameofcoins/internal/core"
+)
+
+// CoinReport is the security snapshot of one coin in one configuration.
+type CoinReport struct {
+	Coin     core.CoinID
+	Miners   int
+	Power    float64
+	MaxShare float64
+	HHI      float64
+	// Nakamoto is the minimum number of miners controlling > 50% of the
+	// coin's power; 0 for an empty coin.
+	Nakamoto int
+}
+
+// Snapshot computes per-coin security metrics for configuration s.
+func Snapshot(g *core.Game, s core.Config) []CoinReport {
+	reports := make([]CoinReport, g.NumCoins())
+	shares := make([][]float64, g.NumCoins())
+	for c := range reports {
+		reports[c].Coin = c
+	}
+	for p, c := range s {
+		power := g.Power(p)
+		reports[c].Miners++
+		reports[c].Power += power
+		shares[c] = append(shares[c], power)
+	}
+	for c := range reports {
+		r := &reports[c]
+		if r.Power == 0 {
+			continue
+		}
+		sort.Sort(sort.Reverse(sort.Float64Slice(shares[c])))
+		var cum float64
+		for i, power := range shares[c] {
+			share := power / r.Power
+			r.HHI += share * share
+			if share > r.MaxShare {
+				r.MaxShare = share
+			}
+			cum += power
+			if r.Nakamoto == 0 && cum > r.Power/2 {
+				r.Nakamoto = i + 1
+			}
+		}
+	}
+	return reports
+}
+
+// WorstMaxShare returns the highest single-miner dominance across all
+// non-empty coins of s (1 means some coin is fully controlled by one miner).
+func WorstMaxShare(g *core.Game, s core.Config) float64 {
+	worst := 0.0
+	for _, r := range Snapshot(g, s) {
+		if r.Power > 0 && r.MaxShare > worst {
+			worst = r.MaxShare
+		}
+	}
+	return worst
+}
+
+// Insecure reports whether any non-empty coin of s has a single miner with
+// more than half its power (a 51% attacker).
+func Insecure(g *core.Game, s core.Config) bool {
+	return WorstMaxShare(g, s) > 0.5
+}
+
+// Trajectory summarizes security along a sequence of configurations (e.g.
+// the improving path of a learning run or a design run).
+type Trajectory struct {
+	// Steps is the number of configurations observed.
+	Steps int
+	// InsecureSteps counts configurations with a 51% attacker on some coin.
+	InsecureSteps int
+	// PeakMaxShare is the worst single-miner dominance seen anywhere.
+	PeakMaxShare float64
+	// PeakHHI is the worst per-coin HHI seen anywhere.
+	PeakHHI float64
+}
+
+// Observe folds one configuration into the trajectory.
+func (t *Trajectory) Observe(g *core.Game, s core.Config) {
+	t.Steps++
+	worst := 0.0
+	for _, r := range Snapshot(g, s) {
+		if r.Power == 0 {
+			continue
+		}
+		if r.MaxShare > worst {
+			worst = r.MaxShare
+		}
+		if r.HHI > t.PeakHHI {
+			t.PeakHHI = r.HHI
+		}
+	}
+	if worst > t.PeakMaxShare {
+		t.PeakMaxShare = worst
+	}
+	if worst > 0.5 {
+		t.InsecureSteps++
+	}
+}
+
+// InsecureFraction is the fraction of observed configurations with a 51%
+// attacker; NaN before any observation.
+func (t *Trajectory) InsecureFraction() float64 {
+	if t.Steps == 0 {
+		return math.NaN()
+	}
+	return float64(t.InsecureSteps) / float64(t.Steps)
+}

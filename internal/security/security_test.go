@@ -1,0 +1,119 @@
+package security
+
+import (
+	"math"
+	"testing"
+
+	"gameofcoins/internal/core"
+)
+
+func game(t *testing.T) *core.Game {
+	t.Helper()
+	return core.MustNewGame(
+		[]core.Miner{
+			{Name: "p1", Power: 6},
+			{Name: "p2", Power: 3},
+			{Name: "p3", Power: 2},
+			{Name: "p4", Power: 1},
+		},
+		[]core.Coin{{Name: "c0"}, {Name: "c1"}},
+		[]float64{10, 10},
+	)
+}
+
+func TestSnapshotBasic(t *testing.T) {
+	g := game(t)
+	// p1 (6) alone on c0; p2,p3,p4 (3,2,1) on c1.
+	s := core.Config{0, 1, 1, 1}
+	reps := Snapshot(g, s)
+	c0, c1 := reps[0], reps[1]
+	if c0.Miners != 1 || c0.Power != 6 || c0.MaxShare != 1 || c0.HHI != 1 || c0.Nakamoto != 1 {
+		t.Fatalf("c0 = %+v", c0)
+	}
+	if c1.Miners != 3 || c1.Power != 6 {
+		t.Fatalf("c1 = %+v", c1)
+	}
+	if math.Abs(c1.MaxShare-0.5) > 1e-12 {
+		t.Fatalf("c1 max share = %v", c1.MaxShare)
+	}
+	wantHHI := 0.25 + (2.0/6)*(2.0/6) + (1.0/6)*(1.0/6)
+	if math.Abs(c1.HHI-wantHHI) > 1e-12 {
+		t.Fatalf("c1 HHI = %v, want %v", c1.HHI, wantHHI)
+	}
+	// 3+2 = 5 > 3 needed for majority of 6.
+	if c1.Nakamoto != 2 {
+		t.Fatalf("c1 Nakamoto = %d", c1.Nakamoto)
+	}
+}
+
+func TestSnapshotEmptyCoin(t *testing.T) {
+	g := game(t)
+	s := core.UniformConfig(4, 0)
+	reps := Snapshot(g, s)
+	if reps[1].Power != 0 || reps[1].Nakamoto != 0 || reps[1].HHI != 0 {
+		t.Fatalf("empty coin report = %+v", reps[1])
+	}
+	if reps[0].Miners != 4 {
+		t.Fatalf("c0 = %+v", reps[0])
+	}
+}
+
+func TestWorstMaxShareAndInsecure(t *testing.T) {
+	g := game(t)
+	// Balanced-ish: p1 alone is 100% of c0 → insecure.
+	if !Insecure(g, core.Config{0, 1, 1, 1}) {
+		t.Fatal("lone-miner coin not flagged insecure")
+	}
+	// p1+p4 (6+1) vs p2+p3 (3+2): p1 holds 6/7 of c0 → insecure.
+	if got := WorstMaxShare(g, core.Config{0, 1, 1, 0}); math.Abs(got-6.0/7) > 1e-12 {
+		t.Fatalf("worst share = %v", got)
+	}
+	// All together: p1 holds 6/12 = 0.5, not > 0.5 → secure.
+	if Insecure(g, core.UniformConfig(4, 0)) {
+		t.Fatal("exact-half dominance flagged insecure")
+	}
+}
+
+func TestTrajectory(t *testing.T) {
+	g := game(t)
+	var tr Trajectory
+	if !math.IsNaN(tr.InsecureFraction()) {
+		t.Fatal("empty trajectory fraction should be NaN")
+	}
+	tr.Observe(g, core.UniformConfig(4, 0)) // secure (0.5 exactly)
+	tr.Observe(g, core.Config{0, 1, 1, 1})  // insecure (lone p1)
+	if tr.Steps != 2 || tr.InsecureSteps != 1 {
+		t.Fatalf("trajectory = %+v", tr)
+	}
+	if got := tr.InsecureFraction(); got != 0.5 {
+		t.Fatalf("fraction = %v", got)
+	}
+	if tr.PeakMaxShare != 1 {
+		t.Fatalf("peak share = %v", tr.PeakMaxShare)
+	}
+	if tr.PeakHHI != 1 {
+		t.Fatalf("peak HHI = %v", tr.PeakHHI)
+	}
+}
+
+func TestHHIBounds(t *testing.T) {
+	g := core.MustNewGame(
+		[]core.Miner{
+			{Name: "a", Power: 1}, {Name: "b", Power: 1},
+			{Name: "c", Power: 1}, {Name: "d", Power: 1},
+		},
+		[]core.Coin{{Name: "c0"}},
+		[]float64{1},
+	)
+	reps := Snapshot(g, core.UniformConfig(4, 0))
+	// Four equal miners: HHI = 4·(1/4)² = 1/4, Nakamoto = 3 (need > 50%).
+	if math.Abs(reps[0].HHI-0.25) > 1e-12 {
+		t.Fatalf("HHI = %v", reps[0].HHI)
+	}
+	if reps[0].Nakamoto != 3 {
+		t.Fatalf("Nakamoto = %d", reps[0].Nakamoto)
+	}
+	if reps[0].MaxShare != 0.25 {
+		t.Fatalf("MaxShare = %v", reps[0].MaxShare)
+	}
+}

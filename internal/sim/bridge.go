@@ -1,0 +1,52 @@
+package sim
+
+import (
+	"fmt"
+
+	"gameofcoins/internal/core"
+)
+
+// SnapshotGame freezes the market's current state into a formal game
+// G_{Π,C,F}: miners are the agent fleet with their hashrates, coins are the
+// simulated coin markets, and F is the current weight vector. The returned
+// configuration is the fleet's current assignment translated to the game's
+// sorted miner order.
+//
+// This is the bridge between the two halves of the library: the market
+// stack produces weights, and the game stack analyzes them (equilibria,
+// potential, reward design). Integration tests use it to verify that a
+// market at rest is (approximately) a pure equilibrium of its snapshot.
+func (s *Simulator) SnapshotGame(opts ...core.Option) (*core.Game, core.Config, error) {
+	miners := make([]core.Miner, len(s.agents))
+	for i, a := range s.agents {
+		name := a.Name
+		if name == "" {
+			name = fmt.Sprintf("agent-%d", i)
+		}
+		// Disambiguate duplicate names so the sorted order is stable and
+		// the config translation below is well-defined.
+		miners[i] = core.Miner{Name: fmt.Sprintf("%s#%04d", name, i), Power: a.Power}
+	}
+	coins := make([]core.Coin, len(s.coins))
+	for c := range coins {
+		coins[c] = core.Coin{Name: s.coins[c].Chain.Name()}
+	}
+	g, err := core.NewGame(miners, coins, s.Weights(), opts...)
+	if err != nil {
+		return nil, nil, fmt.Errorf("sim: snapshot game: %w", err)
+	}
+	// Translate the assignment into the game's sorted miner order by
+	// matching the disambiguated names.
+	byName := make(map[string]int, len(miners))
+	for i, m := range miners {
+		byName[m.Name] = s.assignment[i]
+	}
+	cfg := make(core.Config, g.NumMiners())
+	for p := 0; p < g.NumMiners(); p++ {
+		cfg[p] = byName[g.Miner(p).Name]
+	}
+	if err := g.ValidateConfig(cfg); err != nil {
+		return nil, nil, fmt.Errorf("sim: snapshot config: %w", err)
+	}
+	return g, cfg, nil
+}

@@ -1,0 +1,75 @@
+package sim
+
+import (
+	"testing"
+
+	"gameofcoins/internal/mining"
+)
+
+func TestSnapshotGameShape(t *testing.T) {
+	s := twoCoinSim(t, 100, 300, mining.BetterResponse{})
+	g, cfg, err := s.SnapshotGame()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumMiners() != len(s.Agents()) || g.NumCoins() != 2 {
+		t.Fatalf("snapshot sizes: %d miners, %d coins", g.NumMiners(), g.NumCoins())
+	}
+	if err := g.ValidateConfig(cfg); err != nil {
+		t.Fatal(err)
+	}
+	// Weights transfer.
+	w := s.Weights()
+	for c := 0; c < 2; c++ {
+		if g.Reward(c) != w[c] {
+			t.Fatalf("reward %d = %v, want %v", c, g.Reward(c), w[c])
+		}
+	}
+	// Per-coin powers must agree between sim and game views.
+	simPowers := s.CoinPowers()
+	for c := 0; c < 2; c++ {
+		if diff := g.CoinPower(cfg, c) - simPowers[c]; diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("coin %d power: game %v, sim %v", c, g.CoinPower(cfg, c), simPowers[c])
+		}
+	}
+}
+
+// TestMarketRestPointIsGameEquilibrium is the integration bridge test: run
+// pure better-response agents to rest, snapshot, and check the snapshot is
+// a pure equilibrium of the induced game (with the policy's hysteresis
+// translated into the game's epsilon).
+func TestMarketRestPointIsGameEquilibrium(t *testing.T) {
+	s := twoCoinSim(t, 100, 300, mining.BetterResponse{})
+	s.Run(200)
+	// After 200 epochs with constant rates the fleet is at rest.
+	before := s.Assignment()
+	s.Run(1)
+	after := s.Assignment()
+	for i := range before {
+		if before[i] != after[i] {
+			t.Skip("fleet still moving; constant-rate rest not reached")
+		}
+	}
+	g, cfg, err := s.SnapshotGame()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.IsEquilibrium(cfg) {
+		t.Fatalf("market rest point %v is not an equilibrium of the snapshot game", cfg)
+	}
+}
+
+func TestSnapshotGameDuplicateNames(t *testing.T) {
+	// All agents named "m": disambiguation must keep the bridge coherent.
+	s := twoCoinSim(t, 100, 100, mining.Loyal{})
+	g, cfg, err := s.SnapshotGame()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.ValidateConfig(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if g.TotalPower() != s.TotalPower() {
+		t.Fatalf("total power %v != %v", g.TotalPower(), s.TotalPower())
+	}
+}

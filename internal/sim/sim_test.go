@@ -1,0 +1,175 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"gameofcoins/internal/chain"
+	"gameofcoins/internal/market"
+	"gameofcoins/internal/mining"
+)
+
+func twoCoinSim(t *testing.T, w0, w1 float64, policy mining.Policy) *Simulator {
+	t.Helper()
+	mkCoin := func(name string, rate float64) *market.CoinMarket {
+		ch, err := chain.New(chain.Params{
+			Name:               name,
+			TargetBlockSeconds: 600,
+			RetargetWindow:     144,
+			MaxRetargetFactor:  4,
+			BlockSubsidy:       10,
+			InitialDifficulty:  600,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cm, err := market.NewCoinMarket(ch, market.Constant(rate), 0, 600)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return cm
+	}
+	agents := make([]mining.Agent, 20)
+	for i := range agents {
+		agents[i] = mining.Agent{Name: "m", Power: 1 + float64(i)*0.1, Policy: policy}
+	}
+	// Weight = 6 blocks/h · 10 coin · rate ⇒ rate = weight/60.
+	s, err := New(Config{
+		Coins:        []*market.CoinMarket{mkCoin("a", w0/60), mkCoin("b", w1/60)},
+		Agents:       agents,
+		EpochSeconds: 3600,
+		Seed:         1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("empty config accepted")
+	}
+	s := twoCoinSim(t, 100, 100, mining.Loyal{})
+	_ = s
+	// Bad assignment length.
+	ch, _ := chain.New(chain.Params{Name: "x", TargetBlockSeconds: 600, RetargetWindow: 10, MaxRetargetFactor: 4, BlockSubsidy: 1, InitialDifficulty: 1})
+	cm, _ := market.NewCoinMarket(ch, market.Constant(1), 0, 600)
+	_, err := New(Config{
+		Coins:      []*market.CoinMarket{cm},
+		Agents:     []mining.Agent{{Name: "a", Power: 1, Policy: mining.Loyal{}}},
+		Assignment: []int{0, 0},
+	})
+	if err == nil {
+		t.Fatal("bad assignment length accepted")
+	}
+	_, err = New(Config{
+		Coins:      []*market.CoinMarket{cm},
+		Agents:     []mining.Agent{{Name: "a", Power: 1, Policy: mining.Loyal{}}},
+		Assignment: []int{3},
+	})
+	if err == nil {
+		t.Fatal("out-of-range assignment accepted")
+	}
+}
+
+func TestLoyalAgentsNeverMove(t *testing.T) {
+	s := twoCoinSim(t, 100, 10000, mining.Loyal{})
+	before := s.Assignment()
+	s.Run(50)
+	after := s.Assignment()
+	for i := range before {
+		if before[i] != after[i] {
+			t.Fatal("loyal agent moved")
+		}
+	}
+	if s.Epoch() != 50 {
+		t.Fatalf("epoch = %d", s.Epoch())
+	}
+}
+
+func TestBetterResponseAgentsSplitByWeight(t *testing.T) {
+	// Coin b is 3× heavier; at equilibrium the power split should approach
+	// the 1:3 weight ratio (equal RPUs).
+	s := twoCoinSim(t, 100, 300, mining.BetterResponse{})
+	s.Run(100)
+	powers := s.CoinPowers()
+	total := powers[0] + powers[1]
+	shareB := powers[1] / total
+	if math.Abs(shareB-0.75) > 0.06 {
+		t.Fatalf("share of heavy coin = %v, want ≈0.75", shareB)
+	}
+}
+
+func TestSeriesRecorded(t *testing.T) {
+	s := twoCoinSim(t, 100, 300, mining.BetterResponse{})
+	s.Run(10)
+	for c := 0; c < 2; c++ {
+		if s.ShareSeries[c].Len() != 10 || s.WeightSeries[c].Len() != 10 || s.RateSeries[c].Len() != 10 {
+			t.Fatal("series not recorded per epoch")
+		}
+	}
+	if s.SwitchSeries.Len() != 10 {
+		t.Fatal("switch series missing")
+	}
+	// Shares sum to 1 each epoch.
+	for i := 0; i < 10; i++ {
+		sum := s.ShareSeries[0].Ys[i] + s.ShareSeries[1].Ys[i]
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("epoch %d shares sum to %v", i, sum)
+		}
+	}
+}
+
+func TestDeterministicUnderSeed(t *testing.T) {
+	a := twoCoinSim(t, 100, 300, mining.BetterResponse{})
+	b := twoCoinSim(t, 100, 300, mining.BetterResponse{})
+	a.Run(30)
+	b.Run(30)
+	pa, pb := a.Assignment(), b.Assignment()
+	for i := range pa {
+		if pa[i] != pb[i] {
+			t.Fatal("simulation not reproducible")
+		}
+	}
+}
+
+func TestOnEpochHook(t *testing.T) {
+	s := twoCoinSim(t, 100, 100, mining.Loyal{})
+	calls := 0
+	s.OnEpoch(func(epoch int, sm *Simulator) {
+		calls++
+		if epoch != calls {
+			t.Fatalf("hook epoch %d on call %d", epoch, calls)
+		}
+	})
+	s.Run(7)
+	if calls != 7 {
+		t.Fatalf("hook called %d times", calls)
+	}
+}
+
+func TestWeightsAndPowers(t *testing.T) {
+	s := twoCoinSim(t, 100, 300, mining.Loyal{})
+	w := s.Weights()
+	if math.Abs(w[0]-100) > 1e-6 || math.Abs(w[1]-300) > 1e-6 {
+		t.Fatalf("weights = %v", w)
+	}
+	powers := s.CoinPowers()
+	if powers[1] != 0 {
+		t.Fatalf("initial powers = %v (all agents default to coin 0)", powers)
+	}
+	if got := s.TotalPower(); math.Abs(got-powers[0]) > 1e-9 {
+		t.Fatalf("total power %v != coin-0 power %v", got, powers[0])
+	}
+}
+
+func TestDifficultyRespondsToMigration(t *testing.T) {
+	// When everyone floods coin b, its chain difficulty must rise over time.
+	s := twoCoinSim(t, 10, 10000, mining.BetterResponse{})
+	d0 := s.Coins()[1].Chain.Difficulty()
+	s.Run(400)
+	if s.Coins()[1].Chain.Difficulty() <= d0 {
+		t.Fatal("difficulty of flooded chain did not rise")
+	}
+}

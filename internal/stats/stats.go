@@ -1,0 +1,242 @@
+// Package stats provides the small statistics toolkit the experiment harness
+// needs: summary statistics, quantiles, histograms, correlation, and simple
+// linear regression.
+//
+// Go's ecosystem has no stdlib numerics beyond math, so this package is the
+// substitution for the plotting/analysis stack (matplotlib/pandas) the paper's
+// authors would have used; it produces the numbers, and internal/trace renders
+// them.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Summary holds the usual scalar descriptions of a sample.
+type Summary struct {
+	N      int
+	Mean   float64
+	Std    float64 // sample standard deviation (n-1 denominator)
+	Min    float64
+	Max    float64
+	Median float64
+	P25    float64
+	P75    float64
+	P95    float64
+	P99    float64
+}
+
+// Summarize computes a Summary of xs. It returns a zero Summary for an empty
+// sample.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := Summary{N: len(xs), Min: math.Inf(1), Max: math.Inf(-1)}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+		s.Min = math.Min(s.Min, x)
+		s.Max = math.Max(s.Max, x)
+	}
+	s.Mean = sum / float64(len(xs))
+	if len(xs) > 1 {
+		var ss float64
+		for _, x := range xs {
+			d := x - s.Mean
+			ss += d * d
+		}
+		s.Std = math.Sqrt(ss / float64(len(xs)-1))
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	s.Median = quantileSorted(sorted, 0.5)
+	s.P25 = quantileSorted(sorted, 0.25)
+	s.P75 = quantileSorted(sorted, 0.75)
+	s.P95 = quantileSorted(sorted, 0.95)
+	s.P99 = quantileSorted(sorted, 0.99)
+	return s
+}
+
+// String renders the summary on one line, suitable for experiment tables.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.4g std=%.4g min=%.4g p50=%.4g p95=%.4g max=%.4g",
+		s.N, s.Mean, s.Std, s.Min, s.Median, s.P95, s.Max)
+}
+
+// Mean returns the arithmetic mean of xs (0 for an empty sample).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Quantile returns the q-quantile of xs using linear interpolation between
+// order statistics. q is clamped to [0, 1]. It returns NaN for an empty
+// sample.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	return quantileSorted(sorted, q)
+}
+
+func quantileSorted(sorted []float64, q float64) float64 {
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Correlation returns the Pearson correlation coefficient of paired samples.
+// It returns NaN if the lengths differ, fewer than two points are given, or
+// either sample has zero variance.
+func Correlation(xs, ys []float64) float64 {
+	if len(xs) != len(ys) || len(xs) < 2 {
+		return math.NaN()
+	}
+	mx, my := Mean(xs), Mean(ys)
+	var sxy, sxx, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return math.NaN()
+	}
+	return sxy / math.Sqrt(sxx*syy)
+}
+
+// LinearFit returns the least-squares slope and intercept of y = a*x + b.
+// It returns NaNs if the inputs are unusable.
+func LinearFit(xs, ys []float64) (slope, intercept float64) {
+	if len(xs) != len(ys) || len(xs) < 2 {
+		return math.NaN(), math.NaN()
+	}
+	mx, my := Mean(xs), Mean(ys)
+	var sxy, sxx float64
+	for i := range xs {
+		dx := xs[i] - mx
+		sxy += dx * (ys[i] - my)
+		sxx += dx * dx
+	}
+	if sxx == 0 {
+		return math.NaN(), math.NaN()
+	}
+	slope = sxy / sxx
+	return slope, my - slope*mx
+}
+
+// Histogram is a fixed-width-bin histogram over [Lo, Hi).
+type Histogram struct {
+	Lo, Hi float64
+	Counts []int
+	Under  int // samples below Lo
+	Over   int // samples at or above Hi
+}
+
+// NewHistogram builds a histogram of xs with the given number of bins over
+// [lo, hi). It panics if bins <= 0 or hi <= lo.
+func NewHistogram(xs []float64, lo, hi float64, bins int) *Histogram {
+	if bins <= 0 {
+		panic("stats: non-positive bin count")
+	}
+	if hi <= lo {
+		panic("stats: empty histogram range")
+	}
+	h := &Histogram{Lo: lo, Hi: hi, Counts: make([]int, bins)}
+	width := (hi - lo) / float64(bins)
+	for _, x := range xs {
+		switch {
+		case x < lo:
+			h.Under++
+		case x >= hi:
+			h.Over++
+		default:
+			i := int((x - lo) / width)
+			if i >= bins { // guard against float rounding at the upper edge
+				i = bins - 1
+			}
+			h.Counts[i]++
+		}
+	}
+	return h
+}
+
+// Total returns the number of samples inside the histogram range.
+func (h *Histogram) Total() int {
+	t := 0
+	for _, c := range h.Counts {
+		t += c
+	}
+	return t
+}
+
+// String renders the histogram as ASCII bars, one bin per line.
+func (h *Histogram) String() string {
+	maxCount := 0
+	for _, c := range h.Counts {
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	var b strings.Builder
+	width := (h.Hi - h.Lo) / float64(len(h.Counts))
+	for i, c := range h.Counts {
+		bar := 0
+		if maxCount > 0 {
+			bar = c * 40 / maxCount
+		}
+		fmt.Fprintf(&b, "[%10.4g,%10.4g) %6d %s\n",
+			h.Lo+float64(i)*width, h.Lo+float64(i+1)*width, c, strings.Repeat("#", bar))
+	}
+	return b.String()
+}
+
+// EMA computes an exponential moving average of xs with smoothing alpha in
+// (0, 1]. The result has the same length as xs.
+func EMA(xs []float64, alpha float64) []float64 {
+	if len(xs) == 0 {
+		return nil
+	}
+	out := make([]float64, len(xs))
+	out[0] = xs[0]
+	for i := 1; i < len(xs); i++ {
+		out[i] = alpha*xs[i] + (1-alpha)*out[i-1]
+	}
+	return out
+}
+
+// Diff returns the first differences of xs (len(xs)-1 elements).
+func Diff(xs []float64) []float64 {
+	if len(xs) < 2 {
+		return nil
+	}
+	out := make([]float64, len(xs)-1)
+	for i := 1; i < len(xs); i++ {
+		out[i-1] = xs[i] - xs[i-1]
+	}
+	return out
+}

@@ -1,0 +1,209 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarizeBasic(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 || s.Median != 3 {
+		t.Fatalf("summary wrong: %+v", s)
+	}
+	want := math.Sqrt(2.5) // sample variance of 1..5 is 2.5
+	if math.Abs(s.Std-want) > 1e-12 {
+		t.Fatalf("std = %v, want %v", s.Std, want)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.N != 0 || s.Mean != 0 {
+		t.Fatalf("empty summary = %+v", s)
+	}
+}
+
+func TestSummarizeSingle(t *testing.T) {
+	s := Summarize([]float64{7})
+	if s.N != 1 || s.Mean != 7 || s.Std != 0 || s.Median != 7 {
+		t.Fatalf("single-element summary = %+v", s)
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	out := Summarize([]float64{1, 2, 3}).String()
+	if !strings.Contains(out, "n=3") || !strings.Contains(out, "mean=2") {
+		t.Fatalf("summary string %q missing fields", out)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{10, 20, 30, 40}
+	tests := []struct{ q, want float64 }{
+		{0, 10}, {1, 40}, {0.5, 25}, {1.0 / 3.0, 20},
+		{-0.5, 10}, {1.5, 40}, // clamped
+	}
+	for _, tt := range tests {
+		if got := Quantile(xs, tt.q); math.Abs(got-tt.want) > 1e-9 {
+			t.Errorf("Quantile(%v) = %v, want %v", tt.q, got, tt.want)
+		}
+	}
+	if !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Error("Quantile of empty sample should be NaN")
+	}
+}
+
+func TestQuantileDoesNotMutateInput(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Quantile(xs, 0.5)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatalf("Quantile mutated input: %v", xs)
+	}
+}
+
+func TestCorrelation(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	if got := Correlation(xs, []float64{2, 4, 6, 8}); math.Abs(got-1) > 1e-12 {
+		t.Errorf("perfect positive correlation = %v", got)
+	}
+	if got := Correlation(xs, []float64{8, 6, 4, 2}); math.Abs(got+1) > 1e-12 {
+		t.Errorf("perfect negative correlation = %v", got)
+	}
+	if !math.IsNaN(Correlation(xs, []float64{5, 5, 5, 5})) {
+		t.Error("zero-variance correlation should be NaN")
+	}
+	if !math.IsNaN(Correlation(xs, []float64{1})) {
+		t.Error("mismatched lengths should be NaN")
+	}
+}
+
+func TestLinearFit(t *testing.T) {
+	xs := []float64{0, 1, 2, 3}
+	ys := []float64{1, 3, 5, 7} // y = 2x + 1
+	slope, intercept := LinearFit(xs, ys)
+	if math.Abs(slope-2) > 1e-12 || math.Abs(intercept-1) > 1e-12 {
+		t.Fatalf("fit = %v, %v", slope, intercept)
+	}
+	s, i := LinearFit([]float64{1, 1}, []float64{2, 3})
+	if !math.IsNaN(s) || !math.IsNaN(i) {
+		t.Fatal("degenerate x should give NaN fit")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram([]float64{-1, 0, 0.5, 1.5, 2.5, 3, 10}, 0, 3, 3)
+	if h.Under != 1 {
+		t.Errorf("Under = %d", h.Under)
+	}
+	if h.Over != 2 { // 3 and 10 are >= hi
+		t.Errorf("Over = %d", h.Over)
+	}
+	want := []int{2, 1, 1}
+	for i, c := range h.Counts {
+		if c != want[i] {
+			t.Errorf("bin %d = %d, want %d", i, c, want[i])
+		}
+	}
+	if h.Total() != 4 {
+		t.Errorf("Total = %d", h.Total())
+	}
+	if out := h.String(); !strings.Contains(out, "#") {
+		t.Errorf("histogram render missing bars:\n%s", out)
+	}
+}
+
+func TestHistogramPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"zero bins":   func() { NewHistogram(nil, 0, 1, 0) },
+		"empty range": func() { NewHistogram(nil, 1, 1, 3) },
+	} {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			fn()
+		})
+	}
+}
+
+func TestHistogramUpperEdgeRounding(t *testing.T) {
+	// A value just below Hi must land in the last bin, never out of range.
+	h := NewHistogram([]float64{2.9999999999999996}, 0, 3, 3)
+	if h.Counts[2] != 1 {
+		t.Fatalf("edge value misplaced: %+v", h)
+	}
+}
+
+func TestEMA(t *testing.T) {
+	out := EMA([]float64{1, 2, 3}, 0.5)
+	want := []float64{1, 1.5, 2.25}
+	for i := range want {
+		if math.Abs(out[i]-want[i]) > 1e-12 {
+			t.Fatalf("EMA = %v, want %v", out, want)
+		}
+	}
+	if EMA(nil, 0.5) != nil {
+		t.Fatal("EMA of empty should be nil")
+	}
+}
+
+func TestDiff(t *testing.T) {
+	out := Diff([]float64{1, 4, 9})
+	if len(out) != 2 || out[0] != 3 || out[1] != 5 {
+		t.Fatalf("Diff = %v", out)
+	}
+	if Diff([]float64{1}) != nil {
+		t.Fatal("Diff of single element should be nil")
+	}
+}
+
+func TestMeanPropertyBounded(t *testing.T) {
+	f := func(xs []float64) bool {
+		clean := xs[:0:0]
+		for _, x := range xs {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e100 {
+				clean = append(clean, x)
+			}
+		}
+		if len(clean) == 0 {
+			return Mean(clean) == 0
+		}
+		m := Mean(clean)
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, x := range clean {
+			lo = math.Min(lo, x)
+			hi = math.Max(hi, x)
+		}
+		return m >= lo-1e-6 && m <= hi+1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuantileMonotoneProperty(t *testing.T) {
+	f := func(raw []float64, a, b uint8) bool {
+		xs := raw[:0:0]
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		q1 := float64(a%101) / 100
+		q2 := float64(b%101) / 100
+		if q1 > q2 {
+			q1, q2 = q2, q1
+		}
+		return Quantile(xs, q1) <= Quantile(xs, q2)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
