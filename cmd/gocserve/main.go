@@ -1,0 +1,79 @@
+// Command gocserve exposes the concurrent experiment engine as an HTTP JSON
+// service: register games, submit learning/design/replay/enumeration jobs,
+// poll progress, cancel, and fetch cached deterministic results.
+//
+// Usage:
+//
+//	gocserve [-addr :8372] [-workers N]
+//
+// The API is documented in internal/server. A quick session:
+//
+//	curl -X POST :8372/v1/jobs -d '{"type":"learn_sweep","seed":11,"gen":{"Miners":8,"Coins":3},"runs":50}'
+//	curl :8372/v1/jobs/job-1
+//	curl :8372/v1/jobs/job-1/result
+//
+// On SIGINT/SIGTERM the listener drains in-flight requests, then running
+// jobs are canceled.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"gameofcoins/internal/server"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "gocserve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("gocserve", flag.ContinueOnError)
+	addr := fs.String("addr", ":8372", "listen address")
+	workers := fs.Int("workers", 0, "engine worker count (0 = all cores)")
+	grace := fs.Duration("grace", 10*time.Second, "shutdown grace period")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	api := server.New(*workers)
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           api,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	errc := make(chan error, 1)
+	go func() {
+		fmt.Fprintf(os.Stderr, "gocserve: listening on %s (workers=%d)\n", *addr, *workers)
+		errc <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+
+	// Graceful shutdown: stop accepting, drain requests, then cancel jobs.
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *grace)
+	defer cancel()
+	err := srv.Shutdown(shutdownCtx)
+	api.Close()
+	if err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	fmt.Fprintln(os.Stderr, "gocserve: drained and stopped")
+	return nil
+}

@@ -1,0 +1,100 @@
+package gameofcoins_test
+
+// Facade-level coverage for the concurrent experiment engine and the
+// gocserve handler: everything here goes through the public gameofcoins
+// package only, which is how users are expected to reach the subsystem.
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+
+	"gameofcoins"
+)
+
+func TestFacadeEngineDeterministicSweep(t *testing.T) {
+	g, err := gameofcoins.NewGame(
+		[]gameofcoins.Miner{{Name: "p1", Power: 13}, {Name: "p2", Power: 7}, {Name: "p3", Power: 5}, {Name: "p4", Power: 2}},
+		[]gameofcoins.Coin{{Name: "btc"}, {Name: "bch"}},
+		[]float64{17, 9},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := gameofcoins.LearnSweep{Game: g, Schedulers: []string{"random"}, Runs: 16}
+	res1, err := gameofcoins.RunJob(context.Background(), gameofcoins.NewEngine(1), spec, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res8, err := gameofcoins.RunJob(context.Background(), gameofcoins.NewEngine(8), spec, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res1, res8) {
+		t.Fatalf("facade sweep not worker-count independent:\n%+v\n%+v", res1, res8)
+	}
+	sweep := res1.(gameofcoins.LearnSweepResult)
+	if sweep.TotalRuns != 16 || sweep.Schedulers[0].Converged != 16 {
+		t.Fatalf("sweep = %+v", sweep)
+	}
+}
+
+func TestFacadeRandForkIsExported(t *testing.T) {
+	r := gameofcoins.NewRand(5)
+	a, b := r.Fork(3), r.Fork(3)
+	if a.Uint64() != b.Uint64() {
+		t.Fatal("Fork is not a pure function of (state, index)")
+	}
+}
+
+func TestFacadeServerRoundTrip(t *testing.T) {
+	api := gameofcoins.NewServer(2)
+	defer api.Close()
+	ts := httptest.NewServer(api)
+	defer ts.Close()
+
+	body := strings.NewReader(`{"type":"equilibrium_sweep","seed":7,"gen":{"Miners":4,"Coins":2},"games":6}`)
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st gameofcoins.EngineJobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated || st.ID == "" {
+		t.Fatalf("submit: %d %+v", resp.StatusCode, st)
+	}
+	for !st.State.Terminal() {
+		r2, err := http.Get(ts.URL + "/v1/jobs/" + st.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := json.NewDecoder(r2.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+		r2.Body.Close()
+	}
+	if st.State != "done" {
+		t.Fatalf("job ended %s: %s", st.State, st.Error)
+	}
+	r3, err := http.Get(ts.URL + "/v1/jobs/" + st.ID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r3.Body.Close()
+	var out struct {
+		Result gameofcoins.EquilibriumSweepResult `json:"result"`
+	}
+	if err := json.NewDecoder(r3.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Result.Games != 6 {
+		t.Fatalf("result = %+v", out.Result)
+	}
+}

@@ -1,11 +1,17 @@
 package gameofcoins
 
 import (
+	"context"
+	"net/http"
+
 	"gameofcoins/internal/design"
+	"gameofcoins/internal/engine"
 	"gameofcoins/internal/equilibria"
 	"gameofcoins/internal/exact"
 	"gameofcoins/internal/learning"
+	"gameofcoins/internal/replay"
 	"gameofcoins/internal/security"
+	"gameofcoins/internal/server"
 )
 
 // Extended facade: ablations, verification, and security analysis.
@@ -60,3 +66,70 @@ func EquilibriumSpreads(g *Game, eqs []Config) []PayoffSpread { return equilibri
 func BestEquilibriumFor(g *Game, eqs []Config, p MinerID) (Config, float64) {
 	return equilibria.BestTargetFor(g, eqs, p)
 }
+
+// Concurrent experiment engine (internal/engine) and the gocserve HTTP
+// service (internal/server). The engine fans deterministic job specs across
+// a worker pool; results are bit-identical for any worker count because
+// every task draws from an index-forked rng stream (Rand.Fork).
+type (
+	// Engine runs one job spec synchronously over a worker pool.
+	Engine = engine.Engine
+	// EngineSpec is a typed, deterministic, parallelizable job.
+	EngineSpec = engine.Spec
+	// EngineProgress reports completed/total tasks of a running job.
+	EngineProgress = engine.Progress
+	// EngineJob tracks an asynchronous engine run.
+	EngineJob = engine.Job
+	// EngineJobStatus is a point-in-time job snapshot.
+	EngineJobStatus = engine.Status
+	// EngineJobState is a job lifecycle state (pending … done/failed/canceled).
+	EngineJobState = engine.State
+	// JobManager submits, tracks, and cancels asynchronous engine jobs.
+	JobManager = engine.Manager
+
+	// LearnSweep sweeps better-response learning across schedulers and
+	// seeds on a fixed or randomly generated game.
+	LearnSweep = engine.LearnSweep
+	// LearnSweepResult aggregates per-scheduler convergence statistics.
+	LearnSweepResult = engine.LearnSweepResult
+	// DesignSweep runs the Section-5 reward-design mechanism on random games.
+	DesignSweep = engine.DesignSweep
+	// DesignSweepResult aggregates design cost/steps statistics.
+	DesignSweepResult = engine.DesignSweepResult
+	// ReplaySweep replays the Figure-1 market scenario across derived seeds.
+	ReplaySweep = engine.ReplaySweep
+	// ReplaySweepResult aggregates migration outcomes.
+	ReplaySweepResult = engine.ReplaySweepResult
+	// EquilibriumSweep enumerates pure equilibria over random games.
+	EquilibriumSweep = engine.EquilibriumSweep
+	// EquilibriumSweepResult aggregates the equilibrium-count distribution.
+	EquilibriumSweepResult = engine.EquilibriumSweepResult
+
+	// ReplayScenarioParams tune the synthetic Figure-1 replay scenario.
+	ReplayScenarioParams = replay.ScenarioParams
+
+	// Server is the gocserve HTTP handler (games, jobs, results, cache).
+	Server = server.Server
+	// JobRequest is the wire form of a job submission to the server.
+	JobRequest = server.JobRequest
+)
+
+// NewEngine returns a worker-pool engine; workers <= 0 selects GOMAXPROCS.
+func NewEngine(workers int) *Engine { return engine.New(workers) }
+
+// NewJobManager returns a manager running asynchronous jobs on e.
+func NewJobManager(e *Engine) *JobManager { return engine.NewManager(e) }
+
+// RunJob executes spec on e and returns its aggregated result. The seed
+// roots all job randomness; results do not depend on e's worker count.
+func RunJob(ctx context.Context, e *Engine, spec EngineSpec, seed uint64) (any, error) {
+	return e.Run(ctx, spec, seed, nil)
+}
+
+// NewServer returns the gocserve HTTP handler backed by a fresh engine with
+// the given worker count. Mount it on any mux or serve it directly; call
+// Server.Close during shutdown to cancel running jobs.
+func NewServer(workers int) *Server { return server.New(workers) }
+
+// Compile-time check that the facade server is a plain http.Handler.
+var _ http.Handler = (*Server)(nil)

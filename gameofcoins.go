@@ -17,6 +17,27 @@
 //	res, err := gameofcoins.Learn(g, gameofcoins.UniformConfig(4, 0), gameofcoins.NewRandomScheduler(), gameofcoins.NewRand(1), gameofcoins.LearnOptions{})
 //	// res.Final is a pure equilibrium (Theorem 1 guarantees convergence).
 //
+// # Concurrent experiment engine and gocserve
+//
+// Heavy workloads — learning sweeps across schedulers and seeds, reward
+// design runs, market-simulator replays, equilibrium enumeration over
+// random games — run through the concurrent experiment engine:
+//
+//	eng := gameofcoins.NewEngine(0) // 0 = all cores
+//	res, err := gameofcoins.RunJob(ctx, eng, gameofcoins.LearnSweep{
+//		Gen:  gameofcoins.GenSpec{Miners: 32, Coins: 4},
+//		Runs: 100,
+//	}, 11)
+//
+// The engine forks one deterministic rng stream per task index
+// (Rand.Fork), so results are bit-identical for any worker count; the same
+// guarantee makes the in-memory result cache of the HTTP service sound.
+// NewServer returns that service — the handler behind cmd/gocserve — with
+// POST /v1/games, POST /v1/jobs, GET /v1/jobs/{id}, GET
+// /v1/jobs/{id}/result, and DELETE /v1/jobs/{id} for cancellation.
+// cmd/gocbench's -parallel flag drives the E1–E13 paper reproduction
+// through the same engine.
+//
 // See the examples/ directory for runnable scenarios, DESIGN.md for the
 // system inventory, and EXPERIMENTS.md for the paper-reproduction results.
 package gameofcoins

@@ -1,0 +1,3 @@
+module gameofcoins
+
+go 1.24

@@ -1,0 +1,60 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"testing"
+
+	"gameofcoins/internal/core"
+)
+
+// BenchmarkLearnSweepWorkers measures the wall-clock scaling of a multi-run
+// learning sweep across worker counts. On an N-core machine the workers=N
+// variant should run close to N× faster than workers=1 (the per-task work is
+// CPU-bound and embarrassingly parallel); the determinism tests guarantee
+// the speedup changes nothing about the results.
+//
+//	go test -bench=LearnSweepWorkers -benchtime=3x ./internal/engine/
+func BenchmarkLearnSweepWorkers(b *testing.B) {
+	spec := LearnSweep{
+		Gen:        core.GenSpec{Miners: 32, Coins: 4},
+		Schedulers: []string{"random"},
+		Runs:       64,
+	}
+	counts := []int{1, 2, 4, runtime.GOMAXPROCS(0)}
+	seen := map[int]bool{}
+	for _, workers := range counts {
+		if seen[workers] {
+			continue
+		}
+		seen[workers] = true
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			eng := New(workers)
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.Run(context.Background(), spec, 11, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkReplaySweepWorkers scales the heavier market-simulator workload,
+// the job type gocserve is expected to spend most of its CPU on.
+func BenchmarkReplaySweepWorkers(b *testing.B) {
+	spec := ReplaySweep{Runs: runtime.GOMAXPROCS(0) * 2}
+	spec.Params.Miners = 60
+	spec.Params.Epochs = 24 * 20
+	spec.Params.SpikeHour = 24 * 8
+	for _, workers := range []int{1, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			eng := New(workers)
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.Run(context.Background(), spec, 7, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,233 @@
+// Package engine is the concurrent experiment engine: a deterministic
+// worker-pool job runner for the library's heavy workloads — learning sweeps
+// across schedulers and seeds, reward-design runs, market-simulator replays,
+// and equilibrium enumeration over random games.
+//
+// Determinism is the design center. A job is a Spec that enumerates a fixed
+// list of independent tasks; the engine forks one rng stream per task index
+// from the job seed (rng.Rand.Fork, a pure function of parent state and
+// index), runs tasks on however many workers are available, stores results
+// by task index, and aggregates them in index order. Worker count and
+// scheduling order therefore cannot influence the result: a sweep run on one
+// worker is bit-identical to the same sweep on eight.
+//
+// The engine layers:
+//
+//	Spec     — a typed, deterministic job (LearnSweep, DesignSweep, …)
+//	Engine   — runs one Spec synchronously over a worker pool
+//	Manager  — asynchronous job submission, status, cancellation (gocserve)
+package engine
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"gameofcoins/internal/rng"
+)
+
+// Spec is a deterministic, parallelizable job. Implementations must make
+// RunTask a pure function of (task index, the forked generator, the spec's
+// own immutable fields): no shared mutable state across tasks. Aggregate is
+// always called with results in task-index order.
+type Spec interface {
+	// Kind names the job type in statuses, caches, and error messages.
+	Kind() string
+	// Tasks returns the number of independent tasks the job fans out to.
+	Tasks() int
+	// RunTask executes task i with its private deterministic generator.
+	// Implementations should poll ctx in long loops so cancellation can
+	// interrupt a job mid-task, not just between tasks.
+	RunTask(ctx context.Context, i int, r *rng.Rand) (any, error)
+	// Aggregate combines the per-task results (index order) into the job
+	// result.
+	Aggregate(results []any) (any, error)
+}
+
+// Validator is implemented by specs that can reject bad parameters before
+// any task runs. Engine.Run and Manager.Submit call it when present.
+type Validator interface{ Validate() error }
+
+// MaxTasksPerJob caps the task fan-out of a single job. It bounds the
+// engine's up-front per-task bookkeeping so a hostile or fat-fingered spec
+// cannot allocate unbounded memory before the first task runs.
+const MaxTasksPerJob = 1 << 20
+
+// Progress reports how far a running job has advanced. Done counts finished
+// tasks; it is monotone but may be observed out of submission order.
+type Progress struct {
+	Done  int `json:"done"`
+	Total int `json:"total"`
+}
+
+// Engine runs Specs over a fixed-size worker pool. The zero value is not
+// usable; construct with New. An Engine is safe for concurrent use, and the
+// worker cap is global: concurrent Runs on one Engine share the same token
+// pool, so a server running many jobs at once never executes more than
+// `workers` tasks simultaneously.
+type Engine struct {
+	workers int
+	sem     chan struct{}
+}
+
+// New returns an engine with the given worker count; workers <= 0 selects
+// GOMAXPROCS.
+func New(workers int) *Engine {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Engine{workers: workers, sem: make(chan struct{}, workers)}
+}
+
+// Workers returns the configured worker count.
+func (e *Engine) Workers() int { return e.workers }
+
+// Run executes spec synchronously and returns its aggregated result.
+// seed roots the deterministic stream tree: task i draws from
+// rng.New(seed).Fork(i), so the result is independent of worker count.
+// onProgress, if non-nil, is invoked after each completed task; it must be
+// safe for concurrent use (workers call it directly).
+func (e *Engine) Run(ctx context.Context, spec Spec, seed uint64, onProgress func(Progress)) (any, error) {
+	if v, ok := spec.(Validator); ok {
+		if err := v.Validate(); err != nil {
+			return nil, fmt.Errorf("engine: invalid %s spec: %w", spec.Kind(), err)
+		}
+	}
+	n := spec.Tasks()
+	if n < 0 {
+		return nil, fmt.Errorf("engine: %s spec reports %d tasks", spec.Kind(), n)
+	}
+	if n > MaxTasksPerJob {
+		// The per-task results slice is allocated up front; an absurd task
+		// count (e.g. from an unauthenticated gocserve request) must fail
+		// the job, not OOM the process.
+		return nil, fmt.Errorf("engine: %s spec reports %d tasks, cap is %d", spec.Kind(), n, MaxTasksPerJob)
+	}
+	if n == 0 {
+		return aggregate(spec, nil)
+	}
+
+	// Fork is a pure function of (parent state, index) and never mutates the
+	// parent, so workers fork lazily from the shared base: concurrent reads
+	// of immutable state, no per-task pre-allocation.
+	base := rng.New(seed)
+
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	results := make([]any, n)
+	var (
+		done     atomic.Int64
+		firstErr error
+		errOnce  sync.Once
+		wg       sync.WaitGroup
+	)
+	tasks := make(chan int)
+	workers := e.workers
+	if workers > n {
+		workers = n
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range tasks {
+				// The token pool is Engine-wide: it bounds in-flight tasks
+				// across every concurrent Run sharing this Engine.
+				select {
+				case e.sem <- struct{}{}:
+				case <-cctx.Done():
+					return
+				}
+				out, err := runTask(cctx, spec, i, base.Fork(uint64(i)))
+				<-e.sem
+				if err != nil {
+					errOnce.Do(func() {
+						firstErr = fmt.Errorf("engine: %s task %d: %w", spec.Kind(), i, err)
+						cancel()
+					})
+					return
+				}
+				results[i] = out
+				if onProgress != nil {
+					onProgress(Progress{Done: int(done.Add(1)), Total: n})
+				}
+			}
+		}()
+	}
+feed:
+	for i := 0; i < n; i++ {
+		select {
+		case tasks <- i:
+		case <-cctx.Done():
+			break feed
+		}
+	}
+	close(tasks)
+	wg.Wait()
+
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return aggregate(spec, results)
+}
+
+// runTask and aggregate convert spec panics into job errors: a bad spec
+// must fail its own job, never crash the process hosting the engine (a
+// panic in a Manager job goroutine is otherwise unrecoverable).
+func runTask(ctx context.Context, spec Spec, i int, r *rng.Rand) (out any, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("task panicked: %v", p)
+		}
+	}()
+	return spec.RunTask(ctx, i, r)
+}
+
+func aggregate(spec Spec, results []any) (out any, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("engine: %s aggregate panicked: %v", spec.Kind(), p)
+		}
+	}()
+	return spec.Aggregate(results)
+}
+
+// Func adapts closures to Spec, for one-off jobs (the experiment suite uses
+// it to fan E1–E13 across workers). If Agg is nil the per-task results are
+// returned as a []any in task order.
+type Func struct {
+	Name string
+	N    int
+	Task func(ctx context.Context, i int, r *rng.Rand) (any, error)
+	Agg  func(results []any) (any, error)
+}
+
+// Kind implements Spec.
+func (f Func) Kind() string {
+	if f.Name == "" {
+		return "func"
+	}
+	return f.Name
+}
+
+// Tasks implements Spec.
+func (f Func) Tasks() int { return f.N }
+
+// RunTask implements Spec.
+func (f Func) RunTask(ctx context.Context, i int, r *rng.Rand) (any, error) {
+	return f.Task(ctx, i, r)
+}
+
+// Aggregate implements Spec.
+func (f Func) Aggregate(results []any) (any, error) {
+	if f.Agg == nil {
+		return results, nil
+	}
+	return f.Agg(results)
+}

@@ -1,0 +1,258 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// State is a job lifecycle state.
+type State string
+
+// Job lifecycle states. A job moves Pending → Running → one of the terminal
+// states {Done, Failed, Canceled}.
+const (
+	StatePending  State = "pending"
+	StateRunning  State = "running"
+	StateDone     State = "done"
+	StateFailed   State = "failed"
+	StateCanceled State = "canceled"
+)
+
+// Terminal reports whether s is a terminal state.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCanceled
+}
+
+// Status is a point-in-time snapshot of a job. Cached is set by the serving
+// layer when a submission was answered from the result cache by an earlier
+// job; the Manager itself never sets it.
+type Status struct {
+	ID       string   `json:"id"`
+	Kind     string   `json:"kind"`
+	State    State    `json:"state"`
+	Progress Progress `json:"progress"`
+	Error    string   `json:"error,omitempty"`
+	Cached   bool     `json:"cached,omitempty"`
+}
+
+// Job is an asynchronous engine run managed by a Manager.
+type Job struct {
+	id    string
+	kind  string
+	total int
+
+	done   atomic.Int64
+	cancel context.CancelFunc
+
+	mu     sync.Mutex
+	state  State
+	result any
+	err    error
+
+	finished chan struct{}
+}
+
+// ID returns the job's manager-unique identifier.
+func (j *Job) ID() string { return j.id }
+
+// Status returns a snapshot of the job.
+func (j *Job) Status() Status {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := Status{
+		ID:       j.id,
+		Kind:     j.kind,
+		State:    j.state,
+		Progress: Progress{Done: int(j.done.Load()), Total: j.total},
+	}
+	if j.err != nil {
+		st.Error = j.err.Error()
+	}
+	return st
+}
+
+// Cancel requests cancellation. It is a no-op on terminal jobs.
+func (j *Job) Cancel() { j.cancel() }
+
+// Done returns a channel closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.finished }
+
+// Wait blocks until the job finishes or ctx is canceled, then returns the
+// job's terminal error (nil for StateDone).
+func (j *Job) Wait(ctx context.Context) error {
+	select {
+	case <-j.finished:
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.err
+}
+
+// Result returns the aggregated result once the job is done. ok is false
+// while the job is still running or if it failed.
+func (j *Job) Result() (res any, ok bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.result, j.state == StateDone
+}
+
+func (j *Job) finish(res any, err error, canceled bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	switch {
+	case canceled:
+		j.state = StateCanceled
+		j.err = context.Canceled
+	case err != nil:
+		j.state = StateFailed
+		j.err = err
+	default:
+		j.state = StateDone
+		j.result = res
+	}
+	close(j.finished)
+}
+
+// ErrUnknownJob is returned by Manager.Get for an unknown job ID.
+var ErrUnknownJob = errors.New("engine: unknown job")
+
+// DefaultRetention is the default cap on tracked jobs. When exceeded, the
+// oldest *terminal* jobs (and their retained results) are evicted; running
+// jobs are never evicted.
+const DefaultRetention = 4096
+
+// Manager runs jobs asynchronously on a shared Engine and tracks them by ID.
+// It is safe for concurrent use; gocserve keeps one per process.
+type Manager struct {
+	eng *Engine
+
+	// Retention caps how many jobs the manager keeps before evicting the
+	// oldest terminal ones (0 means DefaultRetention). Set it before
+	// submitting jobs; a long-running server would otherwise retain every
+	// result forever.
+	Retention int
+
+	mu     sync.Mutex
+	jobs   map[string]*Job
+	order  []string // job IDs in creation order, for eviction
+	nextID uint64
+	ctx    context.Context
+	stop   context.CancelFunc
+}
+
+// NewManager returns a manager running jobs on eng. Close cancels all jobs.
+func NewManager(eng *Engine) *Manager {
+	ctx, stop := context.WithCancel(context.Background())
+	return &Manager{eng: eng, jobs: map[string]*Job{}, ctx: ctx, stop: stop}
+}
+
+// Submit starts spec asynchronously under the manager's lifetime (not the
+// caller's request context) and returns the tracking job.
+func (m *Manager) Submit(spec Spec, seed uint64) (*Job, error) {
+	if v, ok := spec.(Validator); ok {
+		if err := v.Validate(); err != nil {
+			return nil, fmt.Errorf("engine: invalid %s spec: %w", spec.Kind(), err)
+		}
+	}
+	jctx, cancel := context.WithCancel(m.ctx)
+	j := m.newJob(spec.Kind(), spec.Tasks(), cancel)
+	j.mu.Lock()
+	j.state = StateRunning
+	j.mu.Unlock()
+	go func() {
+		defer cancel()
+		res, err := m.eng.Run(jctx, spec, seed, func(p Progress) {
+			// CAS-max: callbacks race across workers, and a stale Store
+			// could make the published progress go backwards.
+			for {
+				old := j.done.Load()
+				if int64(p.Done) <= old || j.done.CompareAndSwap(old, int64(p.Done)) {
+					break
+				}
+			}
+		})
+		j.finish(res, err, jctx.Err() != nil && errors.Is(err, context.Canceled))
+	}()
+	return j, nil
+}
+
+func (m *Manager) newJob(kind string, total int, cancel context.CancelFunc) *Job {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.nextID++
+	j := &Job{
+		id:       fmt.Sprintf("job-%d", m.nextID),
+		kind:     kind,
+		total:    total,
+		state:    StatePending,
+		cancel:   cancel,
+		finished: make(chan struct{}),
+	}
+	m.jobs[j.id] = j
+	m.order = append(m.order, j.id)
+	m.evictLocked()
+	return j
+}
+
+// evictLocked drops the oldest terminal jobs until the retention cap holds.
+// Callers must hold m.mu.
+func (m *Manager) evictLocked() {
+	limit := m.Retention
+	if limit <= 0 {
+		limit = DefaultRetention
+	}
+	if len(m.jobs) <= limit {
+		return
+	}
+	kept := m.order[:0]
+	for _, id := range m.order {
+		j, ok := m.jobs[id]
+		if !ok {
+			continue
+		}
+		if len(m.jobs) > limit && j.Status().State.Terminal() {
+			delete(m.jobs, id)
+			continue
+		}
+		kept = append(kept, id)
+	}
+	m.order = kept
+}
+
+// Get returns the job with the given ID.
+func (m *Manager) Get(id string) (*Job, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownJob, id)
+	}
+	return j, nil
+}
+
+// Statuses returns snapshots of every tracked job, ordered by ID.
+func (m *Manager) Statuses() []Status {
+	m.mu.Lock()
+	jobs := make([]*Job, 0, len(m.jobs))
+	for _, j := range m.jobs {
+		jobs = append(jobs, j)
+	}
+	m.mu.Unlock()
+	out := make([]Status, 0, len(jobs))
+	for _, j := range jobs {
+		out = append(out, j.Status())
+	}
+	sort.Slice(out, func(i, k int) bool {
+		return len(out[i].ID) < len(out[k].ID) || (len(out[i].ID) == len(out[k].ID) && out[i].ID < out[k].ID)
+	})
+	return out
+}
+
+// Close cancels every running job and stops accepting progress.
+func (m *Manager) Close() { m.stop() }

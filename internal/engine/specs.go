@@ -1,0 +1,442 @@
+package engine
+
+import (
+	"context"
+	"errors"
+
+	"gameofcoins/internal/core"
+	"gameofcoins/internal/design"
+	"gameofcoins/internal/equilibria"
+	"gameofcoins/internal/learning"
+	"gameofcoins/internal/replay"
+	"gameofcoins/internal/rng"
+	"gameofcoins/internal/stats"
+)
+
+// The built-in job specs. Each is a plain JSON-encodable struct so gocserve
+// can accept it on the wire, and each implements Spec with pure per-task
+// functions so results are worker-count independent.
+
+// LearnSweep runs better-response learning Runs times per scheduler, on a
+// fixed Game or on fresh random games drawn from Gen, and aggregates
+// steps-to-equilibrium statistics per scheduler.
+type LearnSweep struct {
+	// Game, if non-nil, is the fixed game every run plays. It must not be
+	// mutated while the job runs (Game is immutable by construction).
+	Game *core.Game `json:"game,omitempty"`
+	// Gen draws a fresh random game per run when Game is nil.
+	Gen core.GenSpec `json:"gen,omitempty"`
+	// Schedulers names the schedulers to sweep; empty means all built-ins.
+	Schedulers []string `json:"schedulers,omitempty"`
+	// Runs is the number of learning runs per scheduler.
+	Runs int `json:"runs"`
+	// MaxSteps caps each run (0 = learning's default).
+	MaxSteps int `json:"max_steps,omitempty"`
+}
+
+// SchedulerSummary is the aggregate over one scheduler's runs.
+type SchedulerSummary struct {
+	Scheduler string        `json:"scheduler"`
+	Runs      int           `json:"runs"`
+	Converged int           `json:"converged"`
+	Steps     stats.Summary `json:"steps"`
+}
+
+// LearnSweepResult is the aggregated result of a LearnSweep.
+type LearnSweepResult struct {
+	Schedulers []SchedulerSummary `json:"schedulers"`
+	TotalRuns  int                `json:"total_runs"`
+}
+
+func (s LearnSweep) schedulerNames() []string {
+	if len(s.Schedulers) > 0 {
+		return s.Schedulers
+	}
+	var names []string
+	for _, sched := range learning.AllSchedulers() {
+		names = append(names, sched.Name())
+	}
+	return names
+}
+
+// Kind implements Spec.
+func (s LearnSweep) Kind() string { return "learn_sweep" }
+
+// Tasks implements Spec: one task per (scheduler, run) pair. The product
+// saturates past MaxTasksPerJob instead of overflowing, so an absurd Runs
+// is rejected by the engine's cap rather than wrapping to a small (or zero)
+// task count.
+func (s LearnSweep) Tasks() int {
+	n := len(s.schedulerNames())
+	if n <= 0 || s.Runs <= 0 {
+		return 0
+	}
+	if s.Runs > MaxTasksPerJob/n {
+		return MaxTasksPerJob + 1
+	}
+	return n * s.Runs
+}
+
+// Validate implements Validator.
+func (s LearnSweep) Validate() error {
+	if s.Runs <= 0 {
+		return errors.New("runs must be positive")
+	}
+	if s.Game == nil && (s.Gen.Miners <= 0 || s.Gen.Coins <= 0) {
+		return errors.New("need a game or a generator spec")
+	}
+	for _, name := range s.schedulerNames() {
+		if _, err := learning.SchedulerByName(name); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+type learnTaskResult struct {
+	steps     int
+	converged bool
+}
+
+// schedulerForTask resolves the (fresh, per-run) scheduler instance for
+// task i with a single AllSchedulers construction; schedulers are stateful,
+// so a new instance per task is required, but rebuilding the full name list
+// twice per task is not.
+func (s LearnSweep) schedulerForTask(i int) (learning.Scheduler, error) {
+	idx := i / s.Runs
+	if len(s.Schedulers) > 0 {
+		return learning.SchedulerByName(s.Schedulers[idx])
+	}
+	return learning.AllSchedulers()[idx], nil
+}
+
+// RunTask implements Spec.
+func (s LearnSweep) RunTask(ctx context.Context, i int, r *rng.Rand) (any, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	sched, err := s.schedulerForTask(i)
+	if err != nil {
+		return nil, err
+	}
+	g := s.Game
+	if g == nil {
+		if g, err = core.RandomGame(r, s.Gen); err != nil {
+			return nil, err
+		}
+	}
+	res, err := learning.Run(g, core.RandomConfig(r, g), sched, r.Split(), learning.Options{MaxSteps: s.MaxSteps})
+	if err != nil {
+		return nil, err
+	}
+	return learnTaskResult{steps: res.Steps, converged: res.Converged && g.IsEquilibrium(res.Final)}, nil
+}
+
+// Aggregate implements Spec.
+func (s LearnSweep) Aggregate(results []any) (any, error) {
+	names := s.schedulerNames()
+	out := LearnSweepResult{TotalRuns: len(results)}
+	for si, name := range names {
+		sum := SchedulerSummary{Scheduler: name, Runs: s.Runs}
+		var steps []float64
+		for run := 0; run < s.Runs; run++ {
+			tr := results[si*s.Runs+run].(learnTaskResult)
+			steps = append(steps, float64(tr.steps))
+			if tr.converged {
+				sum.Converged++
+			}
+		}
+		sum.Steps = stats.Summarize(steps)
+		out.Schedulers = append(out.Schedulers, sum)
+	}
+	return out, nil
+}
+
+// DesignSweep runs the Section-5 reward-design mechanism on random games:
+// each task draws strictly-descending games from Gen until one has at least
+// two equilibria, picks a random ordered equilibrium pair (s0, sf), and runs
+// Algorithm 2.
+type DesignSweep struct {
+	Gen core.GenSpec `json:"gen"`
+	// Pairs is the number of design runs.
+	Pairs int `json:"pairs"`
+	// MaxTries bounds the game search per task (default 500).
+	MaxTries int `json:"max_tries,omitempty"`
+}
+
+// DesignSweepResult aggregates a DesignSweep.
+type DesignSweepResult struct {
+	Pairs   int           `json:"pairs"`
+	Reached int           `json:"reached"`
+	Skipped int           `json:"skipped"` // tasks that found no usable game
+	Cost    stats.Summary `json:"cost"`
+	Steps   stats.Summary `json:"steps"`
+	// Errors counts game draws discarded because generation, enumeration,
+	// or designer construction errored (as opposed to games that were
+	// merely unusable); LastError samples one such error so a sweep whose
+	// tasks all skipped for the same systematic reason is diagnosable.
+	Errors    int    `json:"errors,omitempty"`
+	LastError string `json:"last_error,omitempty"`
+}
+
+// Kind implements Spec.
+func (s DesignSweep) Kind() string { return "design_sweep" }
+
+// Tasks implements Spec.
+func (s DesignSweep) Tasks() int { return s.Pairs }
+
+// Validate implements Validator.
+func (s DesignSweep) Validate() error {
+	if s.Pairs <= 0 {
+		return errors.New("pairs must be positive")
+	}
+	if s.Gen.Miners <= 0 || s.Gen.Coins <= 0 {
+		return errors.New("need a generator spec")
+	}
+	return nil
+}
+
+type designTaskResult struct {
+	skipped bool
+	reached bool
+	cost    float64
+	steps   float64
+	errs    int
+	lastErr string
+}
+
+// RunTask implements Spec. Draw errors (generation, enumeration, designer
+// construction) are counted rather than aborting the task — many are
+// expected transients of random generation — but they are surfaced in the
+// aggregate so a systematically misconfigured sweep is not silently
+// indistinguishable from "no usable games were drawn".
+func (s DesignSweep) RunTask(ctx context.Context, _ int, r *rng.Rand) (any, error) {
+	tries := s.MaxTries
+	if tries <= 0 {
+		tries = 500
+	}
+	var tr designTaskResult
+	record := func(err error) {
+		tr.errs++
+		tr.lastErr = err.Error()
+	}
+	for try := 0; try < tries; try++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		g, err := core.RandomGame(r, s.Gen)
+		if err != nil {
+			record(err)
+			continue
+		}
+		if !strictlyDescending(g) {
+			continue
+		}
+		eqs, err := equilibria.Enumerate(g)
+		if err != nil {
+			record(err)
+			continue
+		}
+		if len(eqs) < 2 {
+			continue
+		}
+		i := r.Intn(len(eqs))
+		j := r.Intn(len(eqs) - 1)
+		if j >= i {
+			j++
+		}
+		s0, sf := eqs[i], eqs[j]
+		d, err := design.NewDesigner(g, design.Options{})
+		if err != nil {
+			record(err)
+			continue
+		}
+		res, err := d.Run(s0, sf, r.Split())
+		if err != nil {
+			return nil, err
+		}
+		tr.reached = res.Final.Equal(sf)
+		tr.cost = res.TotalCost
+		tr.steps = float64(res.TotalSteps)
+		return tr, nil
+	}
+	tr.skipped = true
+	return tr, nil
+}
+
+// Aggregate implements Spec.
+func (s DesignSweep) Aggregate(results []any) (any, error) {
+	out := DesignSweepResult{Pairs: len(results)}
+	var costs, steps []float64
+	for _, raw := range results {
+		tr := raw.(designTaskResult)
+		out.Errors += tr.errs
+		if tr.lastErr != "" {
+			out.LastError = tr.lastErr
+		}
+		if tr.skipped {
+			out.Skipped++
+			continue
+		}
+		if tr.reached {
+			out.Reached++
+		}
+		costs = append(costs, tr.cost)
+		steps = append(steps, tr.steps)
+	}
+	out.Cost = stats.Summarize(costs)
+	out.Steps = stats.Summarize(steps)
+	return out, nil
+}
+
+func strictlyDescending(g *core.Game) bool {
+	for p := 0; p+1 < g.NumMiners(); p++ {
+		if !(g.Power(p) > g.Power(p+1)) {
+			return false
+		}
+	}
+	return true
+}
+
+// ReplaySweep replays the market-simulator scenario Runs times with derived
+// seeds and aggregates the migration outcomes.
+type ReplaySweep struct {
+	Params replay.ScenarioParams `json:"params"`
+	Runs   int                   `json:"runs"`
+}
+
+// ReplaySweepResult aggregates a ReplaySweep.
+type ReplaySweepResult struct {
+	Runs     int           `json:"runs"`
+	PreSpike stats.Summary `json:"pre_spike_share"`
+	Peak     stats.Summary `json:"peak_share"`
+	Final    stats.Summary `json:"final_share"`
+	// Migrated counts runs whose peak share exceeded twice the pre-spike
+	// share — the Figure-1 shape.
+	Migrated int `json:"migrated"`
+}
+
+// Kind implements Spec.
+func (s ReplaySweep) Kind() string { return "replay_sweep" }
+
+// Tasks implements Spec.
+func (s ReplaySweep) Tasks() int { return s.Runs }
+
+// Validate implements Validator.
+func (s ReplaySweep) Validate() error {
+	if s.Runs <= 0 {
+		return errors.New("runs must be positive")
+	}
+	// ScenarioParams treats zero as "use default" but never guards against
+	// negatives (e.g. Miners=-1 would panic allocating the agent fleet).
+	p := s.Params
+	if p.Miners < 0 || p.Epochs < 0 || p.SpikeHour < 0 ||
+		p.ZipfExponent < 0 || p.SpikeFactor < 0 || p.Activity < 0 || p.Hysteresis < 0 {
+		return errors.New("replay params must be non-negative")
+	}
+	return nil
+}
+
+// RunTask implements Spec.
+func (s ReplaySweep) RunTask(ctx context.Context, _ int, r *rng.Rand) (any, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	p := s.Params
+	p.Seed = r.Uint64()
+	sc, err := replay.New(p)
+	if err != nil {
+		return nil, err
+	}
+	// Step epoch by epoch so cancellation can interrupt a long replay.
+	for e := 0; e < sc.Params.Epochs; e++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		sc.Sim.Run(1)
+	}
+	return sc.Outcome(), nil
+}
+
+// Aggregate implements Spec.
+func (s ReplaySweep) Aggregate(results []any) (any, error) {
+	out := ReplaySweepResult{Runs: len(results)}
+	var pre, peak, final []float64
+	for _, raw := range results {
+		o := raw.(replay.Outcome)
+		pre = append(pre, o.PreSpikeBCHShare)
+		peak = append(peak, o.PeakBCHShare)
+		final = append(final, o.FinalBCHShare)
+		if o.PeakBCHShare > 2*o.PreSpikeBCHShare {
+			out.Migrated++
+		}
+	}
+	out.PreSpike = stats.Summarize(pre)
+	out.Peak = stats.Summarize(peak)
+	out.Final = stats.Summarize(final)
+	return out, nil
+}
+
+// EquilibriumSweep enumerates the pure equilibria of Games random games
+// drawn from Gen and aggregates the equilibrium-count distribution.
+type EquilibriumSweep struct {
+	Gen   core.GenSpec `json:"gen"`
+	Games int          `json:"games"`
+}
+
+// EquilibriumSweepResult aggregates an EquilibriumSweep.
+type EquilibriumSweepResult struct {
+	Games int `json:"games"`
+	// Multiple counts games with at least two pure equilibria (the games a
+	// Section-5 manipulator can act on).
+	Multiple int           `json:"multiple"`
+	Count    stats.Summary `json:"equilibria_per_game"`
+}
+
+// Kind implements Spec.
+func (s EquilibriumSweep) Kind() string { return "equilibrium_sweep" }
+
+// Tasks implements Spec.
+func (s EquilibriumSweep) Tasks() int { return s.Games }
+
+// Validate implements Validator.
+func (s EquilibriumSweep) Validate() error {
+	if s.Games <= 0 {
+		return errors.New("games must be positive")
+	}
+	if s.Gen.Miners <= 0 || s.Gen.Coins <= 0 {
+		return errors.New("need a generator spec")
+	}
+	return nil
+}
+
+// RunTask implements Spec.
+func (s EquilibriumSweep) RunTask(ctx context.Context, _ int, r *rng.Rand) (any, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	g, err := core.RandomGame(r, s.Gen)
+	if err != nil {
+		return nil, err
+	}
+	eqs, err := equilibria.Enumerate(g)
+	if err != nil {
+		return nil, err
+	}
+	return len(eqs), nil
+}
+
+// Aggregate implements Spec.
+func (s EquilibriumSweep) Aggregate(results []any) (any, error) {
+	out := EquilibriumSweepResult{Games: len(results)}
+	var counts []float64
+	for _, raw := range results {
+		n := raw.(int)
+		counts = append(counts, float64(n))
+		if n >= 2 {
+			out.Multiple++
+		}
+	}
+	out.Count = stats.Summarize(counts)
+	return out, nil
+}

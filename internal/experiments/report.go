@@ -52,12 +52,10 @@ func (r *Report) String() string {
 	return b.String()
 }
 
-// All runs every experiment with the given seed and returns the reports in
-// order.
+// All runs every experiment sequentially with the given seed and returns
+// the reports in order. AllParallel (parallel.go) is the same suite fanned
+// across the concurrent experiment engine; Selected/SelectedParallel run
+// ID-filtered subsets.
 func All(seed uint64) []*Report {
-	return []*Report{
-		E1(seed), E2(seed), E3(), E4(seed), E5(seed),
-		E6(seed), E7(seed), E8(seed), E9(seed), E10(seed),
-		E11(seed), E12(seed), E13(seed),
-	}
+	return Selected(seed, nil)
 }

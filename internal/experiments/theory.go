@@ -376,12 +376,11 @@ func schedulerNames() []string {
 }
 
 func schedulerByName(name string) learning.Scheduler {
-	for _, s := range learning.AllSchedulers() {
-		if s.Name() == name {
-			return s
-		}
+	s, err := learning.SchedulerByName(name)
+	if err != nil {
+		panic(err)
 	}
-	panic("unknown scheduler " + name)
+	return s
 }
 
 // E10 probes the §6 asymmetric extension: random eligibility-restricted

@@ -1,6 +1,7 @@
 package learning
 
 import (
+	"fmt"
 	"math"
 
 	"gameofcoins/internal/core"
@@ -173,4 +174,16 @@ func AllSchedulers() []Scheduler {
 		NewSmallestFirst(),
 		NewLargestFirst(),
 	}
+}
+
+// SchedulerByName returns a fresh instance of the built-in scheduler with
+// the given Name. It is the one lookup shared by the experiment suite and
+// the engine, so valid names cannot diverge between them.
+func SchedulerByName(name string) (Scheduler, error) {
+	for _, s := range AllSchedulers() {
+		if s.Name() == name {
+			return s, nil
+		}
+	}
+	return nil, fmt.Errorf("learning: unknown scheduler %q", name)
 }

@@ -50,6 +50,30 @@ func (r *Rand) Split() *Rand {
 	return NewStream(seed, stream)
 }
 
+// Fork returns the i-th child generator of r WITHOUT advancing r: it is a
+// pure function of (r's current state, i). Distinct i yield independent
+// streams.
+//
+// Fork is the primitive the concurrent experiment engine builds on: a parent
+// generator is forked once per task index, so every task sees the same
+// stream no matter how many workers run the tasks or in which order they are
+// scheduled. Split, by contrast, advances the parent and therefore couples a
+// child's stream to how many siblings were split before it.
+func (r *Rand) Fork(i uint64) *Rand {
+	seed := splitmix64(r.state ^ splitmix64(i+0x632be59bd9b4e019))
+	stream := splitmix64(seed^r.inc) >> 1
+	return NewStream(seed, stream)
+}
+
+// splitmix64 is the SplitMix64 finalizer: a cheap, well-mixed bijection used
+// to derive decorrelated (seed, stream) pairs for Fork.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
 func (r *Rand) next32() uint32 {
 	old := r.state
 	r.state = old*pcgMultiplier + r.inc

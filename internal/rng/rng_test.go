@@ -218,3 +218,71 @@ func TestBoundedUint64Property(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestForkDoesNotAdvanceParent(t *testing.T) {
+	a, b := New(7), New(7)
+	_ = a.Fork(0)
+	_ = a.Fork(1)
+	for i := 0; i < 16; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("Fork advanced the parent (draw %d)", i)
+		}
+	}
+}
+
+func TestForkOrderAndWorkerCountIndependence(t *testing.T) {
+	// The stream of child i must depend only on (parent state, i) — never on
+	// how many other children were forked first or in which order. This is
+	// exactly the property the engine relies on for worker-count-independent
+	// results.
+	const children = 32
+	want := make([][]uint64, children)
+	parent := New(42)
+	for i := 0; i < children; i++ {
+		c := parent.Fork(uint64(i))
+		for j := 0; j < 8; j++ {
+			want[i] = append(want[i], c.Uint64())
+		}
+	}
+	// Fork in reverse order, interleaving draws, from a fresh parent.
+	parent = New(42)
+	kids := make([]*Rand, children)
+	for i := children - 1; i >= 0; i-- {
+		kids[i] = parent.Fork(uint64(i))
+	}
+	for j := 0; j < 8; j++ {
+		for i := 0; i < children; i++ {
+			if got := kids[i].Uint64(); got != want[i][j] {
+				t.Fatalf("child %d draw %d: got %#x want %#x", i, j, got, want[i][j])
+			}
+		}
+	}
+}
+
+func TestForkChildrenDistinct(t *testing.T) {
+	parent := New(3)
+	seen := map[uint64]uint64{}
+	for i := uint64(0); i < 1000; i++ {
+		v := parent.Fork(i).Uint64()
+		if prev, dup := seen[v]; dup {
+			t.Fatalf("children %d and %d share first draw %#x", prev, i, v)
+		}
+		seen[v] = i
+	}
+}
+
+func TestForkDiffersFromParentStream(t *testing.T) {
+	parent := New(9)
+	child := parent.Fork(0)
+	same := 0
+	for i := 0; i < 64; i++ {
+		if parent.Fork(0).Uint64() == child.Uint64() {
+			// parent state unchanged, so Fork(0) repeats child's stream —
+			// but child has advanced; only the first draw may collide.
+			same++
+		}
+	}
+	if same > 1 {
+		t.Fatalf("child stream looks degenerate: %d collisions", same)
+	}
+}

@@ -1,0 +1,355 @@
+// Package server implements the gocserve HTTP JSON API: game registration,
+// asynchronous job submission onto the concurrent experiment engine, status
+// polling, cancellation, and result retrieval.
+//
+// Endpoints (all JSON):
+//
+//	POST   /v1/games            register a game (core.Game wire form) → {id}
+//	GET    /v1/games/{id}       fetch a registered game
+//	POST   /v1/jobs             submit a job spec → job status (may be cached)
+//	GET    /v1/jobs             list all job statuses
+//	GET    /v1/jobs/{id}        poll one job's status and progress
+//	GET    /v1/jobs/{id}/result fetch a finished job's result
+//	                            (409 while running, 410 if failed/canceled)
+//	DELETE /v1/jobs/{id}        cancel a running job (the returned snapshot
+//	                            may still read "running"; poll for the
+//	                            terminal state)
+//
+// Deduplication means a job can be shared: identical submissions attach to
+// the same job ID, and DELETE cancels that job for every attached client —
+// the same way invalidating a shared cache entry affects all its readers.
+// Clients that must not share fate should vary the seed.
+//	GET    /healthz             liveness probe
+//
+// Results are cached in memory keyed by (game hash, canonical job spec):
+// resubmitting an identical spec returns a completed job instantly. The
+// cache is sound because every job is a deterministic function of its spec
+// and seed — the engine's worker pool cannot perturb results.
+package server
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+
+	"gameofcoins/internal/core"
+	"gameofcoins/internal/engine"
+	"gameofcoins/internal/replay"
+)
+
+// JobRequest is the wire form of a job submission. Type selects the engine
+// spec; the remaining fields parameterize it (unused fields are ignored).
+type JobRequest struct {
+	// Type is one of learn_sweep, design_sweep, replay_sweep,
+	// equilibrium_sweep.
+	Type string `json:"type"`
+	// Seed roots the job's deterministic randomness.
+	Seed uint64 `json:"seed"`
+	// GameID references a game registered via POST /v1/games (learn_sweep
+	// only; empty means random games from Gen).
+	GameID string `json:"game_id,omitempty"`
+	// Gen parameterizes random game generation.
+	Gen *core.GenSpec `json:"gen,omitempty"`
+	// Schedulers, Runs, MaxSteps parameterize learn_sweep.
+	Schedulers []string `json:"schedulers,omitempty"`
+	Runs       int      `json:"runs,omitempty"`
+	MaxSteps   int      `json:"max_steps,omitempty"`
+	// Pairs parameterizes design_sweep.
+	Pairs int `json:"pairs,omitempty"`
+	// Games parameterizes equilibrium_sweep.
+	Games int `json:"games,omitempty"`
+	// Replay parameterizes replay_sweep (Seed inside is ignored; per-run
+	// seeds derive from the job seed).
+	Replay *replay.ScenarioParams `json:"replay,omitempty"`
+}
+
+// Server is the gocserve HTTP handler. Construct with New; it implements
+// http.Handler and is safe for concurrent use.
+type Server struct {
+	manager *engine.Manager
+	mux     *http.ServeMux
+
+	mu    sync.Mutex
+	games map[string]*core.Game
+	cache map[string]string // cache key → ID of the job holding the result
+}
+
+// New returns a server running jobs on an engine with the given worker
+// count (<= 0 selects GOMAXPROCS).
+func New(workers int) *Server {
+	s := &Server{
+		manager: engine.NewManager(engine.New(workers)),
+		mux:     http.NewServeMux(),
+		games:   map[string]*core.Game{},
+		cache:   map[string]string{},
+	}
+	s.mux.HandleFunc("POST /v1/games", s.handleCreateGame)
+	s.mux.HandleFunc("GET /v1/games/{id}", s.handleGetGame)
+	s.mux.HandleFunc("POST /v1/jobs", s.handleCreateJob)
+	s.mux.HandleFunc("GET /v1/jobs", s.handleListJobs)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobStatus)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleJobResult)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancelJob)
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Close cancels every running job. In-flight requests still get coherent
+// (canceled) statuses; call during graceful shutdown after the listener
+// stops accepting connections.
+func (s *Server) Close() { s.manager.Close() }
+
+func (s *Server) handleCreateGame(w http.ResponseWriter, r *http.Request) {
+	var g core.Game
+	if err := json.NewDecoder(r.Body).Decode(&g); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decode game: %w", err))
+		return
+	}
+	id, err := gameID(&g)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	s.mu.Lock()
+	s.games[id] = &g
+	s.mu.Unlock()
+	writeJSON(w, http.StatusCreated, map[string]any{
+		"id":     id,
+		"miners": g.NumMiners(),
+		"coins":  g.NumCoins(),
+	})
+}
+
+func (s *Server) handleGetGame(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	g, ok := s.games[r.PathValue("id")]
+	s.mu.Unlock()
+	if !ok {
+		writeError(w, http.StatusNotFound, errors.New("unknown game"))
+		return
+	}
+	writeJSON(w, http.StatusOK, g)
+}
+
+func (s *Server) handleCreateJob(w http.ResponseWriter, r *http.Request) {
+	var req JobRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decode job request: %w", err))
+		return
+	}
+	spec, err := s.buildSpec(req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	key, err := cacheKey(spec, req.Seed)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	// Check-and-reserve is one critical section: concurrent identical
+	// submissions either all see the same cached job or exactly one of them
+	// submits and publishes the key the others then hit. (Lock order is
+	// server.mu → manager/job mutexes; the manager never calls back into
+	// the server, so this cannot deadlock.)
+	s.mu.Lock()
+	if cachedID, hit := s.cache[key]; hit {
+		// Point the client at the job already computing (or holding) this
+		// result — identical submissions attach to the same job, whether it
+		// is still running or long done, so duplicates are never recomputed
+		// and the job table doesn't grow. A dangling entry (job evicted,
+		// failed, or canceled) falls through to a fresh submission.
+		if job, err := s.manager.Get(cachedID); err == nil {
+			// Read Status before Result: if the snapshot is non-terminal the
+			// job is servable regardless of what happens next, and if it is
+			// terminal the result is already set (finish() stores both under
+			// one lock) — the reverse order could misread a job finishing
+			// between the two calls as failed and recompute it.
+			st := job.Status()
+			if _, hasResult := job.Result(); hasResult || !st.State.Terminal() {
+				s.mu.Unlock()
+				st.Cached = true
+				writeJSON(w, http.StatusCreated, st)
+				return
+			}
+		}
+		delete(s.cache, key)
+	}
+	job, err := s.manager.Submit(spec, req.Seed)
+	if err != nil {
+		s.mu.Unlock()
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	// Publish the key before releasing the lock so no identical submission
+	// can slip between submit and publish; retract it if the job fails or
+	// is canceled.
+	s.cache[key] = job.ID()
+	s.pruneCacheLocked()
+	s.mu.Unlock()
+	go func() {
+		<-job.Done()
+		if _, ok := job.Result(); !ok {
+			s.mu.Lock()
+			if s.cache[key] == job.ID() {
+				delete(s.cache, key)
+			}
+			s.mu.Unlock()
+		}
+	}()
+	writeJSON(w, http.StatusCreated, job.Status())
+}
+
+func (s *Server) handleListJobs(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.manager.Statuses())
+}
+
+func (s *Server) handleJobStatus(w http.ResponseWriter, r *http.Request) {
+	job, err := s.manager.Get(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, job.Status())
+}
+
+func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) {
+	job, err := s.manager.Get(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	st := job.Status()
+	if !st.State.Terminal() {
+		writeError(w, http.StatusConflict, fmt.Errorf("job %s is %s", st.ID, st.State))
+		return
+	}
+	res, ok := job.Result()
+	if !ok {
+		// Terminal but resultless (failed or canceled): 410, not 409, so
+		// clients that retry on "still running" don't poll forever.
+		writeError(w, http.StatusGone, fmt.Errorf("job %s %s: %s", st.ID, st.State, st.Error))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"id":     st.ID,
+		"kind":   st.Kind,
+		"result": res,
+	})
+}
+
+func (s *Server) handleCancelJob(w http.ResponseWriter, r *http.Request) {
+	job, err := s.manager.Get(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	job.Cancel()
+	writeJSON(w, http.StatusOK, job.Status())
+}
+
+// pruneCacheLocked drops cache entries whose job the Manager has evicted.
+// The Manager caps tracked jobs (engine.DefaultRetention), so without this
+// sweep a steady stream of distinct specs would grow the cache forever
+// while its entries dangle. Sweeping only past double the job cap keeps the
+// amortized cost per submission O(1). Callers must hold s.mu.
+func (s *Server) pruneCacheLocked() {
+	if len(s.cache) <= 2*engine.DefaultRetention {
+		return
+	}
+	for k, id := range s.cache {
+		if _, err := s.manager.Get(id); err != nil {
+			delete(s.cache, k)
+		}
+	}
+}
+
+// buildSpec translates a wire request into a typed engine spec.
+func (s *Server) buildSpec(req JobRequest) (engine.Spec, error) {
+	gen := core.GenSpec{}
+	if req.Gen != nil {
+		gen = *req.Gen
+	}
+	switch req.Type {
+	case "learn_sweep":
+		var g *core.Game
+		if req.GameID != "" {
+			s.mu.Lock()
+			g = s.games[req.GameID]
+			s.mu.Unlock()
+			if g == nil {
+				return nil, fmt.Errorf("unknown game %q", req.GameID)
+			}
+			gen = core.GenSpec{} // a fixed game overrides the generator spec
+		}
+		return engine.LearnSweep{
+			Game:       g,
+			Gen:        gen,
+			Schedulers: req.Schedulers,
+			Runs:       req.Runs,
+			MaxSteps:   req.MaxSteps,
+		}, nil
+	case "design_sweep":
+		return engine.DesignSweep{Gen: gen, Pairs: req.Pairs}, nil
+	case "replay_sweep":
+		spec := engine.ReplaySweep{Runs: req.Runs}
+		if req.Replay != nil {
+			spec.Params = *req.Replay
+			spec.Params.Seed = 0 // per-run seeds derive from the job seed
+		}
+		return spec, nil
+	case "equilibrium_sweep":
+		return engine.EquilibriumSweep{Gen: gen, Games: req.Games}, nil
+	default:
+		return nil, fmt.Errorf("unknown job type %q", req.Type)
+	}
+}
+
+// gameID derives the content-addressed game identifier: a hash of the
+// canonical wire form, so the same game always registers under the same ID.
+func gameID(g *core.Game) (string, error) {
+	b, err := json.Marshal(g)
+	if err != nil {
+		return "", fmt.Errorf("hash game: %w", err)
+	}
+	sum := sha256.Sum256(b)
+	return "g-" + hex.EncodeToString(sum[:8]), nil
+}
+
+// cacheKey derives the result-cache key from the *built* spec plus the job
+// seed — the exact inputs the engine runs on — rather than the raw request,
+// so wire fields a job type ignores can never split or alias cache entries.
+// Every spec is a JSON-encodable struct with a fixed field order, and an
+// embedded *core.Game marshals in canonical (sorted-miner) form, which
+// covers the game identity.
+func cacheKey(spec engine.Spec, seed uint64) (string, error) {
+	b, err := json.Marshal(spec)
+	if err != nil {
+		return "", fmt.Errorf("hash job spec: %w", err)
+	}
+	h := sha256.New()
+	fmt.Fprintf(h, "%s|%d|", spec.Kind(), seed)
+	h.Write(b)
+	return hex.EncodeToString(h.Sum(nil)[:16]), nil
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
