@@ -1,0 +1,296 @@
+// Package client is the typed Go SDK for the gocserve v2 job API: submit
+// self-describing spec envelopes, watch progress as a live stream, fetch
+// deterministic results, and release per-client job handles.
+//
+// A Client is cheap and safe for concurrent use. Spec and result types are
+// the facade's aliases (gameofcoins.EquilibriumSweep, …), so external
+// callers never import internal packages. The minimal session:
+//
+//	c := client.New("http://localhost:8372")
+//	h, err := c.SubmitEquilibriumSweep(ctx, gameofcoins.EquilibriumSweep{
+//		Gen: gameofcoins.GenSpec{Miners: 5, Coins: 2}, Games: 200,
+//	}, 7)
+//	st, err := h.Wait(ctx)           // streams progress under the hood
+//	var res gameofcoins.EquilibriumSweepResult
+//	err = h.Result(ctx, &res)
+//	_ = h.Release(ctx)               // drop this client's claim on the job
+//
+// Handles reference-count the server-side job: identical submissions from
+// several clients share one computation, and Release drops only the caller's
+// interest — the job is canceled only when its last handle is released.
+package client
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+
+	"gameofcoins/internal/core"
+	"gameofcoins/internal/engine"
+	"gameofcoins/internal/server"
+)
+
+// Client talks to one gocserve instance.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// Option configures a Client.
+type Option func(*Client)
+
+// WithHTTPClient substitutes the underlying HTTP client (timeouts, proxies,
+// test transports). The default is http.DefaultClient, which suits the SDK's
+// long-lived Watch streams (no client-side timeout).
+func WithHTTPClient(hc *http.Client) Option {
+	return func(c *Client) { c.hc = hc }
+}
+
+// New returns a client for the gocserve instance at baseURL
+// (e.g. "http://localhost:8372").
+func New(baseURL string, opts ...Option) *Client {
+	c := &Client{base: strings.TrimRight(baseURL, "/"), hc: http.DefaultClient}
+	for _, opt := range opts {
+		opt(c)
+	}
+	return c
+}
+
+// APIError is a non-2xx server response.
+type APIError struct {
+	StatusCode int
+	Message    string
+}
+
+// Error implements error.
+func (e *APIError) Error() string {
+	return fmt.Sprintf("server: %s (HTTP %d)", e.Message, e.StatusCode)
+}
+
+// do runs one JSON request. in (if non-nil) is the request body; out (if
+// non-nil) receives the decoded response.
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	var body bytes.Buffer
+	if in != nil {
+		if err := json.NewEncoder(&body).Encode(in); err != nil {
+			return fmt.Errorf("client: encode request: %w", err)
+		}
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, &body)
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		return decodeAPIError(resp)
+	}
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			return fmt.Errorf("client: decode response: %w", err)
+		}
+	}
+	return nil
+}
+
+func decodeAPIError(resp *http.Response) error {
+	var e struct {
+		Error string `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil || e.Error == "" {
+		e.Error = resp.Status
+	}
+	return &APIError{StatusCode: resp.StatusCode, Message: e.Error}
+}
+
+// SpecKinds lists the spec kinds the server's registry accepts.
+func (c *Client) SpecKinds(ctx context.Context) ([]string, error) {
+	var out struct {
+		Kinds []string `json:"kinds"`
+	}
+	if err := c.do(ctx, http.MethodGet, "/v2/specs", nil, &out); err != nil {
+		return nil, err
+	}
+	return out.Kinds, nil
+}
+
+// RegisterGame registers a game and returns its content-addressed ID, which
+// LearnSweep specs may reference via GameID.
+func (c *Client) RegisterGame(ctx context.Context, g *core.Game) (string, error) {
+	var out struct {
+		ID string `json:"id"`
+	}
+	if err := c.do(ctx, http.MethodPost, "/v1/games", g, &out); err != nil {
+		return "", err
+	}
+	return out.ID, nil
+}
+
+// Handle is one client's claim on a server-side job. It is returned by the
+// Submit family and released with Release.
+type Handle struct {
+	c  *Client
+	id string
+	// Submitted is the handle's submission-time snapshot: the underlying
+	// job's ID and status, the live-handle count, and whether the submission
+	// was answered from the server's result cache.
+	Submitted server.JobHandle
+}
+
+// Submit sends a raw envelope: kind names a registered spec kind, seed roots
+// the job's deterministic randomness, and spec is any JSON-encodable value
+// matching the kind's spec document (typically the engine spec struct
+// itself). Prefer the typed Submit* helpers for the built-in sweeps.
+func (c *Client) Submit(ctx context.Context, kind string, seed uint64, spec any) (*Handle, error) {
+	raw, err := json.Marshal(spec)
+	if err != nil {
+		return nil, fmt.Errorf("client: encode %s spec: %w", kind, err)
+	}
+	env := engine.JobEnvelope{Kind: kind, Seed: seed, Spec: raw}
+	var jh server.JobHandle
+	if err := c.do(ctx, http.MethodPost, "/v2/jobs", env, &jh); err != nil {
+		return nil, err
+	}
+	return &Handle{c: c, id: jh.Handle, Submitted: jh}, nil
+}
+
+// SubmitSpec submits a typed engine spec under its own Kind.
+func (c *Client) SubmitSpec(ctx context.Context, spec engine.Spec, seed uint64) (*Handle, error) {
+	return c.Submit(ctx, spec.Kind(), seed, spec)
+}
+
+// SubmitLearnSweep submits a better-response learning sweep.
+func (c *Client) SubmitLearnSweep(ctx context.Context, spec engine.LearnSweep, seed uint64) (*Handle, error) {
+	return c.SubmitSpec(ctx, spec, seed)
+}
+
+// SubmitDesignSweep submits a Section-5 reward-design sweep.
+func (c *Client) SubmitDesignSweep(ctx context.Context, spec engine.DesignSweep, seed uint64) (*Handle, error) {
+	return c.SubmitSpec(ctx, spec, seed)
+}
+
+// SubmitReplaySweep submits a market-replay sweep.
+func (c *Client) SubmitReplaySweep(ctx context.Context, spec engine.ReplaySweep, seed uint64) (*Handle, error) {
+	return c.SubmitSpec(ctx, spec, seed)
+}
+
+// SubmitEquilibriumSweep submits an equilibrium-census sweep.
+func (c *Client) SubmitEquilibriumSweep(ctx context.Context, spec engine.EquilibriumSweep, seed uint64) (*Handle, error) {
+	return c.SubmitSpec(ctx, spec, seed)
+}
+
+// ID returns the server-side handle identifier.
+func (h *Handle) ID() string { return h.id }
+
+// Status polls the handle's job status once.
+func (h *Handle) Status(ctx context.Context) (server.JobHandle, error) {
+	var jh server.JobHandle
+	err := h.c.do(ctx, http.MethodGet, "/v2/jobs/"+h.id, nil, &jh)
+	return jh, err
+}
+
+// Watch subscribes to the job's SSE event stream. The channel carries status
+// snapshots — progress updates coalesced to the latest, then the terminal
+// status — and closes when the stream ends. Canceling ctx tears the stream
+// down.
+func (h *Handle) Watch(ctx context.Context) (<-chan engine.Status, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, h.c.base+"/v2/jobs/"+h.id+"/events", nil)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	resp, err := h.c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		defer resp.Body.Close()
+		return nil, decodeAPIError(resp)
+	}
+	ch := make(chan engine.Status)
+	go func() {
+		defer resp.Body.Close()
+		defer close(ch)
+		sc := bufio.NewScanner(resp.Body)
+		sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+		var data string
+		for sc.Scan() {
+			line := sc.Text()
+			switch {
+			case line == "": // blank line terminates one SSE event
+				if data == "" {
+					continue
+				}
+				var st engine.Status
+				if err := json.Unmarshal([]byte(data), &st); err == nil {
+					select {
+					case ch <- st:
+					case <-ctx.Done():
+						return
+					}
+				}
+				data = ""
+			case strings.HasPrefix(line, "data:"):
+				data = strings.TrimSpace(strings.TrimPrefix(line, "data:"))
+			}
+		}
+	}()
+	return ch, nil
+}
+
+// Wait streams the job via Watch until it reaches a terminal state and
+// returns the terminal status. A failed or canceled job is not an error
+// here — inspect the returned State; errors mean the wait itself broke
+// (transport failure, canceled ctx, stream cut before a terminal status).
+func (h *Handle) Wait(ctx context.Context) (engine.Status, error) {
+	ch, err := h.Watch(ctx)
+	if err != nil {
+		return engine.Status{}, err
+	}
+	var last engine.Status
+	for st := range ch {
+		last = st
+	}
+	if !last.State.Terminal() {
+		if err := ctx.Err(); err != nil {
+			return last, err
+		}
+		return last, fmt.Errorf("client: event stream ended before job %s finished", last.ID)
+	}
+	return last, nil
+}
+
+// Result fetches the finished job's result into out (any JSON-decodable
+// value; the matching engine *Result struct preserves typing). It returns an
+// *APIError with StatusCode 409 while the job is still running and 410 if
+// the job failed or was canceled.
+func (h *Handle) Result(ctx context.Context, out any) error {
+	var wrapper struct {
+		Result json.RawMessage `json:"result"`
+	}
+	if err := h.c.do(ctx, http.MethodGet, "/v2/jobs/"+h.id+"/result", nil, &wrapper); err != nil {
+		return err
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.Unmarshal(wrapper.Result, out); err != nil {
+		return fmt.Errorf("client: decode result: %w", err)
+	}
+	return nil
+}
+
+// Release drops this client's claim on the job. The server cancels the
+// underlying job only when its last handle is released; other clients
+// attached to the same deduplicated job are unaffected.
+func (h *Handle) Release(ctx context.Context) error {
+	return h.c.do(ctx, http.MethodDelete, "/v2/jobs/"+h.id, nil, nil)
+}

@@ -1,4 +1,4 @@
-// Command gocbench regenerates the paper-reproduction experiments (E1–E10,
+// Command gocbench regenerates the paper-reproduction experiments (E1–E13,
 // see DESIGN.md §4 and EXPERIMENTS.md) and prints their tables and ASCII
 // figures.
 //

@@ -2,18 +2,27 @@
 // mechanism on a random game: it enumerates two equilibria, runs Algorithm 2
 // to move the system between them, and prints the per-stage trace.
 //
+// With -pairs N it instead runs a reward-design *sweep* — the same
+// engine.DesignSweep spec gocserve executes for design_sweep jobs — fanned
+// across -parallel workers, and prints the aggregate reach/cost/steps
+// statistics. Results are worker-count independent (the engine forks one
+// rng stream per task), so -parallel only changes wall-clock time.
+//
 // Usage:
 //
-//	gocdesign [-miners N] [-coins M] [-seed N]
+//	gocdesign [-miners N] [-coins M] [-seed N]             single traced run
+//	gocdesign -pairs N [-parallel W] [-miners N] [-coins M] [-seed N]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
 	"gameofcoins/internal/core"
 	"gameofcoins/internal/design"
+	"gameofcoins/internal/engine"
 	"gameofcoins/internal/equilibria"
 	"gameofcoins/internal/rng"
 	"gameofcoins/internal/trace"
@@ -31,8 +40,13 @@ func run(args []string) error {
 	miners := fs.Int("miners", 6, "number of miners")
 	coins := fs.Int("coins", 2, "number of coins")
 	seed := fs.Uint64("seed", 7, "seed")
+	pairs := fs.Int("pairs", 0, "run a design sweep over N equilibrium pairs through the experiment engine (0 = single traced run)")
+	parallel := fs.Int("parallel", 0, "engine worker count for -pairs; 0 or -1 uses all cores")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *pairs > 0 {
+		return runSweep(*miners, *coins, *seed, *pairs, *parallel)
 	}
 	r := rng.New(*seed)
 	// Draw games until one has strictly descending powers and ≥2 equilibria.
@@ -75,4 +89,22 @@ func run(args []string) error {
 		return nil
 	}
 	return fmt.Errorf("no suitable random game found; try another seed")
+}
+
+// runSweep runs the same engine.DesignSweep spec gocserve serves for
+// design_sweep jobs, locally, fanned across the worker pool.
+func runSweep(miners, coins int, seed uint64, pairs, parallel int) error {
+	spec := engine.DesignSweep{Gen: core.GenSpec{Miners: miners, Coins: coins}, Pairs: pairs}
+	res, err := engine.New(parallel).Run(context.Background(), spec, seed, nil)
+	if err != nil {
+		return err
+	}
+	dr := res.(engine.DesignSweepResult)
+	tbl := trace.NewTable("pairs", "reached", "skipped", "mean cost", "mean steps")
+	tbl.AddRow(dr.Pairs, dr.Reached, dr.Skipped, dr.Cost.Mean, dr.Steps.Mean)
+	fmt.Println(tbl.String())
+	if dr.Errors > 0 {
+		fmt.Printf("%d game draws errored (last: %s)\n", dr.Errors, dr.LastError)
+	}
+	return nil
 }

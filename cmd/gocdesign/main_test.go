@@ -8,6 +8,12 @@ func TestRunFindsGameAndConverges(t *testing.T) {
 	}
 }
 
+func TestRunSweepMode(t *testing.T) {
+	if err := run([]string{"-pairs", "2", "-miners", "4", "-parallel", "2", "-seed", "3"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestRunBadFlag(t *testing.T) {
 	if err := run([]string{"-nope"}); err == nil {
 		t.Fatal("bad flag accepted")

@@ -1,19 +1,38 @@
 // Command gocserve exposes the concurrent experiment engine as an HTTP JSON
 // service: register games, submit learning/design/replay/enumeration jobs,
-// poll progress, cancel, and fetch cached deterministic results.
+// stream progress, cancel, and fetch cached deterministic results.
 //
 // Usage:
 //
 //	gocserve [-addr :8372] [-workers N]
 //
-// The API is documented in internal/server. A quick session:
+// The preferred API is v2, the self-describing envelope form: POST a
+// {"kind", "seed", "spec"} document and the server resolves it purely
+// through the engine's spec registry — new spec kinds plug in via
+// engine.RegisterSpec with zero server changes. GET /v2/specs lists the
+// registered kinds. A v2 session:
 //
-//	curl -X POST :8372/v1/jobs -d '{"type":"learn_sweep","seed":11,"gen":{"Miners":8,"Coins":3},"runs":50}'
-//	curl :8372/v1/jobs/job-1
-//	curl :8372/v1/jobs/job-1/result
+//	curl -X POST :8372/v2/jobs -d '{"kind":"learn_sweep","seed":11,"spec":{"gen":{"Miners":8,"Coins":3},"runs":50}}'
+//	curl :8372/v2/jobs/h-1                    # poll the handle
+//	curl -N :8372/v2/jobs/h-1/events          # SSE: "progress" events, then one "end"
+//	curl :8372/v2/jobs/h-1/result
+//	curl -X DELETE :8372/v2/jobs/h-1          # release the handle
 //
-// On SIGINT/SIGTERM the listener drains in-flight requests, then running
-// jobs are canceled.
+// POST /v2/jobs returns a per-client *handle* (h-N), not a raw job id.
+// Identical submissions deduplicate onto one underlying job, and each
+// handle is one client's reference-counted claim on it: DELETE releases
+// only the caller's interest, and the shared job is canceled only when its
+// last handle is released — one client's cancel can no longer kill another
+// client's computation. (The v1 endpoints remain for compatibility; they
+// address jobs directly, so a v1 DELETE still cancels the shared job
+// outright, and a job any v1 client submitted or attached to is pinned:
+// v1 clients hold no handles, so v2 releases never cancel it.)
+//
+// The full endpoint reference is in internal/server. Results are cached by
+// (canonical spec, seed): identical submissions are answered instantly, and
+// the cache is sound because every job is a deterministic function of the
+// two. On SIGINT/SIGTERM the listener drains in-flight requests, then
+// running jobs are canceled.
 package main
 
 import (
@@ -43,6 +62,28 @@ func run(ctx context.Context, args []string) error {
 	addr := fs.String("addr", ":8372", "listen address")
 	workers := fs.Int("workers", 0, "engine worker count (0 = all cores)")
 	grace := fs.Duration("grace", 10*time.Second, "shutdown grace period")
+	fs.Usage = func() {
+		out := fs.Output()
+		fmt.Fprintf(out, "Usage: gocserve [flags]\n\nFlags:\n")
+		fs.PrintDefaults()
+		fmt.Fprintf(out, `
+v2 API (self-describing spec envelopes; kinds from GET /v2/specs):
+  POST   /v2/jobs                 {"kind","seed","spec"} -> per-client handle
+  GET    /v2/jobs/{h}             poll the handle's job status
+  GET    /v2/jobs/{h}/events      SSE progress stream, then one "end" event
+  GET    /v2/jobs/{h}/result      fetch the finished job's result
+  DELETE /v2/jobs/{h}             release the handle; the deduplicated job is
+                                  canceled only when its last handle is gone
+
+v1 API (legacy flat requests; DELETE cancels the shared job for everyone):
+  POST /v1/games · GET /v1/games/{id} · POST /v1/jobs · GET /v1/jobs[/{id}]
+  GET /v1/jobs/{id}/result · DELETE /v1/jobs/{id} · GET /healthz
+
+Example:
+  curl -X POST :8372/v2/jobs -d '{"kind":"equilibrium_sweep","seed":7,"spec":{"gen":{"Miners":5,"Coins":2},"games":500}}'
+  curl -N :8372/v2/jobs/h-1/events
+`)
+	}
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -66,12 +107,17 @@ func run(ctx context.Context, args []string) error {
 	case <-ctx.Done():
 	}
 
-	// Graceful shutdown: stop accepting, drain requests, then cancel jobs.
+	// Graceful shutdown: stop accepting and drain requests while canceling
+	// jobs. The cancel must run concurrently with the drain, not after it —
+	// an open SSE /events stream only ends when its job reaches a terminal
+	// state, so draining first would burn the whole grace period and exit
+	// non-zero whenever a watcher is connected.
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *grace)
 	defer cancel()
-	err := srv.Shutdown(shutdownCtx)
+	done := make(chan error, 1)
+	go func() { done <- srv.Shutdown(shutdownCtx) }()
 	api.Close()
-	if err != nil {
+	if err := <-done; err != nil {
 		return fmt.Errorf("shutdown: %w", err)
 	}
 	fmt.Fprintln(os.Stderr, "gocserve: drained and stopped")

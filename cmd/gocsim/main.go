@@ -2,16 +2,25 @@
 // BTC/BCH scenario and emits the recorded series as CSV (stdout) or as
 // ASCII plots (-plot).
 //
+// With -runs N (N > 1) it instead replays the scenario N times with derived
+// seeds — the same engine.ReplaySweep spec gocserve executes for
+// replay_sweep jobs — fanned across -parallel workers, and prints the
+// aggregate migration statistics. Results are worker-count independent, so
+// -parallel only changes wall-clock time.
+//
 // Usage:
 //
-//	gocsim [-miners N] [-epochs H] [-spike H] [-seed N] [-plot]
+//	gocsim [-miners N] [-epochs H] [-spike H] [-seed N] [-plot]   single run
+//	gocsim -runs N [-parallel W] [-miners N] [-epochs H] [-spike H] [-seed N]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
+	"gameofcoins/internal/engine"
 	"gameofcoins/internal/replay"
 	"gameofcoins/internal/trace"
 )
@@ -30,8 +39,17 @@ func run(args []string) error {
 	spike := fs.Int("spike", 1200, "hour at which the BCH rate spike begins")
 	seed := fs.Uint64("seed", 1, "simulation seed")
 	plot := fs.Bool("plot", false, "render ASCII plots instead of CSV")
+	runs := fs.Int("runs", 1, "replay the scenario N times through the experiment engine and print aggregate stats (1 = single run with full series output)")
+	parallel := fs.Int("parallel", 0, "engine worker count for -runs; 0 or -1 uses all cores")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *runs > 1 {
+		return runSweep(replay.ScenarioParams{
+			Miners:    *miners,
+			Epochs:    *epochs,
+			SpikeHour: *spike,
+		}, *seed, *runs, *parallel)
 	}
 	sc, err := replay.New(replay.ScenarioParams{
 		Miners:    *miners,
@@ -59,4 +77,21 @@ func run(args []string) error {
 		s.RateSeries[sc.BTC], s.RateSeries[sc.BCH],
 		s.WeightSeries[sc.BTC], s.WeightSeries[sc.BCH],
 		s.SwitchSeries)
+}
+
+// runSweep runs the same engine.ReplaySweep spec gocserve serves for
+// replay_sweep jobs, locally, fanned across the worker pool. The per-run
+// seeds derive from the job seed, so the aggregate is reproducible and
+// independent of the worker count.
+func runSweep(params replay.ScenarioParams, seed uint64, runs, parallel int) error {
+	spec := engine.ReplaySweep{Params: params, Runs: runs}
+	res, err := engine.New(parallel).Run(context.Background(), spec, seed, nil)
+	if err != nil {
+		return err
+	}
+	sr := res.(engine.ReplaySweepResult)
+	tbl := trace.NewTable("runs", "migrated", "pre-spike mean", "peak mean", "final mean")
+	tbl.AddRow(sr.Runs, sr.Migrated, sr.PreSpike.Mean, sr.Peak.Mean, sr.Final.Mean)
+	fmt.Println(tbl.String())
+	return nil
 }

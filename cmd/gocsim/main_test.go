@@ -14,6 +14,12 @@ func TestRunSmallScenarioPlot(t *testing.T) {
 	}
 }
 
+func TestRunSweepMode(t *testing.T) {
+	if err := run([]string{"-runs", "3", "-miners", "30", "-epochs", "48", "-spike", "24", "-parallel", "2", "-seed", "3"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestRunBadFlag(t *testing.T) {
 	if err := run([]string{"-nope"}); err == nil {
 		t.Fatal("bad flag accepted")

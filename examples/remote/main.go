@@ -1,0 +1,101 @@
+// Remote: drive the experiment service over HTTP with the typed client SDK —
+// the v2 flow end to end. An in-process gocserve instance stands in for a
+// remote deployment; everything below the net.Listen line is exactly what a
+// real remote client would write.
+//
+// The flow: register a game, submit a learning sweep as a self-describing
+// spec envelope, stream progress over SSE, fetch the deterministic result,
+// and release the per-client job handle.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+
+	"gameofcoins"
+	"gameofcoins/client"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// Stand-in for a remote deployment: gocserve's handler on a loopback
+	// listener. A real client would just point client.New at the server URL.
+	api := gameofcoins.NewServer(0)
+	defer api.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Handler: api}
+	go srv.Serve(ln)
+	defer srv.Close()
+
+	ctx := context.Background()
+	c := client.New("http://" + ln.Addr().String())
+
+	kinds, err := c.SpecKinds(ctx)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("server accepts spec kinds: %v\n", kinds)
+
+	// Register the quick-start game; the spec references it by ID.
+	g, err := gameofcoins.NewGame(
+		[]gameofcoins.Miner{
+			{Name: "pool-a", Power: 13}, {Name: "pool-b", Power: 11},
+			{Name: "pool-c", Power: 7}, {Name: "solo-1", Power: 5}, {Name: "solo-2", Power: 3},
+		},
+		[]gameofcoins.Coin{{Name: "btc"}, {Name: "bch"}},
+		[]float64{17, 19},
+	)
+	if err != nil {
+		return err
+	}
+	gameID, err := c.RegisterGame(ctx, g)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("registered game %s\n", gameID)
+
+	// Submit a learning sweep as a v2 envelope and watch it live: the SSE
+	// stream carries progress snapshots, then the terminal status.
+	h, err := c.SubmitLearnSweep(ctx, gameofcoins.LearnSweep{
+		GameID:     gameID,
+		Schedulers: []string{"random", "round-robin", "max-gain"},
+		Runs:       40,
+	}, 11)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("handle %s → job %s (cached=%v, clients=%d)\n",
+		h.ID(), h.Submitted.Status.ID, h.Submitted.Cached, h.Submitted.Clients)
+
+	ch, err := h.Watch(ctx)
+	if err != nil {
+		return err
+	}
+	for st := range ch {
+		fmt.Printf("  %-8s %d/%d tasks\n", st.State, st.Progress.Done, st.Progress.Total)
+	}
+
+	var res gameofcoins.LearnSweepResult
+	if err := h.Result(ctx, &res); err != nil {
+		return err
+	}
+	for _, s := range res.Schedulers {
+		fmt.Printf("%-12s converged %d/%d, steps mean %.2f (p95 %.0f)\n",
+			s.Scheduler, s.Converged, s.Runs, s.Steps.Mean, s.Steps.P95)
+	}
+
+	// Drop this client's claim. The job is shared infrastructure: releasing
+	// a handle only cancels the job when no other client still holds one.
+	return h.Release(ctx)
+}

@@ -98,3 +98,54 @@ func TestFacadeServerRoundTrip(t *testing.T) {
 		t.Fatalf("result = %+v", out.Result)
 	}
 }
+
+// TestFacadeV2Surface drives the v2 redesign end to end through the public
+// facade alone: RegisterSpec visibility via SpecKinds, NewClient + envelope
+// submission against NewServer, SSE Watch, typed result, handle release.
+func TestFacadeV2Surface(t *testing.T) {
+	kinds := gameofcoins.SpecKinds()
+	for _, want := range []string{"learn_sweep", "design_sweep", "replay_sweep", "equilibrium_sweep"} {
+		found := false
+		for _, k := range kinds {
+			found = found || k == want
+		}
+		if !found {
+			t.Fatalf("built-in kind %s missing from SpecKinds %v", want, kinds)
+		}
+	}
+
+	api := gameofcoins.NewServer(2)
+	defer api.Close()
+	ts := httptest.NewServer(api)
+	defer ts.Close()
+	c := gameofcoins.NewClient(ts.URL)
+	ctx := context.Background()
+
+	h, err := c.SubmitEquilibriumSweep(ctx, gameofcoins.EquilibriumSweep{
+		Gen: gameofcoins.GenSpec{Miners: 4, Coins: 2}, Games: 6,
+	}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var handle gameofcoins.JobHandle = h.Submitted
+	if handle.Handle == "" || handle.Clients != 1 {
+		t.Fatalf("handle = %+v", handle)
+	}
+	st, err := h.Wait(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != "done" {
+		t.Fatalf("job ended %s: %s", st.State, st.Error)
+	}
+	var res gameofcoins.EquilibriumSweepResult
+	if err := h.Result(ctx, &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Games != 6 {
+		t.Fatalf("result = %+v", res)
+	}
+	if err := h.Release(ctx); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -2,8 +2,10 @@ package gameofcoins
 
 import (
 	"context"
+	"encoding/json"
 	"net/http"
 
+	"gameofcoins/client"
 	"gameofcoins/internal/design"
 	"gameofcoins/internal/engine"
 	"gameofcoins/internal/equilibria"
@@ -110,8 +112,22 @@ type (
 
 	// Server is the gocserve HTTP handler (games, jobs, results, cache).
 	Server = server.Server
-	// JobRequest is the wire form of a job submission to the server.
+	// JobRequest is the legacy (v1) flat wire form of a job submission.
 	JobRequest = server.JobRequest
+
+	// JobEnvelope is the self-describing v2 wire form of a job: a registered
+	// spec kind, a seed, and the spec document the registry decodes.
+	JobEnvelope = engine.JobEnvelope
+	// JobHandle is the v2 wire form of a per-client job handle: one client's
+	// reference-counted claim on a deduplicated server-side job.
+	JobHandle = server.JobHandle
+	// GameResolver resolves registered-game references when decoding specs.
+	GameResolver = engine.GameResolver
+
+	// Client is the typed Go SDK for the gocserve v2 API (package client).
+	Client = client.Client
+	// ClientHandle is the SDK-side job handle (Wait, Watch, Result, Release).
+	ClientHandle = client.Handle
 )
 
 // NewEngine returns a worker-pool engine; workers <= 0 selects GOMAXPROCS.
@@ -130,6 +146,21 @@ func RunJob(ctx context.Context, e *Engine, spec EngineSpec, seed uint64) (any, 
 // the given worker count. Mount it on any mux or serve it directly; call
 // Server.Close during shutdown to cancel running jobs.
 func NewServer(workers int) *Server { return server.New(workers) }
+
+// RegisterSpec registers a decoder for a new job-spec kind. Once registered,
+// the kind is accepted end to end — POST /v2/jobs, result caching, the
+// client SDK — with zero changes to the server: the serving layers resolve
+// every envelope purely through this registry. Call it from an init
+// function, next to the spec type; it panics on duplicate kinds.
+func RegisterSpec(kind string, decode func(json.RawMessage) (EngineSpec, error)) {
+	engine.RegisterSpec(kind, decode)
+}
+
+// SpecKinds returns the registered job-spec kinds, sorted.
+func SpecKinds() []string { return engine.SpecKinds() }
+
+// NewClient returns the typed SDK client for a gocserve instance at url.
+func NewClient(url string) *Client { return client.New(url) }
 
 // Compile-time check that the facade server is a plain http.Handler.
 var _ http.Handler = (*Server)(nil)

@@ -52,6 +52,9 @@ type Job struct {
 	state  State
 	result any
 	err    error
+	// watchers holds the live Watch channels; finish delivers the terminal
+	// status to each and closes it, then nils the map.
+	watchers map[chan Status]struct{}
 
 	finished chan struct{}
 }
@@ -63,6 +66,10 @@ func (j *Job) ID() string { return j.id }
 func (j *Job) Status() Status {
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	return j.statusLocked()
+}
+
+func (j *Job) statusLocked() Status {
 	st := Status{
 		ID:       j.id,
 		Kind:     j.kind,
@@ -73,6 +80,79 @@ func (j *Job) Status() Status {
 		st.Error = j.err.Error()
 	}
 	return st
+}
+
+// Watch returns a channel of status snapshots: the current status
+// immediately, then updates as tasks complete, then the terminal status,
+// after which the channel is closed. Delivery is coalescing — a slow
+// receiver sees the latest snapshot, not every intermediate one — but the
+// terminal status is always delivered. If ctx is canceled first, the
+// subscription is dropped and the channel closed without a terminal status.
+func (j *Job) Watch(ctx context.Context) <-chan Status {
+	ch := make(chan Status, 1)
+	j.mu.Lock()
+	st := j.statusLocked()
+	if st.State.Terminal() {
+		j.mu.Unlock()
+		ch <- st
+		close(ch)
+		return ch
+	}
+	if j.watchers == nil {
+		j.watchers = map[chan Status]struct{}{}
+	}
+	j.watchers[ch] = struct{}{}
+	offer(ch, st)
+	j.mu.Unlock()
+	if ctx.Done() != nil {
+		go func() {
+			select {
+			case <-ctx.Done():
+				j.unwatch(ch)
+			case <-j.finished:
+			}
+		}()
+	}
+	return ch
+}
+
+// offer delivers st on a buffer-1 watcher channel, displacing a pending
+// older snapshot rather than blocking. It never blocks, so callers may hold
+// j.mu (which also serializes offers, making the drain-and-resend loop
+// converge immediately).
+func offer(ch chan Status, st Status) {
+	for {
+		select {
+		case ch <- st:
+			return
+		default:
+		}
+		select {
+		case <-ch:
+		default:
+		}
+	}
+}
+
+// notifyWatchers publishes the current status to every watcher.
+func (j *Job) notifyWatchers() {
+	j.mu.Lock()
+	st := j.statusLocked()
+	for ch := range j.watchers {
+		offer(ch, st)
+	}
+	j.mu.Unlock()
+}
+
+// unwatch drops one watcher. Whoever removes a channel from the map closes
+// it, so a channel is closed exactly once (finish removes them all).
+func (j *Job) unwatch(ch chan Status) {
+	j.mu.Lock()
+	if _, ok := j.watchers[ch]; ok {
+		delete(j.watchers, ch)
+		close(ch)
+	}
+	j.mu.Unlock()
 }
 
 // Cancel requests cancellation. It is a no-op on terminal jobs.
@@ -116,6 +196,15 @@ func (j *Job) finish(res any, err error, canceled bool) {
 		j.state = StateDone
 		j.result = res
 	}
+	// Deliver the terminal status to every watcher and retire them. The
+	// coalescing offer may displace a pending progress snapshot — terminal
+	// delivery is the guarantee, not completeness of the progress stream.
+	st := j.statusLocked()
+	for ch := range j.watchers {
+		offer(ch, st)
+		close(ch)
+	}
+	j.watchers = nil
 	close(j.finished)
 }
 
@@ -172,10 +261,14 @@ func (m *Manager) Submit(spec Spec, seed uint64) (*Job, error) {
 			// could make the published progress go backwards.
 			for {
 				old := j.done.Load()
-				if int64(p.Done) <= old || j.done.CompareAndSwap(old, int64(p.Done)) {
+				if int64(p.Done) <= old {
+					return // stale update: nothing new to publish
+				}
+				if j.done.CompareAndSwap(old, int64(p.Done)) {
 					break
 				}
 			}
+			j.notifyWatchers()
 		})
 		j.finish(res, err, jctx.Err() != nil && errors.Is(err, context.Canceled))
 	}()
@@ -234,6 +327,19 @@ func (m *Manager) Get(id string) (*Job, error) {
 		return nil, fmt.Errorf("%w: %s", ErrUnknownJob, id)
 	}
 	return j, nil
+}
+
+// Watch subscribes to the job with the given ID: the returned channel
+// carries status snapshots (coalesced to the latest) and closes after the
+// terminal status is delivered, or when ctx is canceled. A terminal job
+// yields its final status immediately. gocserve's SSE endpoint is a thin
+// adapter over this.
+func (m *Manager) Watch(ctx context.Context, id string) (<-chan Status, error) {
+	j, err := m.Get(id)
+	if err != nil {
+		return nil, err
+	}
+	return j.Watch(ctx), nil
 }
 
 // Statuses returns snapshots of every tracked job, ordered by ID.

@@ -1,0 +1,167 @@
+package engine
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"sync"
+
+	"gameofcoins/internal/core"
+)
+
+// The spec registry makes the job API self-describing: a job arrives on the
+// wire as a JobEnvelope — a kind, a seed, and an opaque spec document — and
+// the registry alone turns the document into a typed Spec. Serving layers
+// (gocserve's /v2, the v1 translation shim, CLIs) never switch on kinds;
+// adding a job type is one RegisterSpec call next to the spec's definition.
+
+// JobEnvelope is the self-describing wire form of a job: the registered spec
+// kind, the seed rooting the job's deterministic randomness, and the spec
+// document itself, decoded by the registry entry for Kind.
+type JobEnvelope struct {
+	Kind string          `json:"kind"`
+	Seed uint64          `json:"seed"`
+	Spec json.RawMessage `json:"spec,omitempty"`
+}
+
+// Decode resolves the envelope's spec through the registry.
+func (e JobEnvelope) Decode() (Spec, error) { return DecodeSpec(e.Kind, e.Spec) }
+
+// DecodeFunc turns a raw spec document into a typed Spec. It should reject
+// malformed documents but leave semantic validation to the spec's Validate.
+type DecodeFunc func(json.RawMessage) (Spec, error)
+
+var registry = struct {
+	sync.RWMutex
+	decoders map[string]DecodeFunc
+}{decoders: map[string]DecodeFunc{}}
+
+// RegisterSpec registers a decoder for the given spec kind. It panics on an
+// empty kind, a nil decoder, or a duplicate registration — all programmer
+// errors at package init time, not runtime conditions.
+func RegisterSpec(kind string, decode DecodeFunc) {
+	if kind == "" {
+		panic("engine: RegisterSpec with empty kind")
+	}
+	if decode == nil {
+		panic("engine: RegisterSpec with nil decoder for " + kind)
+	}
+	registry.Lock()
+	defer registry.Unlock()
+	if _, dup := registry.decoders[kind]; dup {
+		panic("engine: RegisterSpec duplicate kind " + kind)
+	}
+	registry.decoders[kind] = decode
+}
+
+// DecodeSpec decodes a raw spec document of the given registered kind. An
+// empty document decodes the spec's zero value (validation then rejects it
+// if the kind has required fields).
+func DecodeSpec(kind string, raw json.RawMessage) (Spec, error) {
+	registry.RLock()
+	decode, ok := registry.decoders[kind]
+	registry.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("engine: unknown spec kind %q (registered: %v)", kind, SpecKinds())
+	}
+	spec, err := decode(raw)
+	if err != nil {
+		return nil, fmt.Errorf("engine: decode %s spec: %w", kind, err)
+	}
+	if spec.Kind() != kind {
+		return nil, fmt.Errorf("engine: registry entry %q decoded a %q spec", kind, spec.Kind())
+	}
+	return spec, nil
+}
+
+// SpecKinds returns the registered spec kinds, sorted.
+func SpecKinds() []string {
+	registry.RLock()
+	kinds := make([]string, 0, len(registry.decoders))
+	for k := range registry.decoders {
+		kinds = append(kinds, k)
+	}
+	registry.RUnlock()
+	sort.Strings(kinds)
+	return kinds
+}
+
+// DecodeJSON adapts a JSON-encodable spec struct to a DecodeFunc. Unknown
+// fields are rejected: a self-describing envelope that silently dropped a
+// misspelled parameter would compute the wrong experiment without a word.
+func DecodeJSON[S Spec]() DecodeFunc {
+	return func(raw json.RawMessage) (Spec, error) {
+		var s S
+		if len(raw) > 0 {
+			dec := json.NewDecoder(bytes.NewReader(raw))
+			dec.DisallowUnknownFields()
+			if err := dec.Decode(&s); err != nil {
+				return nil, err
+			}
+		}
+		return s, nil
+	}
+}
+
+// The four built-in sweeps register themselves like any third-party spec
+// would: the serving layers learn about them only through the registry.
+func init() {
+	RegisterSpec(LearnSweep{}.Kind(), DecodeJSON[LearnSweep]())
+	RegisterSpec(DesignSweep{}.Kind(), DecodeJSON[DesignSweep]())
+	RegisterSpec(ReplaySweep{}.Kind(), DecodeJSON[ReplaySweep]())
+	RegisterSpec(EquilibriumSweep{}.Kind(), DecodeJSON[EquilibriumSweep]())
+}
+
+// GameResolver resolves a registered-game reference (e.g. gocserve's
+// content-addressed game IDs) to the game itself.
+type GameResolver func(id string) (*core.Game, error)
+
+// GameRefSpec is implemented by specs that may reference games indirectly
+// (by registry ID) and need a resolver to produce a runnable spec. The
+// serving layer calls ResolveGames once at submission; the returned spec
+// must be self-contained — its canonical encoding is what cache keys hash,
+// so two references to the same game must resolve to identical specs.
+type GameRefSpec interface {
+	Spec
+	ResolveGames(resolve GameResolver) (Spec, error)
+}
+
+// ResolveSpec resolves spec's game references through resolve if it has any.
+// Specs without references pass through untouched.
+func ResolveSpec(spec Spec, resolve GameResolver) (Spec, error) {
+	if gr, ok := spec.(GameRefSpec); ok {
+		return gr.ResolveGames(resolve)
+	}
+	return spec, nil
+}
+
+// CanonicalSpecJSON is the canonical wire encoding of a spec: the struct's
+// own JSON marshalling, which has a fixed field order (and, for embedded
+// games, core.Game's sorted-miner canonical form). Cache keys hash it, so a
+// spec whose encoding is not deterministic would split its own cache line.
+func CanonicalSpecJSON(spec Spec) (json.RawMessage, error) {
+	b, err := json.Marshal(spec)
+	if err != nil {
+		return nil, fmt.Errorf("engine: encode %s spec: %w", spec.Kind(), err)
+	}
+	return b, nil
+}
+
+// CacheKey derives the result-cache key for (spec, seed) — the exact inputs
+// the engine runs on. Every deterministic job is a pure function of the two,
+// so serving layers may answer an identical (spec, seed) pair from cache.
+// The key hashes the canonical spec encoding; wire fields a job type ignores
+// can therefore never split or alias cache entries.
+func CacheKey(spec Spec, seed uint64) (string, error) {
+	b, err := CanonicalSpecJSON(spec)
+	if err != nil {
+		return "", err
+	}
+	h := sha256.New()
+	fmt.Fprintf(h, "%s|%d|", spec.Kind(), seed)
+	h.Write(b)
+	return hex.EncodeToString(h.Sum(nil)[:16]), nil
+}

@@ -3,6 +3,7 @@ package engine
 import (
 	"context"
 	"errors"
+	"fmt"
 
 	"gameofcoins/internal/core"
 	"gameofcoins/internal/design"
@@ -24,6 +25,11 @@ type LearnSweep struct {
 	// Game, if non-nil, is the fixed game every run plays. It must not be
 	// mutated while the job runs (Game is immutable by construction).
 	Game *core.Game `json:"game,omitempty"`
+	// GameID references a game registered with the serving layer (gocserve's
+	// POST /v1/games). It is an unresolved reference: the serving layer must
+	// call ResolveGames before the spec can run, which replaces GameID with
+	// the resolved Game so cache keys see only the game's canonical form.
+	GameID string `json:"game_id,omitempty"`
 	// Gen draws a fresh random game per run when Game is nil.
 	Gen core.GenSpec `json:"gen,omitempty"`
 	// Schedulers names the schedulers to sweep; empty means all built-ins.
@@ -77,8 +83,34 @@ func (s LearnSweep) Tasks() int {
 	return n * s.Runs
 }
 
+// ResolveGames implements GameRefSpec: a GameID reference is swapped for
+// the game itself, and the generator spec is cleared (a fixed game overrides
+// it), so the resolved spec is self-contained and canonical — two envelopes
+// naming the same game by ID or by value produce identical cache keys.
+func (s LearnSweep) ResolveGames(resolve GameResolver) (Spec, error) {
+	if s.GameID == "" {
+		return s, nil
+	}
+	if resolve == nil {
+		return nil, fmt.Errorf("spec references game %q but no game resolver is available", s.GameID)
+	}
+	g, err := resolve(s.GameID)
+	if err != nil {
+		return nil, err
+	}
+	s.Game = g
+	s.GameID = ""
+	s.Gen = core.GenSpec{}
+	return s, nil
+}
+
 // Validate implements Validator.
 func (s LearnSweep) Validate() error {
+	if s.GameID != "" {
+		// An unresolved reference reaching the engine is a serving-layer bug;
+		// running it would silently sweep random games instead of the named one.
+		return fmt.Errorf("unresolved game reference %q (ResolveGames was not called)", s.GameID)
+	}
 	if s.Runs <= 0 {
 		return errors.New("runs must be positive")
 	}
@@ -326,6 +358,11 @@ func (s ReplaySweep) Tasks() int { return s.Runs }
 func (s ReplaySweep) Validate() error {
 	if s.Runs <= 0 {
 		return errors.New("runs must be positive")
+	}
+	if s.Params.Seed != 0 {
+		// Per-run seeds derive from the job seed; a caller setting the inner
+		// seed expects it to matter, so rejecting beats silently dropping it.
+		return errors.New("replay params.seed is ignored by sweeps: set the job-level seed field instead")
 	}
 	// ScenarioParams treats zero as "use default" but never guards against
 	// negatives (e.g. Miners=-1 would panic allocating the agent fleet).

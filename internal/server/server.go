@@ -18,10 +18,38 @@
 // Deduplication means a job can be shared: identical submissions attach to
 // the same job ID, and DELETE cancels that job for every attached client —
 // the same way invalidating a shared cache entry affects all its readers.
-// Clients that must not share fate should vary the seed.
+// Clients that must not share fate should vary the seed (or use /v2, whose
+// handles reference-count shared jobs).
+//
 //	GET    /healthz             liveness probe
 //
-// Results are cached in memory keyed by (game hash, canonical job spec):
+// The v2 API is the self-describing envelope form: a job arrives as
+// {"kind": ..., "seed": ..., "spec": {...}} and is resolved purely through
+// the engine's spec registry (engine.RegisterSpec) — the server never
+// switches on job kinds, so new spec types plug in without server edits.
+// POST returns a per-client *handle* (h-N) that reference-counts the
+// underlying deduplicated job: DELETE releases one client's interest and
+// cancels the job only when the last handle is released.
+//
+//	GET    /v2/specs                  list registered spec kinds
+//	POST   /v2/jobs                   submit a JobEnvelope → JobHandle
+//	GET    /v2/jobs/{handle}          poll the handle's job status
+//	GET    /v2/jobs/{handle}/result   fetch the finished job's result
+//	GET    /v2/jobs/{handle}/events   stream progress + terminal status (SSE:
+//	                                  "progress" events, then one "end")
+//	DELETE /v2/jobs/{handle}          release the handle; cancels the job
+//	                                  only if no other handle remains
+//
+// The v1 endpoints are kept by translation: a v1 JobRequest is rewritten
+// into a v2 envelope and follows the same registry path (v1 DELETE still
+// cancels the job outright — refcounting is a v2 notion). A job a v1
+// client submitted or attached to is *pinned*: v1 clients hold no handles,
+// so releasing the last v2 handle never cancels it — only an explicit v1
+// DELETE (or shutdown) does. The handle table itself is bounded by
+// MaxHandles; past the cap the oldest handles are evicted (they 404
+// afterwards) without canceling their jobs.
+//
+// Results are cached in memory keyed by (canonical job spec, seed):
 // resubmitting an identical spec returns a completed job instantly. The
 // cache is sound because every job is a deterministic function of its spec
 // and seed — the engine's worker pool cannot perturb results.
@@ -67,6 +95,16 @@ type JobRequest struct {
 	Replay *replay.ScenarioParams `json:"replay,omitempty"`
 }
 
+// JobHandle is the wire form of a per-client job handle (the v2 POST and
+// GET responses). Handle names this client's claim on the job; Clients is
+// the number of live handles sharing it. The embedded Status describes the
+// underlying (possibly shared) job.
+type JobHandle struct {
+	Handle  string `json:"handle"`
+	Clients int    `json:"clients"`
+	engine.Status
+}
+
 // Server is the gocserve HTTP handler. Construct with New; it implements
 // http.Handler and is safe for concurrent use.
 type Server struct {
@@ -76,7 +114,26 @@ type Server struct {
 	mu    sync.Mutex
 	games map[string]*core.Game
 	cache map[string]string // cache key → ID of the job holding the result
+
+	// Per-client handles (v2). A handle is one client's reference to a
+	// deduplicated job; refs counts live handles per job so releasing a
+	// handle cancels the job only when no other client still wants it.
+	// v1pin marks jobs a v1 client submitted or attached to: v1 clients are
+	// unaccountable (no handles), so a job they touched is never canceled by
+	// v2 refcounting — only an explicit v1 DELETE or shutdown stops it.
+	handles       map[string]string   // handle id → job id
+	handleOrder   []string            // handle ids in mint order, for eviction
+	refs          map[string]int      // job id → live handle count
+	v1pin         map[string]struct{} // job id → attached via v1
+	nextHandle    uint64
+	handleSweepAt int // pruneHandlesLocked's next sweep threshold
 }
+
+// MaxHandles caps the v2 handle table. Handles are minted per client and
+// many clients never DELETE, so unlike the result cache the table is not
+// bounded by job retention; past the cap the oldest handles are evicted
+// (404 on later use) *without* canceling their jobs.
+const MaxHandles = 4 * engine.DefaultRetention
 
 // New returns a server running jobs on an engine with the given worker
 // count (<= 0 selects GOMAXPROCS).
@@ -86,6 +143,9 @@ func New(workers int) *Server {
 		mux:     http.NewServeMux(),
 		games:   map[string]*core.Game{},
 		cache:   map[string]string{},
+		handles: map[string]string{},
+		refs:    map[string]int{},
+		v1pin:   map[string]struct{}{},
 	}
 	s.mux.HandleFunc("POST /v1/games", s.handleCreateGame)
 	s.mux.HandleFunc("GET /v1/games/{id}", s.handleGetGame)
@@ -94,6 +154,12 @@ func New(workers int) *Server {
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobStatus)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleJobResult)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancelJob)
+	s.mux.HandleFunc("GET /v2/specs", s.handleListSpecs)
+	s.mux.HandleFunc("POST /v2/jobs", s.handleCreateJobV2)
+	s.mux.HandleFunc("GET /v2/jobs/{handle}", s.handleHandleStatus)
+	s.mux.HandleFunc("GET /v2/jobs/{handle}/result", s.handleHandleResult)
+	s.mux.HandleFunc("GET /v2/jobs/{handle}/events", s.handleHandleEvents)
+	s.mux.HandleFunc("DELETE /v2/jobs/{handle}", s.handleReleaseHandle)
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
@@ -140,21 +206,39 @@ func (s *Server) handleGetGame(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, g)
 }
 
-func (s *Server) handleCreateJob(w http.ResponseWriter, r *http.Request) {
-	var req JobRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("decode job request: %w", err))
-		return
+// resolveGame is the engine.GameResolver hook the registry path uses: spec
+// kinds that reference games by ID (engine.GameRefSpec) are resolved against
+// the server's registered games without the registry knowing the server.
+func (s *Server) resolveGame(id string) (*core.Game, error) {
+	s.mu.Lock()
+	g, ok := s.games[id]
+	s.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("unknown game %q", id)
 	}
-	spec, err := s.buildSpec(req)
+	return g, nil
+}
+
+// submitEnvelope is the single path every job submission takes, v1 or v2:
+// decode through the spec registry, resolve game references, dedupe against
+// the result cache, submit. It returns the (possibly shared) job and whether
+// the submission was answered by an existing cache entry. With mint set (v2)
+// it also mints a per-client handle *inside the dedup critical section* —
+// minting later would let a concurrent last-handle DELETE cancel the job
+// between the cache lookup and the refcount increment.
+func (s *Server) submitEnvelope(env engine.JobEnvelope, mint bool) (*engine.Job, bool, JobHandle, error) {
+	var jh JobHandle
+	spec, err := env.Decode()
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
-		return
+		return nil, false, jh, err
 	}
-	key, err := cacheKey(spec, req.Seed)
+	spec, err = engine.ResolveSpec(spec, s.resolveGame)
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, err)
-		return
+		return nil, false, jh, err
+	}
+	key, err := engine.CacheKey(spec, env.Seed)
+	if err != nil {
+		return nil, false, jh, err
 	}
 	// Check-and-reserve is one critical section: concurrent identical
 	// submissions either all see the same cached job or exactly one of them
@@ -176,24 +260,31 @@ func (s *Server) handleCreateJob(w http.ResponseWriter, r *http.Request) {
 			// between the two calls as failed and recompute it.
 			st := job.Status()
 			if _, hasResult := job.Result(); hasResult || !st.State.Terminal() {
+				if mint {
+					jh = s.mintHandleLocked(job.ID())
+				} else {
+					s.v1pin[job.ID()] = struct{}{}
+				}
 				s.mu.Unlock()
-				st.Cached = true
-				writeJSON(w, http.StatusCreated, st)
-				return
+				return job, true, jh, nil
 			}
 		}
 		delete(s.cache, key)
 	}
-	job, err := s.manager.Submit(spec, req.Seed)
+	job, err := s.manager.Submit(spec, env.Seed)
 	if err != nil {
 		s.mu.Unlock()
-		writeError(w, http.StatusBadRequest, err)
-		return
+		return nil, false, jh, err
 	}
 	// Publish the key before releasing the lock so no identical submission
 	// can slip between submit and publish; retract it if the job fails or
 	// is canceled.
 	s.cache[key] = job.ID()
+	if mint {
+		jh = s.mintHandleLocked(job.ID())
+	} else {
+		s.v1pin[job.ID()] = struct{}{}
+	}
 	s.pruneCacheLocked()
 	s.mu.Unlock()
 	go func() {
@@ -206,7 +297,81 @@ func (s *Server) handleCreateJob(w http.ResponseWriter, r *http.Request) {
 			s.mu.Unlock()
 		}
 	}()
-	writeJSON(w, http.StatusCreated, job.Status())
+	return job, false, jh, nil
+}
+
+// mintHandleLocked creates a fresh handle claiming jobID. Callers must hold
+// s.mu; the returned JobHandle carries the handle id and refcount (the job
+// status is filled in outside the lock).
+func (s *Server) mintHandleLocked(jobID string) JobHandle {
+	s.nextHandle++
+	handle := fmt.Sprintf("h-%d", s.nextHandle)
+	s.handles[handle] = jobID
+	s.handleOrder = append(s.handleOrder, handle)
+	s.refs[jobID]++
+	s.pruneHandlesLocked()
+	return JobHandle{Handle: handle, Clients: s.refs[jobID]}
+}
+
+func (s *Server) handleCreateJob(w http.ResponseWriter, r *http.Request) {
+	var req JobRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decode job request: %w", err))
+		return
+	}
+	env, err := translateV1(req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	job, cached, _, err := s.submitEnvelope(env, false)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	st := job.Status()
+	st.Cached = cached
+	writeJSON(w, http.StatusCreated, st)
+}
+
+// translateV1 rewrites the legacy flat JobRequest into a self-describing v2
+// envelope; from there v1 submissions follow the registry path exactly like
+// v2 ones, so the two APIs can never drift (same specs, same cache keys).
+func translateV1(req JobRequest) (engine.JobEnvelope, error) {
+	gen := core.GenSpec{}
+	if req.Gen != nil {
+		gen = *req.Gen
+	}
+	var spec engine.Spec
+	switch req.Type {
+	case "learn_sweep":
+		// A set GameID rides through as a reference; ResolveGames swaps it
+		// for the game and clears Gen (a fixed game overrides the generator).
+		spec = engine.LearnSweep{
+			GameID:     req.GameID,
+			Gen:        gen,
+			Schedulers: req.Schedulers,
+			Runs:       req.Runs,
+			MaxSteps:   req.MaxSteps,
+		}
+	case "design_sweep":
+		spec = engine.DesignSweep{Gen: gen, Pairs: req.Pairs}
+	case "replay_sweep":
+		sw := engine.ReplaySweep{Runs: req.Runs}
+		if req.Replay != nil {
+			sw.Params = *req.Replay
+		}
+		spec = sw
+	case "equilibrium_sweep":
+		spec = engine.EquilibriumSweep{Gen: gen, Games: req.Games}
+	default:
+		return engine.JobEnvelope{}, fmt.Errorf("unknown job type %q", req.Type)
+	}
+	raw, err := engine.CanonicalSpecJSON(spec)
+	if err != nil {
+		return engine.JobEnvelope{}, err
+	}
+	return engine.JobEnvelope{Kind: spec.Kind(), Seed: req.Seed, Spec: raw}, nil
 }
 
 func (s *Server) handleListJobs(w http.ResponseWriter, _ *http.Request) {
@@ -228,6 +393,12 @@ func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, err)
 		return
 	}
+	writeJobResult(w, job)
+}
+
+// writeJobResult serves a job's result with the shared v1/v2 semantics:
+// 409 while running, 410 for terminal-but-resultless (failed/canceled).
+func writeJobResult(w http.ResponseWriter, job *engine.Job) {
 	st := job.Status()
 	if !st.State.Terminal() {
 		writeError(w, http.StatusConflict, fmt.Errorf("job %s is %s", st.ID, st.State))
@@ -257,6 +428,210 @@ func (s *Server) handleCancelJob(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, job.Status())
 }
 
+// ---- v2: self-describing envelopes, per-client handles, SSE ----
+
+func (s *Server) handleListSpecs(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"kinds": engine.SpecKinds()})
+}
+
+func (s *Server) handleCreateJobV2(w http.ResponseWriter, r *http.Request) {
+	var env engine.JobEnvelope
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&env); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decode job envelope: %w", err))
+		return
+	}
+	// Every POST mints a fresh handle, cache hit or not: the handle is this
+	// client's claim on the (possibly shared) job, and the refcount is what
+	// keeps one client's DELETE from canceling another's work.
+	job, cached, jh, err := s.submitEnvelope(env, true)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	jh.Status = job.Status()
+	jh.Cached = cached
+	writeJSON(w, http.StatusCreated, jh)
+}
+
+// jobForHandle resolves a handle to its job and the job's live handle count.
+func (s *Server) jobForHandle(handle string) (*engine.Job, int, error) {
+	s.mu.Lock()
+	jobID, ok := s.handles[handle]
+	clients := s.refs[jobID]
+	s.mu.Unlock()
+	if !ok {
+		return nil, 0, fmt.Errorf("unknown handle %q", handle)
+	}
+	job, err := s.manager.Get(jobID)
+	if err != nil {
+		return nil, 0, err
+	}
+	return job, clients, nil
+}
+
+func (s *Server) handleHandleStatus(w http.ResponseWriter, r *http.Request) {
+	handle := r.PathValue("handle")
+	job, clients, err := s.jobForHandle(handle)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, JobHandle{Handle: handle, Clients: clients, Status: job.Status()})
+}
+
+func (s *Server) handleHandleResult(w http.ResponseWriter, r *http.Request) {
+	job, _, err := s.jobForHandle(r.PathValue("handle"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	writeJobResult(w, job)
+}
+
+// handleHandleEvents streams the job's status as server-sent events: a
+// "progress" event per observed snapshot (coalesced to the latest for slow
+// consumers) and a final "end" event carrying the terminal status, after
+// which the stream closes. Backed by engine.Manager.Watch.
+func (s *Server) handleHandleEvents(w http.ResponseWriter, r *http.Request) {
+	job, _, err := s.jobForHandle(r.PathValue("handle"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, errors.New("response writer cannot stream"))
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+	// Watch unsubscribes itself when the client disconnects (r.Context()).
+	for st := range job.Watch(r.Context()) {
+		event := "progress"
+		if st.State.Terminal() {
+			event = "end"
+		}
+		b, err := json.Marshal(st)
+		if err != nil {
+			return
+		}
+		fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, b)
+		fl.Flush()
+	}
+}
+
+func (s *Server) handleReleaseHandle(w http.ResponseWriter, r *http.Request) {
+	handle := r.PathValue("handle")
+	s.mu.Lock()
+	jobID, ok := s.handles[handle]
+	if !ok {
+		s.mu.Unlock()
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown handle %q", handle))
+		return
+	}
+	delete(s.handles, handle)
+	s.refs[jobID]--
+	remaining := s.refs[jobID]
+	var job *engine.Job
+	if j, err := s.manager.Get(jobID); err == nil {
+		job = j
+	}
+	// Cancel only when no v2 handle remains AND no v1 client ever attached:
+	// v1 clients hold no handles, so a v1-touched job must outlive v2
+	// refcounting (a v1 DELETE can still cancel it explicitly).
+	_, pinned := s.v1pin[jobID]
+	cancel := remaining <= 0 && !pinned
+	if remaining <= 0 {
+		delete(s.refs, jobID)
+	}
+	if cancel && job != nil {
+		if _, done := job.Result(); !done {
+			// The job is about to be canceled: retract its cache entries
+			// inside this critical section, so a concurrent identical
+			// submission submits fresh instead of attaching (and minting
+			// a handle) to a job that is being torn down. A finished
+			// job's cached result stays servable.
+			for k, id := range s.cache {
+				if id == jobID {
+					delete(s.cache, k)
+				}
+			}
+		}
+	}
+	s.mu.Unlock()
+	resp := JobHandle{Handle: handle, Clients: remaining}
+	if job != nil {
+		if cancel {
+			// Last interested client is gone: cancel the shared job (a no-op
+			// if it already finished).
+			job.Cancel()
+		}
+		resp.Status = job.Status()
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// pruneHandlesLocked bounds the v2 handle bookkeeping. Handles are minted
+// per client and many clients never DELETE, so unlike the result cache the
+// table is not bounded by job retention. Two passes: drop handles whose job
+// the Manager evicted, then compact handleOrder and — past MaxHandles —
+// evict the oldest handles outright, *without* canceling their jobs (forced
+// eviction is a memory bound, not a cancellation signal; the job keeps
+// running and its result stays cached, but the evicted handle 404s).
+//
+// The sweep triggers on handleOrder's length, not the handle table's:
+// released and evicted handle ids linger in handleOrder until compaction,
+// so keying the trigger on it bounds handleOrder's own growth under
+// submit→release churn (where the table itself stays small). Triggering on
+// doubling since the last sweep — and evicting down to half the cap rather
+// than to the cap, so a full table cannot re-trigger on every mint — keeps
+// the amortized cost per mint O(1). Callers must hold s.mu.
+func (s *Server) pruneHandlesLocked() {
+	limit := s.handleSweepAt
+	if limit < 2*engine.DefaultRetention {
+		limit = 2 * engine.DefaultRetention
+	}
+	if limit > MaxHandles {
+		limit = MaxHandles
+	}
+	if len(s.handleOrder) <= limit {
+		return
+	}
+	for h, id := range s.handles {
+		if _, err := s.manager.Get(id); err != nil {
+			delete(s.handles, h)
+			if s.refs[id]--; s.refs[id] <= 0 {
+				delete(s.refs, id)
+			}
+		}
+	}
+	target := len(s.handles)
+	if target > MaxHandles {
+		target = MaxHandles / 2
+	}
+	kept := s.handleOrder[:0]
+	for _, h := range s.handleOrder {
+		id, ok := s.handles[h]
+		if !ok {
+			continue // released, or dropped by the evicted-job pass
+		}
+		if len(s.handles) > target {
+			delete(s.handles, h)
+			if s.refs[id]--; s.refs[id] <= 0 {
+				delete(s.refs, id)
+			}
+			continue
+		}
+		kept = append(kept, h)
+	}
+	s.handleOrder = kept
+	s.handleSweepAt = 2 * len(s.handleOrder)
+}
+
 // pruneCacheLocked drops cache entries whose job the Manager has evicted.
 // The Manager caps tracked jobs (engine.DefaultRetention), so without this
 // sweep a steady stream of distinct specs would grow the cache forever
@@ -271,46 +646,11 @@ func (s *Server) pruneCacheLocked() {
 			delete(s.cache, k)
 		}
 	}
-}
-
-// buildSpec translates a wire request into a typed engine spec.
-func (s *Server) buildSpec(req JobRequest) (engine.Spec, error) {
-	gen := core.GenSpec{}
-	if req.Gen != nil {
-		gen = *req.Gen
-	}
-	switch req.Type {
-	case "learn_sweep":
-		var g *core.Game
-		if req.GameID != "" {
-			s.mu.Lock()
-			g = s.games[req.GameID]
-			s.mu.Unlock()
-			if g == nil {
-				return nil, fmt.Errorf("unknown game %q", req.GameID)
-			}
-			gen = core.GenSpec{} // a fixed game overrides the generator spec
+	// v1 pins are per-job like cache entries, so the same sweep bounds them.
+	for id := range s.v1pin {
+		if _, err := s.manager.Get(id); err != nil {
+			delete(s.v1pin, id)
 		}
-		return engine.LearnSweep{
-			Game:       g,
-			Gen:        gen,
-			Schedulers: req.Schedulers,
-			Runs:       req.Runs,
-			MaxSteps:   req.MaxSteps,
-		}, nil
-	case "design_sweep":
-		return engine.DesignSweep{Gen: gen, Pairs: req.Pairs}, nil
-	case "replay_sweep":
-		spec := engine.ReplaySweep{Runs: req.Runs}
-		if req.Replay != nil {
-			spec.Params = *req.Replay
-			spec.Params.Seed = 0 // per-run seeds derive from the job seed
-		}
-		return spec, nil
-	case "equilibrium_sweep":
-		return engine.EquilibriumSweep{Gen: gen, Games: req.Games}, nil
-	default:
-		return nil, fmt.Errorf("unknown job type %q", req.Type)
 	}
 }
 
@@ -323,23 +663,6 @@ func gameID(g *core.Game) (string, error) {
 	}
 	sum := sha256.Sum256(b)
 	return "g-" + hex.EncodeToString(sum[:8]), nil
-}
-
-// cacheKey derives the result-cache key from the *built* spec plus the job
-// seed — the exact inputs the engine runs on — rather than the raw request,
-// so wire fields a job type ignores can never split or alias cache entries.
-// Every spec is a JSON-encodable struct with a fixed field order, and an
-// embedded *core.Game marshals in canonical (sorted-miner) form, which
-// covers the game identity.
-func cacheKey(spec engine.Spec, seed uint64) (string, error) {
-	b, err := json.Marshal(spec)
-	if err != nil {
-		return "", fmt.Errorf("hash job spec: %w", err)
-	}
-	h := sha256.New()
-	fmt.Fprintf(h, "%s|%d|", spec.Kind(), seed)
-	h.Write(b)
-	return hex.EncodeToString(h.Sum(nil)[:16]), nil
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {

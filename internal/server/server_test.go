@@ -4,8 +4,10 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"testing"
 	"time"
 
@@ -244,12 +246,11 @@ func TestAllJobTypes(t *testing.T) {
 }
 
 // TestCacheKeyIgnoresIrrelevantFields: two replay_sweep submissions that
-// differ only in fields the job type ignores (Replay.Seed, learn-only
-// fields) build the same job and must share one cache entry.
+// differ only in wire fields the job type ignores (learn-only fields) build
+// the same job and must share one cache entry.
 func TestCacheKeyIgnoresIrrelevantFields(t *testing.T) {
 	_, ts := testServer(t)
 	p1 := replayParams
-	p1.Seed = 1
 	req1 := JobRequest{Type: "replay_sweep", Seed: 5, Runs: 1, Replay: &p1}
 	var st1 engine.Status
 	doJSON(t, http.MethodPost, ts.URL+"/v1/jobs", req1, http.StatusCreated, &st1)
@@ -257,12 +258,41 @@ func TestCacheKeyIgnoresIrrelevantFields(t *testing.T) {
 		t.Fatalf("final = %+v", final)
 	}
 	p2 := replayParams
-	p2.Seed = 99 // documented as ignored: per-run seeds derive from the job seed
-	req2 := JobRequest{Type: "replay_sweep", Seed: 5, Runs: 1, Replay: &p2, MaxSteps: 7}
+	req2 := JobRequest{Type: "replay_sweep", Seed: 5, Runs: 1, Replay: &p2, MaxSteps: 7, Schedulers: []string{"random"}}
 	var st2 engine.Status
 	doJSON(t, http.MethodPost, ts.URL+"/v1/jobs", req2, http.StatusCreated, &st2)
 	if !st2.Cached || st2.ID != st1.ID {
 		t.Fatalf("normalized resubmit missed the cache: %+v (original %s)", st2, st1.ID)
+	}
+}
+
+// TestReplayInnerSeedRejected: a non-zero seed inside the replay params used
+// to be silently zeroed; it is now a 400 pointing the caller at the
+// job-level seed field (the one that actually roots the randomness).
+func TestReplayInnerSeedRejected(t *testing.T) {
+	_, ts := testServer(t)
+	p := replayParams
+	p.Seed = 99
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/jobs", jsonBody(t, JobRequest{Type: "replay_sweep", Seed: 5, Runs: 1, Replay: &p}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("inner-seed submission: status %d, want 400", resp.StatusCode)
+	}
+	var e struct {
+		Error string `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(e.Error, "seed") || !strings.Contains(e.Error, "job-level") {
+		t.Fatalf("rejection should point at the job-level seed field, got %q", e.Error)
 	}
 }
 
@@ -332,6 +362,37 @@ func TestBadRequests(t *testing.T) {
 			doJSON(t, c.method, ts.URL+c.path, c.body, c.want, nil)
 		})
 	}
+}
+
+// TestHandleOrderBoundedUnderChurn: the documented SDK flow (Submit → Wait
+// → Result → Release) keeps the handle table near-empty, but every mint
+// appends to handleOrder — the sweep must bound that slice too, or a
+// long-lived server leaks one entry per request.
+func TestHandleOrderBoundedUnderChurn(t *testing.T) {
+	s := New(1)
+	defer s.Close()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := 0; i < 5*engine.DefaultRetention; i++ {
+		jh := s.mintHandleLocked("job-bogus")
+		// Immediate release, as a Submit→Release client produces.
+		delete(s.handles, jh.Handle)
+		if s.refs["job-bogus"]--; s.refs["job-bogus"] <= 0 {
+			delete(s.refs, "job-bogus")
+		}
+	}
+	if len(s.handleOrder) > 2*engine.DefaultRetention+1 {
+		t.Fatalf("handleOrder grew to %d entries under churn", len(s.handleOrder))
+	}
+}
+
+func jsonBody(t *testing.T, v any) io.Reader {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := json.NewEncoder(&buf).Encode(v); err != nil {
+		t.Fatal(err)
+	}
+	return &buf
 }
 
 var replayParams = replay.ScenarioParams{Miners: 30, Epochs: 24 * 6, SpikeHour: 24 * 2}

@@ -1,0 +1,483 @@
+// The v2 API tests live in an external test package so they can exercise the
+// server through the public client SDK (which itself imports server for the
+// wire types); an in-package test would form an import cycle.
+package server_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"gameofcoins/client"
+	"gameofcoins/internal/core"
+	"gameofcoins/internal/engine"
+	"gameofcoins/internal/rng"
+	"gameofcoins/internal/server"
+)
+
+func v2Server(t *testing.T) string {
+	t.Helper()
+	s := server.New(4)
+	ts := httptest.NewServer(s)
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	return ts.URL
+}
+
+// ---- test-only spec kinds, registered exactly like third-party ones ----
+
+// toySpec demonstrates the acceptance criterion for the registry redesign: a
+// brand-new job kind defined outside internal/server, registered with one
+// RegisterSpec call, and runnable end to end over /v2 with the client SDK —
+// the server code is never touched.
+type toySpec struct {
+	N int `json:"n"`
+}
+
+func (s toySpec) Kind() string { return "toy_sum" }
+func (s toySpec) Tasks() int   { return s.N }
+func (s toySpec) Validate() error {
+	if s.N <= 0 {
+		return errors.New("n must be positive")
+	}
+	return nil
+}
+func (s toySpec) RunTask(_ context.Context, i int, _ *rng.Rand) (any, error) { return 2 * i, nil }
+func (s toySpec) Aggregate(results []any) (any, error) {
+	sum := 0
+	for _, r := range results {
+		sum += r.(int)
+	}
+	return sum, nil
+}
+
+// gatedSpec blocks its tasks past Free on a per-Name latch, so tests control
+// exactly when a running v2 job may finish. Name also keeps distinct tests
+// off each other's cache entries.
+type gatedSpec struct {
+	Name string `json:"name"`
+	N    int    `json:"n"`
+	Free int    `json:"free"`
+}
+
+var gates sync.Map // name → chan struct{}
+
+func gateChan(name string) chan struct{} {
+	ch, _ := gates.LoadOrStore(name, make(chan struct{}))
+	return ch.(chan struct{})
+}
+
+func openGate(name string) {
+	ch := gateChan(name)
+	select {
+	case <-ch:
+	default:
+		close(ch)
+	}
+}
+
+func (s gatedSpec) Kind() string { return "test_gated" }
+func (s gatedSpec) Tasks() int   { return s.N }
+func (s gatedSpec) RunTask(ctx context.Context, i int, _ *rng.Rand) (any, error) {
+	if i >= s.Free {
+		select {
+		case <-gateChan(s.Name):
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	return i, nil
+}
+func (s gatedSpec) Aggregate(results []any) (any, error) { return len(results), nil }
+
+func init() {
+	engine.RegisterSpec("toy_sum", engine.DecodeJSON[toySpec]())
+	engine.RegisterSpec("test_gated", engine.DecodeJSON[gatedSpec]())
+}
+
+// TestToySpecEndToEndOverV2: the registered toy kind is visible in
+// /v2/specs and runs through submit → wait → result purely via the SDK.
+func TestToySpecEndToEndOverV2(t *testing.T) {
+	c := client.New(v2Server(t))
+	ctx := context.Background()
+
+	kinds, err := c.SpecKinds(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, k := range kinds {
+		found = found || k == "toy_sum"
+	}
+	if !found {
+		t.Fatalf("toy_sum missing from registry listing %v", kinds)
+	}
+
+	h, err := c.Submit(ctx, "toy_sum", 9, toySpec{N: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := h.Wait(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != engine.StateDone || st.Progress.Total != 10 {
+		t.Fatalf("terminal status = %+v", st)
+	}
+	var sum int
+	if err := h.Result(ctx, &sum); err != nil {
+		t.Fatal(err)
+	}
+	if sum != 90 { // 2*(0+1+...+9)
+		t.Fatalf("sum = %d, want 90", sum)
+	}
+	if err := h.Release(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// A released handle is gone.
+	if _, err := h.Status(ctx); err == nil {
+		t.Fatal("released handle still resolves")
+	} else {
+		var apiErr *client.APIError
+		if !errors.As(err, &apiErr) || apiErr.StatusCode != http.StatusNotFound {
+			t.Fatalf("err = %v, want 404 APIError", err)
+		}
+	}
+}
+
+// TestV1V2Equivalence: the same logical job submitted over /v1 and /v2 hits
+// one cache entry (same underlying job) and serves byte-identical results —
+// including when the game is passed by registered reference.
+func TestV1V2Equivalence(t *testing.T) {
+	base := v2Server(t)
+	c := client.New(base)
+	ctx := context.Background()
+
+	game := core.MustNewGame(
+		[]core.Miner{{Name: "p1", Power: 13}, {Name: "p2", Power: 7}, {Name: "p3", Power: 5}},
+		[]core.Coin{{Name: "btc"}, {Name: "bch"}},
+		[]float64{17, 9},
+	)
+	gameID, err := c.RegisterGame(ctx, game)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name string
+		v1   server.JobRequest
+		kind string
+		spec any
+	}{
+		{
+			name: "equilibrium_sweep",
+			v1:   server.JobRequest{Type: "equilibrium_sweep", Seed: 4, Gen: &core.GenSpec{Miners: 4, Coins: 2}, Games: 6},
+			kind: "equilibrium_sweep",
+			spec: engine.EquilibriumSweep{Gen: core.GenSpec{Miners: 4, Coins: 2}, Games: 6},
+		},
+		{
+			name: "learn_sweep_by_game_ref",
+			v1:   server.JobRequest{Type: "learn_sweep", Seed: 11, GameID: gameID, Schedulers: []string{"random"}, Runs: 8},
+			kind: "learn_sweep",
+			spec: engine.LearnSweep{GameID: gameID, Schedulers: []string{"random"}, Runs: 8},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			// v1 submission, run to completion.
+			body, _ := json.Marshal(tc.v1)
+			resp, err := http.Post(base+"/v1/jobs", "application/json", bytes.NewReader(body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			var st1 engine.Status
+			if err := json.NewDecoder(resp.Body).Decode(&st1); err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusCreated {
+				t.Fatalf("v1 submit: %d (%+v)", resp.StatusCode, st1)
+			}
+			waitV1Done(t, base, st1.ID)
+
+			// v2 submission of the same logical job: must attach to the very
+			// same job via the shared cache, not recompute.
+			h, err := c.Submit(ctx, tc.kind, tc.v1.Seed, tc.spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !h.Submitted.Cached {
+				t.Fatalf("v2 resubmit missed the v1 cache entry: %+v", h.Submitted)
+			}
+			if h.Submitted.Status.ID != st1.ID {
+				t.Fatalf("v2 attached to job %s, v1 ran %s", h.Submitted.Status.ID, st1.ID)
+			}
+
+			// Byte-identical result payloads from both surfaces.
+			b1 := rawGet(t, base+"/v1/jobs/"+st1.ID+"/result")
+			b2 := rawGet(t, base+"/v2/jobs/"+h.ID()+"/result")
+			if !bytes.Equal(b1, b2) {
+				t.Fatalf("result bodies differ:\n%s\n%s", b1, b2)
+			}
+		})
+	}
+}
+
+// TestHandleRefcountSharedJob: two clients dedupe onto one job; releasing
+// one handle leaves the other running to completion, and releasing the last
+// handle of a different shared job cancels it.
+func TestHandleRefcountSharedJob(t *testing.T) {
+	base := v2Server(t)
+	c1, c2 := client.New(base), client.New(base)
+	ctx := context.Background()
+
+	spec := gatedSpec{Name: "refcount-" + strconv.Itoa(time.Now().Nanosecond()), N: 2}
+	defer openGate(spec.Name)
+	h1, err := c1.Submit(ctx, "test_gated", 1, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := c2.Submit(ctx, "test_gated", 1, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !h2.Submitted.Cached || h2.Submitted.Status.ID != h1.Submitted.Status.ID {
+		t.Fatalf("second client not deduped onto the first job: %+v vs %+v", h2.Submitted, h1.Submitted)
+	}
+	if h1.ID() == h2.ID() {
+		t.Fatalf("both clients got the same handle %s", h1.ID())
+	}
+	if h2.Submitted.Clients != 2 {
+		t.Fatalf("clients = %d, want 2", h2.Submitted.Clients)
+	}
+
+	// Client 1 walks away. The job must keep running for client 2 — this is
+	// the refcount fixing the documented v1 shared-fate footgun.
+	if err := h1.Release(ctx); err != nil {
+		t.Fatal(err)
+	}
+	jh, err := h2.Status(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jh.State.Terminal() {
+		t.Fatalf("job killed by the other client's release: %+v", jh)
+	}
+	if jh.Clients != 1 {
+		t.Fatalf("clients = %d after one release, want 1", jh.Clients)
+	}
+
+	openGate(spec.Name)
+	st, err := h2.Wait(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != engine.StateDone {
+		t.Fatalf("surviving handle's job ended %s, want done", st.State)
+	}
+	var n int
+	if err := h2.Result(ctx, &n); err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("result = %d, want 2", n)
+	}
+
+	// Releasing the *last* handle of a running job cancels it.
+	spec2 := gatedSpec{Name: spec.Name + "-cancel", N: 2}
+	defer openGate(spec2.Name)
+	h3, err := c1.Submit(ctx, "test_gated", 2, spec2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h4, err := c2.Submit(ctx, "test_gated", 2, spec2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobID := h3.Submitted.Status.ID
+	if err := h4.Release(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := h3.Release(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if st := waitV1Terminal(t, base, jobID); st.State != engine.StateCanceled {
+		t.Fatalf("job state after last release = %s, want canceled", st.State)
+	}
+}
+
+// TestV1AttachedJobPinnedAgainstV2Release: a job a v1 client submitted has
+// no handle accounting, so releasing the last v2 handle must NOT cancel it —
+// only an explicit v1 DELETE does.
+func TestV1AttachedJobPinnedAgainstV2Release(t *testing.T) {
+	base := v2Server(t)
+	c := client.New(base)
+	ctx := context.Background()
+
+	// The v1 wire form has no custom kinds, so the slow job here is a large
+	// learn sweep (far too big to finish during the test).
+	v1req := server.JobRequest{Type: "learn_sweep", Seed: 9,
+		Gen: &core.GenSpec{Miners: 20, Coins: 4}, Schedulers: []string{"random"}, Runs: 200000}
+	body, _ := json.Marshal(v1req)
+	resp, err := http.Post(base+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st1 engine.Status
+	if err := json.NewDecoder(resp.Body).Decode(&st1); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	// A v2 client attaches to the same job and is its only handle holder.
+	h, err := c.SubmitLearnSweep(ctx, engine.LearnSweep{
+		Gen: core.GenSpec{Miners: 20, Coins: 4}, Schedulers: []string{"random"}, Runs: 200000}, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !h.Submitted.Cached || h.Submitted.Status.ID != st1.ID {
+		t.Fatalf("v2 did not attach to the v1 job: %+v vs %s", h.Submitted, st1.ID)
+	}
+	// Releasing the only v2 handle must leave the v1 client's job running.
+	if err := h.Release(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if st := statusV1(t, base, st1.ID); st.State.Terminal() {
+		t.Fatalf("v2 release canceled a v1 client's job: %+v", st)
+	}
+	// The v1 client can still cancel explicitly.
+	req, _ := http.NewRequest(http.MethodDelete, base+"/v1/jobs/"+st1.ID, nil)
+	if resp, err := http.DefaultClient.Do(req); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+	}
+	if st := waitV1Terminal(t, base, st1.ID); st.State != engine.StateCanceled {
+		t.Fatalf("v1 DELETE did not cancel: %+v", st)
+	}
+}
+
+// TestSSEProgressStream: the SDK's Watch (SSE under the hood) delivers at
+// least one genuine progress event (0 < done < total, non-terminal) and the
+// terminal event for a multi-task job.
+func TestSSEProgressStream(t *testing.T) {
+	base := v2Server(t)
+	c := client.New(base)
+	ctx := context.Background()
+
+	spec := gatedSpec{Name: "sse-" + strconv.Itoa(time.Now().Nanosecond()), N: 6, Free: 3}
+	defer openGate(spec.Name)
+	h, err := c.Submit(ctx, "test_gated", 3, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, err := h.Watch(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var progressEvents int
+	var last engine.Status
+	for st := range ch {
+		last = st
+		if !st.State.Terminal() && st.Progress.Done > 0 && st.Progress.Done < st.Progress.Total {
+			progressEvents++
+			if st.Progress.Done >= spec.Free {
+				openGate(spec.Name) // saw the mid-job progress; let it finish
+			}
+		}
+	}
+	if progressEvents == 0 {
+		t.Fatal("no mid-job progress event observed on the SSE stream")
+	}
+	if last.State != engine.StateDone || last.Progress.Done != spec.N {
+		t.Fatalf("terminal event = %+v", last)
+	}
+	if err := h.Release(ctx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestV2BadEnvelopes covers the v2 error surface: unknown kind, malformed
+// envelope, misspelled spec field, failed validation, unknown game ref.
+func TestV2BadEnvelopes(t *testing.T) {
+	base := v2Server(t)
+	for name, body := range map[string]string{
+		"unknown_kind":      `{"kind":"bogus_sweep","seed":1,"spec":{}}`,
+		"unknown_field":     `{"kind":"equilibrium_sweep","seed":1,"spec":{"gmaes":5}}`,
+		"invalid_spec":      `{"kind":"equilibrium_sweep","seed":1,"spec":{"games":0}}`,
+		"unknown_game":      `{"kind":"learn_sweep","seed":1,"spec":{"game_id":"g-nope","runs":3}}`,
+		"envelope_typo":     `{"knd":"equilibrium_sweep","seed":1}`,
+		"replay_inner_seed": `{"kind":"replay_sweep","seed":1,"spec":{"params":{"Miners":30,"Epochs":48,"SpikeHour":24,"Seed":9},"runs":1}}`,
+	} {
+		t.Run(name, func(t *testing.T) {
+			resp, err := http.Post(base+"/v2/jobs", "application/json", bytes.NewReader([]byte(body)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusBadRequest {
+				t.Fatalf("status %d, want 400", resp.StatusCode)
+			}
+		})
+	}
+}
+
+func rawGet(t *testing.T, url string) []byte {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %d\n%s", url, resp.StatusCode, b)
+	}
+	return b
+}
+
+func statusV1(t *testing.T, base, jobID string) engine.Status {
+	t.Helper()
+	var st engine.Status
+	if err := json.Unmarshal(rawGet(t, base+"/v1/jobs/"+jobID), &st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func waitV1Terminal(t *testing.T, base, jobID string) engine.Status {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		var st engine.Status
+		if err := json.Unmarshal(rawGet(t, base+"/v1/jobs/"+jobID), &st); err != nil {
+			t.Fatal(err)
+		}
+		if st.State.Terminal() {
+			return st
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("job never reached a terminal state")
+	return engine.Status{}
+}
+
+func waitV1Done(t *testing.T, base, jobID string) {
+	t.Helper()
+	if st := waitV1Terminal(t, base, jobID); st.State != engine.StateDone {
+		t.Fatalf("job %s ended %s: %s", jobID, st.State, st.Error)
+	}
+}
