@@ -18,6 +18,14 @@
 // Handles reference-count the server-side job: identical submissions from
 // several clients share one computation, and Release drops only the caller's
 // interest — the job is canceled only when its last handle is released.
+//
+// Against a server running with persistence (gocserve -data DIR), results
+// and handles survive server restarts: a handle minted before a restart
+// still resolves afterwards, a finished job's result is served from the
+// rehydrated cache byte-identically, and a job that was mid-run is
+// resubmitted server-side under its original seed — Wait and Watch simply
+// see it running again. Clients need no special handling beyond retrying
+// the usual transport errors while the server is down.
 package client
 
 import (

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	gocserve [-addr :8372] [-workers N]
+//	gocserve [-addr :8372] [-workers N] [-data DIR] [-fail-interrupted]
 //
 // The preferred API is v2, the self-describing envelope form: POST a
 // {"kind", "seed", "spec"} document and the server resolves it purely
@@ -33,6 +33,16 @@
 // the cache is sound because every job is a deterministic function of the
 // two. On SIGINT/SIGTERM the listener drains in-flight requests, then
 // running jobs are canceled.
+//
+// With -data DIR the cache is durable: games, job records, results, and v2
+// handles are written to an append-only log under DIR and rehydrated on the
+// next start — a result computed before a restart is served from cache
+// (same bytes, cached:true) afterwards, and jobs that were mid-run when the
+// process stopped are resubmitted under their original spec and seed
+// (determinism recomputes the identical result). -fail-interrupted marks
+// them failed instead, for operators who'd rather nothing recomputes
+// without an explicit resubmission. Without -data, everything is in-memory
+// exactly as before.
 package main
 
 import (
@@ -46,6 +56,7 @@ import (
 	"time"
 
 	"gameofcoins/internal/server"
+	"gameofcoins/internal/store"
 )
 
 func main() {
@@ -62,6 +73,8 @@ func run(ctx context.Context, args []string) error {
 	addr := fs.String("addr", ":8372", "listen address")
 	workers := fs.Int("workers", 0, "engine worker count (0 = all cores)")
 	grace := fs.Duration("grace", 10*time.Second, "shutdown grace period")
+	dataDir := fs.String("data", "", "persist games, jobs, and results to this directory (empty = in-memory only)")
+	failInterrupted := fs.Bool("fail-interrupted", false, "on restart, mark jobs that were mid-run as failed instead of resubmitting them")
 	fs.Usage = func() {
 		out := fs.Output()
 		fmt.Fprintf(out, "Usage: gocserve [flags]\n\nFlags:\n")
@@ -82,13 +95,35 @@ v1 API (legacy flat requests; DELETE cancels the shared job for everyone):
 Example:
   curl -X POST :8372/v2/jobs -d '{"kind":"equilibrium_sweep","seed":7,"spec":{"gen":{"Miners":5,"Coins":2},"games":500}}'
   curl -N :8372/v2/jobs/h-1/events
+
+Persistence:
+  gocserve -data /var/lib/gocserve    # games, jobs, results, and handles are
+                                      # logged to DIR and rehydrated on restart;
+                                      # interrupted jobs resubmit (deterministic,
+                                      # so results are byte-identical) unless
+                                      # -fail-interrupted is set
 `)
 	}
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	api := server.New(*workers)
+	opts := server.Options{FailInterrupted: *failInterrupted}
+	if *dataDir != "" {
+		st, err := store.OpenFile(*dataDir)
+		if err != nil {
+			return err
+		}
+		// Closed after shutdown below, so terminal records from the last
+		// finishing jobs can still land in the log.
+		defer st.Close()
+		opts.Store = st
+		fmt.Fprintf(os.Stderr, "gocserve: persisting to %s\n", *dataDir)
+	}
+	api, err := server.NewWithOptions(*workers, opts)
+	if err != nil {
+		return err
+	}
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           api,

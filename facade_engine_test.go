@@ -12,6 +12,7 @@ import (
 	"reflect"
 	"strings"
 	"testing"
+	"time"
 
 	"gameofcoins"
 )
@@ -147,5 +148,85 @@ func TestFacadeV2Surface(t *testing.T) {
 	}
 	if err := h.Release(ctx); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestFacadePersistentServer drives the persistence knob end to end through
+// the public facade alone: NewFileStore + NewServerWithOptions, a computed
+// result, a restart on the same directory, and the byte-identical cached
+// answer (the same flow `gocserve -data DIR` runs).
+func TestFacadePersistentServer(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+
+	open := func() (gameofcoins.Store, *gameofcoins.Server, *httptest.Server) {
+		st, err := gameofcoins.NewFileStore(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		api, err := gameofcoins.NewServerWithOptions(2, gameofcoins.ServerOptions{Store: st})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st, api, httptest.NewServer(api)
+	}
+
+	st1, api1, ts1 := open()
+	c1 := gameofcoins.NewClient(ts1.URL)
+	h, err := c1.SubmitEquilibriumSweep(ctx, gameofcoins.EquilibriumSweep{
+		Gen: gameofcoins.GenSpec{Miners: 4, Coins: 2}, Games: 6,
+	}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Wait(ctx); err != nil {
+		t.Fatal(err)
+	}
+	var before gameofcoins.EquilibriumSweepResult
+	if err := h.Result(ctx, &before); err != nil {
+		t.Fatal(err)
+	}
+	jobID := h.Submitted.Status.ID
+	// Wait for the terminal record to land (it is written asynchronously
+	// when the job finishes) before simulating the restart.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		snap, err := st1.Load()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var rec gameofcoins.JobRecord = snap.Jobs[jobID]
+		if rec.State == "done" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("terminal record for %s never persisted (last: %+v)", jobID, rec)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	ts1.Close()
+	api1.Close()
+	if err := st1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, api2, ts2 := open()
+	defer func() { ts2.Close(); api2.Close(); st2.Close() }()
+	c2 := gameofcoins.NewClient(ts2.URL)
+	h2, err := c2.SubmitEquilibriumSweep(ctx, gameofcoins.EquilibriumSweep{
+		Gen: gameofcoins.GenSpec{Miners: 4, Coins: 2}, Games: 6,
+	}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !h2.Submitted.Cached || h2.Submitted.Status.ID != jobID {
+		t.Fatalf("post-restart resubmit missed the rehydrated cache: %+v", h2.Submitted)
+	}
+	var after gameofcoins.EquilibriumSweepResult
+	if err := h2.Result(ctx, &after); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(before, after) {
+		t.Fatalf("rehydrated result differs:\n%+v\n%+v", before, after)
 	}
 }

@@ -14,6 +14,7 @@ import (
 	"gameofcoins/internal/replay"
 	"gameofcoins/internal/security"
 	"gameofcoins/internal/server"
+	"gameofcoins/internal/store"
 )
 
 // Extended facade: ablations, verification, and security analysis.
@@ -112,8 +113,18 @@ type (
 
 	// Server is the gocserve HTTP handler (games, jobs, results, cache).
 	Server = server.Server
+	// ServerOptions configure a Server beyond the worker count: the
+	// persistence Store and the interrupted-job recovery policy.
+	ServerOptions = server.Options
 	// JobRequest is the legacy (v1) flat wire form of a job submission.
 	JobRequest = server.JobRequest
+
+	// Store is the pluggable persistence backend for the gocserve server:
+	// games, job records, deterministic results, and v2 handles. See
+	// NewMemStore and NewFileStore.
+	Store = store.Store
+	// JobRecord is the durable form of one job in a Store.
+	JobRecord = store.JobRecord
 
 	// JobEnvelope is the self-describing v2 wire form of a job: a registered
 	// spec kind, a seed, and the spec document the registry decodes.
@@ -146,6 +157,37 @@ func RunJob(ctx context.Context, e *Engine, spec EngineSpec, seed uint64) (any, 
 // the given worker count. Mount it on any mux or serve it directly; call
 // Server.Close during shutdown to cancel running jobs.
 func NewServer(workers int) *Server { return server.New(workers) }
+
+// NewServerWithOptions is NewServer with persistence: the server mirrors
+// its state into opts.Store and rehydrates from it on construction, so
+// finished jobs reappear as servable cached results (same bytes,
+// cached:true) and jobs interrupted mid-run are resubmitted under their
+// original spec and seed — or marked failed with opts.FailInterrupted. It
+// fails only if the store cannot be read.
+func NewServerWithOptions(workers int, opts ServerOptions) (*Server, error) {
+	return server.NewWithOptions(workers, opts)
+}
+
+// NewMemStore returns the in-memory Store: the same write-through code path
+// as the file-backed store, but nothing survives the process. Useful for
+// in-process restart scenarios (tests); NewServer itself runs with no store
+// at all.
+func NewMemStore() Store { return store.NewMem() }
+
+// NewFileStore opens (creating if needed) the file-backed Store rooted at
+// dir: an append-only JSONL operation log, replayed on open and compacted
+// periodically. It is what `gocserve -data DIR` uses; close it after the
+// server shuts down.
+func NewFileStore(dir string) (Store, error) { return store.OpenFile(dir) }
+
+// RegisterResultCodec registers a decoder reviving stored results of a
+// custom spec kind into their typed form after a restart. Optional — kinds
+// without a codec still round-trip byte-identically as raw JSON — but a
+// registered codec means in-process consumers (Job.Result) see the same
+// types before and after rehydration.
+func RegisterResultCodec(kind string, decode func(json.RawMessage) (any, error)) {
+	engine.RegisterResultCodec(kind, decode)
+}
 
 // RegisterSpec registers a decoder for a new job-spec kind. Once registered,
 // the kind is accepted end to end — POST /v2/jobs, result caching, the

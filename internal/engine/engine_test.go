@@ -340,18 +340,19 @@ func TestTaskCountCap(t *testing.T) {
 	if err == nil || !strings.Contains(err.Error(), "cap") {
 		t.Fatalf("err = %v, want task-cap error", err)
 	}
-	// The same guard protects the async path gocserve uses.
+	// The same guard protects the async path gocserve uses — and rejects up
+	// front, so an absurd task total is never published in job statuses.
 	m := NewManager(New(1))
 	defer m.Close()
-	job, err := m.Submit(EquilibriumSweep{Gen: core.GenSpec{Miners: 4, Coins: 2}, Games: 2000000000}, 1)
-	if err != nil {
-		t.Fatal(err)
+	_, err = m.Submit(EquilibriumSweep{Gen: core.GenSpec{Miners: 4, Coins: 2}, Games: 2000000000}, 1)
+	if err == nil || !strings.Contains(err.Error(), "cap") {
+		t.Fatalf("Submit err = %v, want synchronous task-cap error", err)
 	}
-	if err := job.Wait(context.Background()); err == nil {
-		t.Fatal("oversized job succeeded")
-	}
-	if st := job.Status(); st.State != StateFailed {
-		t.Fatalf("state = %s, want failed", st.State)
+	// A negative fan-out is rejected the same way.
+	_, err = m.Submit(Func{Name: "neg", N: -1,
+		Task: func(_ context.Context, i int, _ *rng.Rand) (any, error) { return i, nil }}, 1)
+	if err == nil || !strings.Contains(err.Error(), "tasks") {
+		t.Fatalf("Submit err = %v, want negative-task error", err)
 	}
 }
 

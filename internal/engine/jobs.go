@@ -5,6 +5,8 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 )
@@ -244,13 +246,42 @@ func NewManager(eng *Engine) *Manager {
 // Submit starts spec asynchronously under the manager's lifetime (not the
 // caller's request context) and returns the tracking job.
 func (m *Manager) Submit(spec Spec, seed uint64) (*Job, error) {
+	return m.submit("", spec, seed)
+}
+
+// Resubmit is Submit with a caller-chosen job ID: the persistence layer uses
+// it to rerun a job that was interrupted mid-run by a restart under its
+// original identity, so pre-restart handles and cache entries keep pointing
+// at the right job. It fails if the ID is already tracked.
+func (m *Manager) Resubmit(id string, spec Spec, seed uint64) (*Job, error) {
+	if id == "" {
+		return nil, errors.New("engine: Resubmit needs a job ID")
+	}
+	return m.submit(id, spec, seed)
+}
+
+func (m *Manager) submit(id string, spec Spec, seed uint64) (*Job, error) {
 	if v, ok := spec.(Validator); ok {
 		if err := v.Validate(); err != nil {
 			return nil, fmt.Errorf("engine: invalid %s spec: %w", spec.Kind(), err)
 		}
 	}
+	// Bound the fan-out before publishing the job, exactly like Engine.Run:
+	// without this check a negative or absurd Tasks() would be visible in
+	// job statuses until the run fails.
+	n := spec.Tasks()
+	if n < 0 {
+		return nil, fmt.Errorf("engine: %s spec reports %d tasks", spec.Kind(), n)
+	}
+	if n > MaxTasksPerJob {
+		return nil, fmt.Errorf("engine: %s spec reports %d tasks, cap is %d", spec.Kind(), n, MaxTasksPerJob)
+	}
 	jctx, cancel := context.WithCancel(m.ctx)
-	j := m.newJob(spec.Kind(), spec.Tasks(), cancel)
+	j, err := m.newJob(id, spec.Kind(), n, cancel)
+	if err != nil {
+		cancel()
+		return nil, err
+	}
 	j.mu.Lock()
 	j.state = StateRunning
 	j.mu.Unlock()
@@ -275,12 +306,19 @@ func (m *Manager) Submit(spec Spec, seed uint64) (*Job, error) {
 	return j, nil
 }
 
-func (m *Manager) newJob(kind string, total int, cancel context.CancelFunc) *Job {
+func (m *Manager) newJob(id, kind string, total int, cancel context.CancelFunc) (*Job, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	m.nextID++
+	if id == "" {
+		m.nextID++
+		id = fmt.Sprintf("job-%d", m.nextID)
+	} else if _, dup := m.jobs[id]; dup {
+		return nil, fmt.Errorf("engine: job %s already exists", id)
+	} else {
+		m.bumpNextIDLocked(id)
+	}
 	j := &Job{
-		id:       fmt.Sprintf("job-%d", m.nextID),
+		id:       id,
 		kind:     kind,
 		total:    total,
 		state:    StatePending,
@@ -290,7 +328,71 @@ func (m *Manager) newJob(kind string, total int, cancel context.CancelFunc) *Job
 	m.jobs[j.id] = j
 	m.order = append(m.order, j.id)
 	m.evictLocked()
-	return j
+	return j, nil
+}
+
+// ParseSeq parses the numeric sequence out of a prefixed ID — the manager's
+// "job-N", the server's "h-N". It is the single source of truth for aging
+// such IDs: callers treat a non-parsing (foreign) ID as sequence 0, older
+// than every minted ID, so store eviction and server rehydration order
+// records identically.
+func ParseSeq(id, prefix string) (uint64, bool) {
+	rest, ok := strings.CutPrefix(id, prefix)
+	if !ok {
+		return 0, false
+	}
+	n, err := strconv.ParseUint(rest, 10, 64)
+	return n, err == nil
+}
+
+// bumpNextIDLocked advances the ID counter past a caller-supplied job ID in
+// the manager's own "job-N" namespace, so minted IDs never collide with
+// rehydrated ones. Callers must hold m.mu.
+func (m *Manager) bumpNextIDLocked(id string) {
+	if n, ok := ParseSeq(id, "job-"); ok && n > m.nextID {
+		m.nextID = n
+	}
+}
+
+// Restore inserts a job already in a terminal state — the persistence
+// layer's rehydration path for jobs that finished in a previous process
+// life. A done job carries its decoded result (and full progress); failed
+// and canceled jobs carry only the recorded error. The job ID must be
+// unique; IDs in the manager's own "job-N" form advance the mint counter so
+// later submissions cannot collide.
+func (m *Manager) Restore(id, kind string, total int, result any, state State, errMsg string) (*Job, error) {
+	if id == "" {
+		return nil, errors.New("engine: Restore needs a job ID")
+	}
+	if !state.Terminal() {
+		return nil, fmt.Errorf("engine: Restore with non-terminal state %q", state)
+	}
+	j := &Job{
+		id:       id,
+		kind:     kind,
+		total:    total,
+		state:    state,
+		cancel:   func() {},
+		finished: make(chan struct{}),
+	}
+	close(j.finished)
+	switch {
+	case state == StateDone:
+		j.result = result
+		j.done.Store(int64(total))
+	case errMsg != "":
+		j.err = errors.New(errMsg)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, dup := m.jobs[id]; dup {
+		return nil, fmt.Errorf("engine: job %s already exists", id)
+	}
+	m.bumpNextIDLocked(id)
+	m.jobs[id] = j
+	m.order = append(m.order, id)
+	m.evictLocked()
+	return j, nil
 }
 
 // evictLocked drops the oldest terminal jobs until the retention cap holds.

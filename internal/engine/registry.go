@@ -34,10 +34,16 @@ func (e JobEnvelope) Decode() (Spec, error) { return DecodeSpec(e.Kind, e.Spec) 
 // malformed documents but leave semantic validation to the spec's Validate.
 type DecodeFunc func(json.RawMessage) (Spec, error)
 
+// ResultDecodeFunc revives a stored result document into the typed value
+// the kind's Aggregate produced. The persistence layer uses it to rehydrate
+// cached results after a restart.
+type ResultDecodeFunc func(json.RawMessage) (any, error)
+
 var registry = struct {
 	sync.RWMutex
 	decoders map[string]DecodeFunc
-}{decoders: map[string]DecodeFunc{}}
+	results  map[string]ResultDecodeFunc
+}{decoders: map[string]DecodeFunc{}, results: map[string]ResultDecodeFunc{}}
 
 // RegisterSpec registers a decoder for the given spec kind. It panics on an
 // empty kind, a nil decoder, or a duplicate registration — all programmer
@@ -77,6 +83,56 @@ func DecodeSpec(kind string, raw json.RawMessage) (Spec, error) {
 	return spec, nil
 }
 
+// RegisterResultCodec registers a decoder reviving a stored result document
+// of the given kind into the typed value its Aggregate produced. The codec
+// is optional: kinds without one round-trip results as raw JSON — served
+// byte-identically over HTTP, but typed json.RawMessage in-process. Like
+// RegisterSpec it panics on empty kinds, nil decoders, and duplicates.
+func RegisterResultCodec(kind string, decode ResultDecodeFunc) {
+	if kind == "" {
+		panic("engine: RegisterResultCodec with empty kind")
+	}
+	if decode == nil {
+		panic("engine: RegisterResultCodec with nil decoder for " + kind)
+	}
+	registry.Lock()
+	defer registry.Unlock()
+	if _, dup := registry.results[kind]; dup {
+		panic("engine: RegisterResultCodec duplicate kind " + kind)
+	}
+	registry.results[kind] = decode
+}
+
+// DecodeResult revives a stored result document of the given kind: through
+// the kind's registered result codec when there is one, otherwise as a copy
+// of the raw document itself. Raw documents re-encode byte-identically (the
+// original bytes came from marshalling the typed result), so persistence
+// never depends on a codec being registered.
+func DecodeResult(kind string, raw json.RawMessage) (any, error) {
+	registry.RLock()
+	decode := registry.results[kind]
+	registry.RUnlock()
+	if decode == nil {
+		return json.RawMessage(bytes.Clone(raw)), nil
+	}
+	res, err := decode(raw)
+	if err != nil {
+		return nil, fmt.Errorf("engine: decode %s result: %w", kind, err)
+	}
+	return res, nil
+}
+
+// ResultJSON adapts a result struct type R to a ResultDecodeFunc.
+func ResultJSON[R any]() ResultDecodeFunc {
+	return func(raw json.RawMessage) (any, error) {
+		var r R
+		if err := json.Unmarshal(raw, &r); err != nil {
+			return nil, err
+		}
+		return r, nil
+	}
+}
+
 // SpecKinds returns the registered spec kinds, sorted.
 func SpecKinds() []string {
 	registry.RLock()
@@ -113,6 +169,10 @@ func init() {
 	RegisterSpec(DesignSweep{}.Kind(), DecodeJSON[DesignSweep]())
 	RegisterSpec(ReplaySweep{}.Kind(), DecodeJSON[ReplaySweep]())
 	RegisterSpec(EquilibriumSweep{}.Kind(), DecodeJSON[EquilibriumSweep]())
+	RegisterResultCodec(LearnSweep{}.Kind(), ResultJSON[LearnSweepResult]())
+	RegisterResultCodec(DesignSweep{}.Kind(), ResultJSON[DesignSweepResult]())
+	RegisterResultCodec(ReplaySweep{}.Kind(), ResultJSON[ReplaySweepResult]())
+	RegisterResultCodec(EquilibriumSweep{}.Kind(), ResultJSON[EquilibriumSweepResult]())
 }
 
 // GameResolver resolves a registered-game reference (e.g. gocserve's
@@ -160,8 +220,16 @@ func CacheKey(spec Spec, seed uint64) (string, error) {
 	if err != nil {
 		return "", err
 	}
+	return CacheKeyJSON(spec.Kind(), b, seed), nil
+}
+
+// CacheKeyJSON derives the cache key directly from a spec's canonical JSON
+// encoding. Callers that already hold the canonical document (the server
+// persists it alongside the key) can key without re-marshalling — and
+// without a marshal error path.
+func CacheKeyJSON(kind string, canonical json.RawMessage, seed uint64) string {
 	h := sha256.New()
-	fmt.Fprintf(h, "%s|%d|", spec.Kind(), seed)
-	h.Write(b)
-	return hex.EncodeToString(h.Sum(nil)[:16]), nil
+	fmt.Fprintf(h, "%s|%d|", kind, seed)
+	h.Write(canonical)
+	return hex.EncodeToString(h.Sum(nil)[:16])
 }

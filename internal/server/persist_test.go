@@ -1,0 +1,448 @@
+// Persistence tests: restart recovery through a real file-backed store, the
+// v1-cancel/resubmit race regression, and the submit error-mapping surface.
+// External test package like v2_test.go, so the server is exercised through
+// its public constructors and the client SDK.
+package server_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"gameofcoins/client"
+	"gameofcoins/internal/core"
+	"gameofcoins/internal/engine"
+	"gameofcoins/internal/rng"
+	"gameofcoins/internal/server"
+	"gameofcoins/internal/store"
+)
+
+// stubbornSpec blocks its tasks on a per-Name latch and deliberately
+// ignores ctx — the shape of a task deep in a compute kernel that cannot
+// observe cancellation mid-step. Cancel leaves the job non-terminal until
+// the gate opens, which is exactly the window the v1-cancel race needs.
+type stubbornSpec struct {
+	Name string `json:"name"`
+	N    int    `json:"n"`
+}
+
+func (s stubbornSpec) Kind() string { return "test_stubborn" }
+func (s stubbornSpec) Tasks() int   { return s.N }
+func (s stubbornSpec) RunTask(_ context.Context, i int, _ *rng.Rand) (any, error) {
+	<-gateChan(s.Name)
+	return i, nil
+}
+func (s stubbornSpec) Aggregate(results []any) (any, error) { return len(results), nil }
+
+// badMarshalSpec decodes from the wire fine but cannot re-encode: the
+// canonical-JSON step fails, which must surface as a 500 (server fault),
+// not the 400 every other submit failure maps to.
+type badMarshalSpec struct{}
+
+func (badMarshalSpec) Kind() string { return "test_badmarshal" }
+func (badMarshalSpec) Tasks() int   { return 1 }
+func (badMarshalSpec) RunTask(_ context.Context, i int, _ *rng.Rand) (any, error) {
+	return i, nil
+}
+func (badMarshalSpec) Aggregate(results []any) (any, error) { return len(results), nil }
+func (badMarshalSpec) MarshalJSON() ([]byte, error) {
+	return nil, errors.New("deliberately unmarshalable")
+}
+
+func init() {
+	engine.RegisterSpec("test_stubborn", engine.DecodeJSON[stubbornSpec]())
+	engine.RegisterSpec("test_badmarshal", func(json.RawMessage) (engine.Spec, error) {
+		return badMarshalSpec{}, nil
+	})
+}
+
+// TestV1CancelRetractsCacheEntry is the regression test for the
+// cancel/resubmit race: v1 DELETE must retract the job's cache entries in
+// the same critical section that cancels it. Before the fix, the entry was
+// only retracted by an asynchronous goroutine after the job reached a
+// terminal state, so an identical submission racing the cancel attached to
+// the dying job and received a canceled, resultless job.
+func TestV1CancelRetractsCacheEntry(t *testing.T) {
+	base := v2Server(t)
+	c := client.New(base)
+	ctx := context.Background()
+
+	spec := stubbornSpec{Name: "cancelrace-" + strconv.Itoa(time.Now().Nanosecond()), N: 1}
+	defer openGate(spec.Name)
+	h1, err := c.Submit(ctx, "test_stubborn", 3, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobID := h1.Submitted.Status.ID
+
+	// Cancel via v1. The task ignores ctx, so the job is canceled but still
+	// non-terminal — deterministically inside the old race window.
+	req, _ := http.NewRequest(http.MethodDelete, base+"/v1/jobs/"+jobID, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("v1 DELETE: %d", resp.StatusCode)
+	}
+
+	// An identical submission must NOT attach to the dying job.
+	h2, err := c.Submit(ctx, "test_stubborn", 3, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h2.Submitted.Cached || h2.Submitted.Status.ID == jobID {
+		t.Fatalf("identical submission attached to the canceled job: %+v", h2.Submitted)
+	}
+
+	// The fresh job computes a real result once unblocked.
+	openGate(spec.Name)
+	st, err := h2.Wait(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != engine.StateDone {
+		t.Fatalf("fresh job ended %s", st.State)
+	}
+	var n int
+	if err := h2.Result(ctx, &n); err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("result = %d, want 1", n)
+	}
+}
+
+// TestSubmitErrorMapping: client mistakes stay 400; internal encoding
+// failures are 500 on both API surfaces.
+func TestSubmitErrorMapping(t *testing.T) {
+	base := v2Server(t)
+	cases := []struct {
+		name, path, body string
+		want             int
+	}{
+		{"v2_unknown_kind", "/v2/jobs", `{"kind":"bogus","seed":1}`, http.StatusBadRequest},
+		{"v2_invalid_spec", "/v2/jobs", `{"kind":"equilibrium_sweep","seed":1,"spec":{"games":0}}`, http.StatusBadRequest},
+		{"v2_unknown_game", "/v2/jobs", `{"kind":"learn_sweep","seed":1,"spec":{"game_id":"g-nope","runs":3}}`, http.StatusBadRequest},
+		{"v2_marshal_failure", "/v2/jobs", `{"kind":"test_badmarshal","seed":1}`, http.StatusInternalServerError},
+		{"v1_unknown_type", "/v1/jobs", `{"type":"bogus"}`, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, err := http.Post(base+tc.path, "application/json", strings.NewReader(tc.body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != tc.want {
+				t.Fatalf("status %d, want %d", resp.StatusCode, tc.want)
+			}
+			var e struct {
+				Error string `json:"error"`
+			}
+			if err := json.NewDecoder(resp.Body).Decode(&e); err != nil || e.Error == "" {
+				t.Fatalf("error body undecodable: %v %+v", err, e)
+			}
+		})
+	}
+}
+
+// ---- restart recovery ----
+
+// persistentServer opens (or reopens) a server on the given data directory.
+// Shutdown order mirrors gocserve: listener, server, then store.
+type persistentServer struct {
+	s   *server.Server
+	ts  *httptest.Server
+	st  *store.File
+	URL string
+}
+
+func openPersistent(t *testing.T, dir string, failInterrupted bool) *persistentServer {
+	t.Helper()
+	st, err := store.OpenFile(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := server.NewWithOptions(4, server.Options{Store: st, FailInterrupted: failInterrupted})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s)
+	p := &persistentServer{s: s, ts: ts, st: st, URL: ts.URL}
+	t.Cleanup(p.shutdown)
+	return p
+}
+
+func (p *persistentServer) shutdown() {
+	if p.ts == nil {
+		return
+	}
+	p.ts.Close()
+	p.s.Close()
+	p.st.Close()
+	p.ts = nil
+}
+
+// waitRecordState polls the store until the job's record reaches the given
+// state — the terminal record is written asynchronously after the job
+// finishes, so tests must not tear the store down before it lands.
+func waitRecordState(t *testing.T, st *store.File, jobID, state string) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		snap, err := st.Load()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rec, ok := snap.Jobs[jobID]; ok && rec.State == state {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("job %s never persisted state %q", jobID, state)
+}
+
+// TestRestartServesCachedResults: results computed before a shutdown are
+// served byte-identically — same job IDs, same bytes, cached:true — after a
+// fresh process rehydrates the same data directory, for both a built-in
+// kind (typed result codec) and a custom kind with no codec (raw-JSON
+// round-trip). Games and v2 handles survive too.
+func TestRestartServesCachedResults(t *testing.T) {
+	dir := t.TempDir()
+	p1 := openPersistent(t, dir, false)
+	c1 := client.New(p1.URL)
+	ctx := context.Background()
+
+	game := core.MustNewGame(
+		[]core.Miner{{Name: "p1", Power: 13}, {Name: "p2", Power: 7}, {Name: "p3", Power: 5}},
+		[]core.Coin{{Name: "btc"}, {Name: "bch"}},
+		[]float64{17, 9},
+	)
+	gameID, err := c1.RegisterGame(ctx, game)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A built-in sweep by game reference over v1…
+	v1req := server.JobRequest{Type: "learn_sweep", Seed: 11, GameID: gameID,
+		Schedulers: []string{"random"}, Runs: 8}
+	body, _ := json.Marshal(v1req)
+	resp, err := http.Post(p1.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st1 engine.Status
+	if err := json.NewDecoder(resp.Body).Decode(&st1); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	waitV1Done(t, p1.URL, st1.ID)
+
+	// …and a custom kind (no result codec registered) over v2.
+	h, err := c1.Submit(ctx, "toy_sum", 9, toySpec{N: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Wait(ctx); err != nil {
+		t.Fatal(err)
+	}
+	toyJobID := h.Submitted.Status.ID
+
+	learnBefore := rawGet(t, p1.URL+"/v1/jobs/"+st1.ID+"/result")
+	toyBefore := rawGet(t, p1.URL+"/v2/jobs/"+h.ID()+"/result")
+
+	waitRecordState(t, p1.st, st1.ID, store.JobDone)
+	waitRecordState(t, p1.st, toyJobID, store.JobDone)
+	p1.shutdown()
+
+	p2 := openPersistent(t, dir, false)
+
+	// The registered game came back.
+	var back core.Game
+	if err := json.Unmarshal(rawGet(t, p2.URL+"/v1/games/"+gameID), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.NumMiners() != 3 {
+		t.Fatalf("rehydrated game has %d miners", back.NumMiners())
+	}
+
+	// Results are served from the rehydrated cache, byte-identical, under
+	// the original job IDs — including through the pre-restart v2 handle.
+	if got := rawGet(t, p2.URL+"/v1/jobs/"+st1.ID+"/result"); !bytes.Equal(got, learnBefore) {
+		t.Fatalf("learn result differs after restart:\n%s\n%s", got, learnBefore)
+	}
+	if got := rawGet(t, p2.URL+"/v2/jobs/"+h.ID()+"/result"); !bytes.Equal(got, toyBefore) {
+		t.Fatalf("toy result differs after restart:\n%s\n%s", got, toyBefore)
+	}
+
+	// Identical resubmissions hit the rehydrated cache, flagged as such.
+	var st2 engine.Status
+	resp2, err := http.Post(p2.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp2.Body).Decode(&st2); err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if !st2.Cached || st2.ID != st1.ID || st2.State != engine.StateDone {
+		t.Fatalf("v1 resubmit after restart missed the cache: %+v", st2)
+	}
+	c2 := client.New(p2.URL)
+	h2, err := c2.Submit(ctx, "toy_sum", 9, toySpec{N: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !h2.Submitted.Cached || h2.Submitted.Status.ID != toyJobID {
+		t.Fatalf("v2 resubmit after restart missed the cache: %+v", h2.Submitted)
+	}
+}
+
+// TestRestartResubmitsInterruptedJobs: a job mid-run at shutdown keeps its
+// "submitted" record, and the next process life resubmits it under its
+// original ID, spec, and seed; pre-restart handles watch it to completion.
+func TestRestartResubmitsInterruptedJobs(t *testing.T) {
+	dir := t.TempDir()
+	p1 := openPersistent(t, dir, false)
+	c1 := client.New(p1.URL)
+	ctx := context.Background()
+
+	spec := gatedSpec{Name: "restart-" + strconv.Itoa(time.Now().Nanosecond()), N: 3}
+	defer openGate(spec.Name)
+	h, err := c1.Submit(ctx, "test_gated", 5, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobID := h.Submitted.Status.ID
+	p1.shutdown() // cancels the running job, but the record stays "submitted"
+
+	p2 := openPersistent(t, dir, false)
+	// The job is back under its original ID, running (blocked on the gate),
+	// and the pre-restart handle still resolves to it.
+	if st := statusV1(t, p2.URL, jobID); st.State.Terminal() {
+		t.Fatalf("interrupted job not resubmitted: %+v", st)
+	}
+	var jh server.JobHandle
+	if err := json.Unmarshal(rawGet(t, p2.URL+"/v2/jobs/"+h.ID()), &jh); err != nil {
+		t.Fatal(err)
+	}
+	if jh.Status.ID != jobID {
+		t.Fatalf("rehydrated handle points at %s, want %s", jh.Status.ID, jobID)
+	}
+
+	openGate(spec.Name)
+	final := waitV1Terminal(t, p2.URL, jobID)
+	if final.State != engine.StateDone {
+		t.Fatalf("recomputed job ended %s: %s", final.State, final.Error)
+	}
+	var res struct {
+		Result int `json:"result"`
+	}
+	if err := json.Unmarshal(rawGet(t, p2.URL+"/v1/jobs/"+jobID+"/result"), &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Result != spec.N {
+		t.Fatalf("recomputed result = %d, want %d", res.Result, spec.N)
+	}
+}
+
+// TestRestartRecomputesUnreadableResult: a done record whose stored result
+// document no longer decodes (a result codec changed across an upgrade) is
+// recomputed from its spec and seed instead of being destroyed — the same
+// recovery path interrupted jobs take.
+func TestRestartRecomputesUnreadableResult(t *testing.T) {
+	dir := t.TempDir()
+	st, err := store.OpenFile(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := engine.EquilibriumSweep{Gen: core.GenSpec{Miners: 4, Coins: 2}, Games: 5}
+	raw, err := engine.CanonicalSpecJSON(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key, err := engine.CacheKey(spec, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := store.JobRecord{ID: "job-1", Key: key, Kind: spec.Kind(), Seed: 3, Tasks: 5,
+		Spec: raw, State: store.JobDone,
+		Result: json.RawMessage(`{"games":"not-an-int"}`)} // rejected by the codec
+	if err := st.PutJob(rec); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	p := openPersistent(t, dir, false)
+	final := waitV1Terminal(t, p.URL, "job-1")
+	if final.State != engine.StateDone {
+		t.Fatalf("unreadable-result job ended %s (%s), want recomputed done", final.State, final.Error)
+	}
+	var res struct {
+		Result engine.EquilibriumSweepResult `json:"result"`
+	}
+	if err := json.Unmarshal(rawGet(t, p.URL+"/v1/jobs/job-1/result"), &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Result.Games != 5 {
+		t.Fatalf("recomputed result = %+v", res.Result)
+	}
+}
+
+// TestRestartFailInterrupted: with the flag set, an interrupted job is
+// marked failed instead of recomputing; its result is Gone and an identical
+// resubmission starts a fresh job.
+func TestRestartFailInterrupted(t *testing.T) {
+	dir := t.TempDir()
+	p1 := openPersistent(t, dir, false)
+	c1 := client.New(p1.URL)
+	ctx := context.Background()
+
+	spec := gatedSpec{Name: "failint-" + strconv.Itoa(time.Now().Nanosecond()), N: 2}
+	defer openGate(spec.Name)
+	h, err := c1.Submit(ctx, "test_gated", 6, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobID := h.Submitted.Status.ID
+	p1.shutdown()
+
+	p2 := openPersistent(t, dir, true)
+	st := statusV1(t, p2.URL, jobID)
+	if st.State != engine.StateFailed || !strings.Contains(st.Error, "interrupted") {
+		t.Fatalf("status = %+v, want failed/interrupted", st)
+	}
+	resp, err := http.Get(p2.URL + "/v1/jobs/" + jobID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusGone {
+		t.Fatalf("result of failed-interrupted job: %d, want 410", resp.StatusCode)
+	}
+
+	// Resubmission is a fresh job, not a cache hit on the corpse.
+	c2 := client.New(p2.URL)
+	h2, err := c2.Submit(ctx, "test_gated", 6, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h2.Submitted.Cached || h2.Submitted.Status.ID == jobID {
+		t.Fatalf("resubmit attached to the failed-interrupted job: %+v", h2.Submitted)
+	}
+	openGate(spec.Name)
+	if st, err := h2.Wait(ctx); err != nil || st.State != engine.StateDone {
+		t.Fatalf("fresh job: %+v, %v", st, err)
+	}
+}

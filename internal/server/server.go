@@ -49,24 +49,37 @@
 // MaxHandles; past the cap the oldest handles are evicted (they 404
 // afterwards) without canceling their jobs.
 //
-// Results are cached in memory keyed by (canonical job spec, seed):
-// resubmitting an identical spec returns a completed job instantly. The
-// cache is sound because every job is a deterministic function of its spec
-// and seed — the engine's worker pool cannot perturb results.
+// Results are cached keyed by (canonical job spec, seed): resubmitting an
+// identical spec returns a completed job instantly. The cache is sound
+// because every job is a deterministic function of its spec and seed — the
+// engine's worker pool cannot perturb results.
+//
+// Persistence is pluggable (internal/store): every game registration, job
+// submission, finished result, handle mint/release, and v1 pin is mirrored
+// into a Store, and NewWithOptions rehydrates the whole state on startup —
+// finished jobs reappear as servable cached results under their original
+// IDs, and jobs that were mid-run when the process stopped are resubmitted
+// under their original spec and seed (determinism makes the rerun
+// byte-identical) or, with Options.FailInterrupted, marked failed. Without
+// a store (New, or a nil Options.Store) persistence is disabled entirely —
+// exactly the old behavior, at the old cost.
 package server
 
 import (
+	"bytes"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
+	"sort"
 	"sync"
 
 	"gameofcoins/internal/core"
 	"gameofcoins/internal/engine"
 	"gameofcoins/internal/replay"
+	"gameofcoins/internal/store"
 )
 
 // JobRequest is the wire form of a job submission. Type selects the engine
@@ -110,10 +123,24 @@ type JobHandle struct {
 type Server struct {
 	manager *engine.Manager
 	mux     *http.ServeMux
+	store   store.Store // nil: persistence disabled entirely
 
-	mu    sync.Mutex
-	games map[string]*core.Game
-	cache map[string]string // cache key → ID of the job holding the result
+	// Store writes go through a single ordered queue drained by one
+	// background goroutine: ops are enqueued while s.mu is held — so the
+	// log order matches the in-memory mutation order exactly — but the I/O
+	// itself (which may compact and fsync the whole log) never runs under
+	// s.mu and can never stall a request.
+	pmu       sync.Mutex
+	pops      []func()
+	pkick     chan struct{}
+	pstop     chan struct{}
+	pdone     chan struct{}
+	pstopOnce sync.Once
+
+	mu      sync.Mutex
+	closing bool // set by Close: suppress terminal records for shutdown-canceled jobs
+	games   map[string]*core.Game
+	cache   map[string]string // cache key → ID of the job holding the result
 
 	// Per-client handles (v2). A handle is one client's reference to a
 	// deduplicated job; refs counts live handles per job so releasing a
@@ -135,18 +162,266 @@ type Server struct {
 // (404 on later use) *without* canceling their jobs.
 const MaxHandles = 4 * engine.DefaultRetention
 
+// Options configure a Server beyond the worker count.
+type Options struct {
+	// Store persists games, jobs, results, and handles across restarts.
+	// nil disables persistence entirely — no mirroring, no extra result
+	// copies, which is the historical (and New's) behavior. store.NewMem
+	// gives a process-local store for in-process restart scenarios.
+	Store store.Store
+	// FailInterrupted controls rehydration of jobs that were mid-run when
+	// the previous process stopped: false (default) resubmits them under
+	// their original ID, spec, and seed — determinism recomputes the
+	// identical result — while true marks them failed ("interrupted by
+	// server restart") so nothing recomputes without an explicit resubmit.
+	FailInterrupted bool
+}
+
 // New returns a server running jobs on an engine with the given worker
-// count (<= 0 selects GOMAXPROCS).
+// count (<= 0 selects GOMAXPROCS) and no persistence.
 func New(workers int) *Server {
+	s, err := NewWithOptions(workers, Options{})
+	if err != nil {
+		// Unreachable: only a Store can fail construction.
+		panic(err)
+	}
+	return s
+}
+
+// NewWithOptions returns a server persisting to opts.Store, rehydrated from
+// whatever state the store already holds. Construction fails only if the
+// store cannot be read.
+func NewWithOptions(workers int, opts Options) (*Server, error) {
 	s := &Server{
 		manager: engine.NewManager(engine.New(workers)),
 		mux:     http.NewServeMux(),
+		store:   opts.Store,
 		games:   map[string]*core.Game{},
 		cache:   map[string]string{},
 		handles: map[string]string{},
 		refs:    map[string]int{},
 		v1pin:   map[string]struct{}{},
 	}
+	if s.store != nil {
+		s.pkick = make(chan struct{}, 1)
+		s.pstop = make(chan struct{})
+		s.pdone = make(chan struct{})
+		if err := s.rehydrate(opts.FailInterrupted); err != nil {
+			return nil, err
+		}
+		go s.persistLoop()
+	}
+	s.routes()
+	return s, nil
+}
+
+// enqueuePersist queues one store write for the background drain. Callers
+// may hold s.mu: enqueueing never blocks and never touches the disk, and
+// because mutations enqueue in the order they are applied to the in-memory
+// tables, the log sees the same total order. A no-op without a store.
+//
+// After Close has stopped the drain, the op runs inline instead (callers at
+// that point — watchJob goroutines recording a job that finished during
+// shutdown — are already off the request path). A write that slips through
+// the remaining hairline race is only ever a terminal record, and losing
+// one is benign: the record stays "submitted" and the next life recomputes
+// the identical result.
+func (s *Server) enqueuePersist(op func()) {
+	if s.store == nil {
+		return
+	}
+	select {
+	case <-s.pstop:
+		op()
+		return
+	default:
+	}
+	s.pmu.Lock()
+	s.pops = append(s.pops, op)
+	s.pmu.Unlock()
+	select {
+	case s.pkick <- struct{}{}:
+	default:
+	}
+}
+
+// persistLoop drains the write queue until Close, then flushes what is left
+// so a graceful shutdown loses nothing that was enqueued.
+func (s *Server) persistLoop() {
+	defer close(s.pdone)
+	for {
+		select {
+		case <-s.pkick:
+			s.drainPersist()
+		case <-s.pstop:
+			s.drainPersist()
+			return
+		}
+	}
+}
+
+func (s *Server) drainPersist() {
+	for {
+		s.pmu.Lock()
+		ops := s.pops
+		s.pops = nil
+		s.pmu.Unlock()
+		if len(ops) == 0 {
+			return
+		}
+		for _, op := range ops {
+			op()
+		}
+	}
+}
+
+// rehydrate reloads the store's state into a freshly constructed (not yet
+// shared) server: games, then jobs in creation order so the manager's
+// eviction order matches the original life, then handles and pins against
+// the jobs that actually came back.
+func (s *Server) rehydrate(failInterrupted bool) error {
+	snap, err := s.store.Load()
+	if err != nil {
+		return fmt.Errorf("server: load store: %w", err)
+	}
+	for id, g := range snap.Games {
+		s.games[id] = g
+	}
+	jobs := make([]store.JobRecord, 0, len(snap.Jobs))
+	for _, rec := range snap.Jobs {
+		jobs = append(jobs, rec)
+	}
+	sort.Slice(jobs, func(i, k int) bool { return idLess(jobs[i].ID, jobs[k].ID, "job-") })
+	// Rehydration mutates the server's tables without s.mu (nothing else
+	// can see the server yet) — so the completion watchers of resubmitted
+	// jobs, which DO take s.mu and mutate s.cache the moment their job
+	// ends, must not start until every table below is fully built. Collect
+	// them and attach last.
+	var watch []watchStart
+	for _, rec := range jobs {
+		watch = append(watch, s.rehydrateJob(rec, failInterrupted)...)
+	}
+	handles := make([]string, 0, len(snap.Handles))
+	for h := range snap.Handles {
+		handles = append(handles, h)
+	}
+	sort.Slice(handles, func(i, k int) bool { return idLess(handles[i], handles[k], "h-") })
+	for _, h := range handles {
+		jobID := snap.Handles[h]
+		if _, err := s.manager.Get(jobID); err != nil {
+			continue // the job did not come back; the handle would dangle
+		}
+		s.handles[h] = jobID
+		s.handleOrder = append(s.handleOrder, h)
+		s.refs[jobID]++
+	}
+	s.nextHandle = snap.NextHandle
+	for jobID := range snap.Pins {
+		if _, err := s.manager.Get(jobID); err == nil {
+			s.v1pin[jobID] = struct{}{}
+		}
+	}
+	for _, w := range watch {
+		s.watchJob(w.job, w.rec)
+	}
+	return nil
+}
+
+// watchStart is a deferred watchJob call: rehydration collects these and
+// attaches them only after the server's tables are fully built.
+type watchStart struct {
+	job *engine.Job
+	rec store.JobRecord
+}
+
+// rehydrateJob revives one job record. Terminal jobs are restored as-is
+// (done jobs re-enter the result cache; the record's result document decodes
+// through the registry's result codec, so the served bytes are identical to
+// the pre-restart ones). A record still marked submitted was interrupted
+// mid-run — and a done record whose result document no longer decodes (a
+// codec changed across the upgrade) is treated the same way: the stored
+// spec and seed deterministically recompute the result, so nothing is
+// destroyed. Nothing here is fatal: a record that cannot be revived at all
+// (kind no longer registered, corrupt spec) becomes a failed job that says
+// why, not a startup abort.
+func (s *Server) rehydrateJob(rec store.JobRecord, failInterrupted bool) []watchStart {
+	switch rec.State {
+	case store.JobDone:
+		res, err := engine.DecodeResult(rec.Kind, rec.Result)
+		if err != nil {
+			return s.recomputeJob(rec, failInterrupted,
+				fmt.Sprintf("stored result unreadable after restart: %v", err))
+		}
+		if _, err := s.manager.Restore(rec.ID, rec.Kind, rec.Tasks, res, engine.StateDone, ""); err == nil {
+			s.cache[rec.Key] = rec.ID
+		}
+	case store.JobFailed:
+		_, _ = s.manager.Restore(rec.ID, rec.Kind, rec.Tasks, nil, engine.StateFailed, rec.Error)
+	case store.JobCanceled:
+		_, _ = s.manager.Restore(rec.ID, rec.Kind, rec.Tasks, nil, engine.StateCanceled, rec.Error)
+	case store.JobSubmitted:
+		return s.recomputeJob(rec, failInterrupted, "interrupted by server restart")
+	}
+	return nil
+}
+
+// recomputeJob reruns a job record under its original ID, spec, and seed —
+// the recovery path for interrupted jobs and for done records whose stored
+// result can no longer be decoded. With failInterrupted set (or when the
+// spec itself cannot be revived) the job is restored as failed instead,
+// with reason explaining why. The returned watchStart (if any) must be
+// attached by the caller once rehydration has finished building the tables.
+func (s *Server) recomputeJob(rec store.JobRecord, failInterrupted bool, reason string) []watchStart {
+	restoreFailed := func(msg string) {
+		if _, err := s.manager.Restore(rec.ID, rec.Kind, rec.Tasks, nil, engine.StateFailed, msg); err == nil {
+			rec.State = store.JobFailed
+			rec.Error = msg
+			rec.Result = nil
+			_ = s.store.PutJob(rec)
+		}
+	}
+	if failInterrupted {
+		restoreFailed(reason)
+		return nil
+	}
+	spec, err := engine.DecodeSpec(rec.Kind, rec.Spec)
+	if err != nil {
+		restoreFailed(fmt.Sprintf("%s; not recomputable: %v", reason, err))
+		return nil
+	}
+	job, err := s.manager.Resubmit(rec.ID, spec, rec.Seed)
+	if err != nil {
+		restoreFailed(fmt.Sprintf("%s; not recomputable: %v", reason, err))
+		return nil
+	}
+	// Back to "submitted" in the store too, so a crash during the recompute
+	// is itself recoverable (and the stale result document is dropped).
+	rec.State = store.JobSubmitted
+	rec.Result = nil
+	rec.Error = ""
+	_ = s.store.PutJob(rec)
+	s.cache[rec.Key] = rec.ID
+	return []watchStart{{job: job, rec: rec}}
+}
+
+// idLess orders prefixed sequence IDs ("job-2" < "job-10") by mint age
+// through the engine's shared parser, so rehydration order and the store's
+// own eviction order agree: foreign (non-numeric) IDs count as sequence 0 —
+// older than every minted ID — and tie-break by string.
+func idLess(a, b, prefix string) bool {
+	na, aok := engine.ParseSeq(a, prefix)
+	nb, bok := engine.ParseSeq(b, prefix)
+	switch {
+	case aok && bok:
+		return na < nb
+	case aok != bok:
+		return bok // the foreign ID (sequence 0) sorts first
+	default:
+		return a < b
+	}
+}
+
+func (s *Server) routes() {
 	s.mux.HandleFunc("POST /v1/games", s.handleCreateGame)
 	s.mux.HandleFunc("GET /v1/games/{id}", s.handleGetGame)
 	s.mux.HandleFunc("POST /v1/jobs", s.handleCreateJob)
@@ -163,7 +438,6 @@ func New(workers int) *Server {
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
-	return s
 }
 
 // ServeHTTP implements http.Handler.
@@ -171,8 +445,25 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.Serve
 
 // Close cancels every running job. In-flight requests still get coherent
 // (canceled) statuses; call during graceful shutdown after the listener
-// stops accepting connections.
-func (s *Server) Close() { s.manager.Close() }
+// stops accepting connections. Jobs canceled by Close keep their
+// "submitted" store records — a shutdown is an interruption, not a verdict
+// — so the next process life resubmits them. Close does not close the
+// store (the caller owns it).
+func (s *Server) Close() {
+	s.mu.Lock()
+	s.closing = true
+	s.mu.Unlock()
+	s.manager.Close()
+	if s.store != nil {
+		// Stop the persistence drain and wait for its final flush, so
+		// everything enqueued before Close is on disk by the time the
+		// caller closes the store; the extra drain catches ops that raced
+		// the loop's exit (enqueuePersist runs post-stop ops inline).
+		s.pstopOnce.Do(func() { close(s.pstop) })
+		<-s.pdone
+		s.drainPersist()
+	}
+}
 
 func (s *Server) handleCreateGame(w http.ResponseWriter, r *http.Request) {
 	var g core.Game
@@ -184,6 +475,16 @@ func (s *Server) handleCreateGame(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, err)
 		return
+	}
+	// Persist before publishing (synchronously — registration is rare and
+	// durability-or-500 is the contract here): a game that is registered
+	// but not durable would break job records referencing it after a
+	// restart.
+	if s.store != nil {
+		if err := s.store.PutGame(id, &g); err != nil {
+			writeError(w, http.StatusInternalServerError, fmt.Errorf("persist game: %w", err))
+			return
+		}
 	}
 	s.mu.Lock()
 	s.games[id] = &g
@@ -236,10 +537,14 @@ func (s *Server) submitEnvelope(env engine.JobEnvelope, mint bool) (*engine.Job,
 	if err != nil {
 		return nil, false, jh, err
 	}
-	key, err := engine.CacheKey(spec, env.Seed)
+	canonical, err := engine.CanonicalSpecJSON(spec)
 	if err != nil {
-		return nil, false, jh, err
+		// A spec that decoded from the wire but cannot re-encode is the
+		// server's problem (a broken Marshaler, non-finite floats built by a
+		// decoder), not the client's: surface it as a 500, not a 400.
+		return nil, false, jh, internalError{err}
 	}
+	key := engine.CacheKeyJSON(spec.Kind(), canonical, env.Seed)
 	// Check-and-reserve is one critical section: concurrent identical
 	// submissions either all see the same cached job or exactly one of them
 	// submits and publishes the key the others then hit. (Lock order is
@@ -263,7 +568,7 @@ func (s *Server) submitEnvelope(env engine.JobEnvelope, mint bool) (*engine.Job,
 				if mint {
 					jh = s.mintHandleLocked(job.ID())
 				} else {
-					s.v1pin[job.ID()] = struct{}{}
+					s.pinV1Locked(job.ID())
 				}
 				s.mu.Unlock()
 				return job, true, jh, nil
@@ -276,6 +581,21 @@ func (s *Server) submitEnvelope(env engine.JobEnvelope, mint bool) (*engine.Job,
 		s.mu.Unlock()
 		return nil, false, jh, err
 	}
+	rec := store.JobRecord{
+		ID:    job.ID(),
+		Key:   key,
+		Kind:  spec.Kind(),
+		Seed:  env.Seed,
+		Tasks: spec.Tasks(),
+		Spec:  canonical,
+		State: store.JobSubmitted,
+	}
+	// Persistence of the job table is best-effort: a store hiccup costs
+	// durability of this record, not the submission (the job still runs).
+	// Enqueued before the mint/pin below so the log always carries a job
+	// record ahead of the handle/pin ops that reference it — what the
+	// store's garbage collection keys on.
+	s.enqueuePersist(func() { _ = s.store.PutJob(rec) })
 	// Publish the key before releasing the lock so no identical submission
 	// can slip between submit and publish; retract it if the job fails or
 	// is canceled.
@@ -283,34 +603,99 @@ func (s *Server) submitEnvelope(env engine.JobEnvelope, mint bool) (*engine.Job,
 	if mint {
 		jh = s.mintHandleLocked(job.ID())
 	} else {
-		s.v1pin[job.ID()] = struct{}{}
+		s.pinV1Locked(job.ID())
 	}
 	s.pruneCacheLocked()
 	s.mu.Unlock()
-	go func() {
-		<-job.Done()
-		if _, ok := job.Result(); !ok {
-			s.mu.Lock()
-			if s.cache[key] == job.ID() {
-				delete(s.cache, key)
-			}
-			s.mu.Unlock()
-		}
-	}()
+	s.watchJob(job, rec)
 	return job, false, jh, nil
 }
 
-// mintHandleLocked creates a fresh handle claiming jobID. Callers must hold
-// s.mu; the returned JobHandle carries the handle id and refcount (the job
-// status is filled in outside the lock).
+// watchJob follows job to its terminal state, then persists the terminal
+// record and retracts the cache entry of a resultless end. Shutdown is the
+// exception: jobs the manager canceled because the whole server is closing
+// keep their "submitted" record, which is exactly what makes the next
+// process life resubmit them.
+func (s *Server) watchJob(job *engine.Job, rec store.JobRecord) {
+	go func() {
+		<-job.Done()
+		if res, ok := job.Result(); ok {
+			if s.store == nil {
+				return
+			}
+			if b, err := json.Marshal(res); err == nil {
+				rec.State = store.JobDone
+				rec.Result = b
+				rec.Error = ""
+				s.enqueuePersist(func() { _ = s.store.PutJob(rec) })
+			}
+			// A result that cannot be marshalled also cannot be served; the
+			// record stays "submitted" and a restart recomputes it.
+			return
+		}
+		s.mu.Lock()
+		if s.cache[rec.Key] == job.ID() {
+			delete(s.cache, rec.Key)
+		}
+		closing := s.closing
+		s.mu.Unlock()
+		if closing || s.store == nil {
+			return
+		}
+		st := job.Status()
+		rec.State = store.JobFailed
+		if st.State == engine.StateCanceled {
+			rec.State = store.JobCanceled
+		}
+		rec.Error = st.Error
+		rec.Result = nil
+		s.enqueuePersist(func() { _ = s.store.PutJob(rec) })
+	}()
+}
+
+// pinV1Locked marks a job as v1-attached (see v1pin) and enqueues the pin's
+// persistence. Callers hold s.mu.
+func (s *Server) pinV1Locked(jobID string) {
+	if _, dup := s.v1pin[jobID]; dup {
+		return
+	}
+	s.v1pin[jobID] = struct{}{}
+	s.enqueuePersist(func() { _ = s.store.PutPin(jobID) })
+}
+
+// mintHandleLocked creates a fresh handle claiming jobID and enqueues its
+// persistence — enqueueing under s.mu is what keeps a mint and a later
+// eviction of the same handle in log order. Callers must hold s.mu; the
+// returned JobHandle carries the handle id and refcount (the job status is
+// filled in outside the lock).
 func (s *Server) mintHandleLocked(jobID string) JobHandle {
 	s.nextHandle++
 	handle := fmt.Sprintf("h-%d", s.nextHandle)
 	s.handles[handle] = jobID
 	s.handleOrder = append(s.handleOrder, handle)
 	s.refs[jobID]++
+	s.enqueuePersist(func() { _ = s.store.PutHandle(handle, jobID) })
 	s.pruneHandlesLocked()
 	return JobHandle{Handle: handle, Clients: s.refs[jobID]}
+}
+
+// internalError marks a submission failure that is the server's fault —
+// encoding, storage — rather than the client's. Handlers map it to 500
+// where a plain error means 400.
+type internalError struct{ err error }
+
+func (e internalError) Error() string { return e.err.Error() }
+func (e internalError) Unwrap() error { return e.err }
+
+// submitErrorCode classifies a submitEnvelope (or translateV1) failure:
+// client errors — unknown kind, malformed or invalid spec, unknown game —
+// are 400; internal encoding failures are 500.
+func submitErrorCode(err error) int {
+	var ie internalError
+	if errors.As(err, &ie) {
+		return http.StatusInternalServerError
+	}
+	return http.StatusBadRequest
 }
 
 func (s *Server) handleCreateJob(w http.ResponseWriter, r *http.Request) {
@@ -321,12 +706,12 @@ func (s *Server) handleCreateJob(w http.ResponseWriter, r *http.Request) {
 	}
 	env, err := translateV1(req)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, submitErrorCode(err), err)
 		return
 	}
 	job, cached, _, err := s.submitEnvelope(env, false)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, submitErrorCode(err), err)
 		return
 	}
 	st := job.Status()
@@ -369,7 +754,8 @@ func translateV1(req JobRequest) (engine.JobEnvelope, error) {
 	}
 	raw, err := engine.CanonicalSpecJSON(spec)
 	if err != nil {
-		return engine.JobEnvelope{}, err
+		// The request decoded fine; failing to re-encode it is on us.
+		return engine.JobEnvelope{}, internalError{err}
 	}
 	return engine.JobEnvelope{Kind: spec.Kind(), Seed: req.Seed, Spec: raw}, nil
 }
@@ -424,8 +810,31 @@ func (s *Server) handleCancelJob(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, err)
 		return
 	}
+	// Retract the job's cache entries inside the critical section, exactly
+	// like the v2 last-handle release path — without this a concurrent
+	// identical submission could attach to the dying job between Cancel and
+	// the asynchronous post-Done retraction, and receive a canceled,
+	// resultless job.
+	s.mu.Lock()
+	s.retractCacheLocked(job)
+	s.mu.Unlock()
 	job.Cancel()
 	writeJSON(w, http.StatusOK, job.Status())
+}
+
+// retractCacheLocked removes every cache entry pointing at a job that is
+// about to be canceled, so no concurrent identical submission can attach to
+// it. A finished job keeps its entries — its cached result stays servable
+// and Cancel is a no-op on it. Callers hold s.mu.
+func (s *Server) retractCacheLocked(job *engine.Job) {
+	if _, done := job.Result(); done {
+		return
+	}
+	for k, id := range s.cache {
+		if id == job.ID() {
+			delete(s.cache, k)
+		}
+	}
 }
 
 // ---- v2: self-describing envelopes, per-client handles, SSE ----
@@ -447,7 +856,7 @@ func (s *Server) handleCreateJobV2(w http.ResponseWriter, r *http.Request) {
 	// keeps one client's DELETE from canceling another's work.
 	job, cached, jh, err := s.submitEnvelope(env, true)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, submitErrorCode(err), err)
 		return
 	}
 	jh.Status = job.Status()
@@ -534,6 +943,7 @@ func (s *Server) handleReleaseHandle(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	delete(s.handles, handle)
+	s.persistHandleRemovalLocked(handle)
 	s.refs[jobID]--
 	remaining := s.refs[jobID]
 	var job *engine.Job
@@ -549,18 +959,10 @@ func (s *Server) handleReleaseHandle(w http.ResponseWriter, r *http.Request) {
 		delete(s.refs, jobID)
 	}
 	if cancel && job != nil {
-		if _, done := job.Result(); !done {
-			// The job is about to be canceled: retract its cache entries
-			// inside this critical section, so a concurrent identical
-			// submission submits fresh instead of attaching (and minting
-			// a handle) to a job that is being torn down. A finished
-			// job's cached result stays servable.
-			for k, id := range s.cache {
-				if id == jobID {
-					delete(s.cache, k)
-				}
-			}
-		}
+		// About to cancel: retract cache entries inside this critical
+		// section so a concurrent identical submission submits fresh
+		// instead of attaching to a job being torn down.
+		s.retractCacheLocked(job)
 	}
 	s.mu.Unlock()
 	resp := JobHandle{Handle: handle, Clients: remaining}
@@ -573,6 +975,14 @@ func (s *Server) handleReleaseHandle(w http.ResponseWriter, r *http.Request) {
 		resp.Status = job.Status()
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// persistHandleRemovalLocked enqueues the persistence of a handle's removal
+// (release or eviction). Enqueued under s.mu like the mint, so the log
+// order of a handle's PutHandle and DeleteHandle always matches the
+// in-memory order — a removed handle can never "resurrect" in the store.
+func (s *Server) persistHandleRemovalLocked(handle string) {
+	s.enqueuePersist(func() { _ = s.store.DeleteHandle(handle) })
 }
 
 // pruneHandlesLocked bounds the v2 handle bookkeeping. Handles are minted
@@ -604,6 +1014,7 @@ func (s *Server) pruneHandlesLocked() {
 	for h, id := range s.handles {
 		if _, err := s.manager.Get(id); err != nil {
 			delete(s.handles, h)
+			s.persistHandleRemovalLocked(h)
 			if s.refs[id]--; s.refs[id] <= 0 {
 				delete(s.refs, id)
 			}
@@ -621,6 +1032,7 @@ func (s *Server) pruneHandlesLocked() {
 		}
 		if len(s.handles) > target {
 			delete(s.handles, h)
+			s.persistHandleRemovalLocked(h)
 			if s.refs[id]--; s.refs[id] <= 0 {
 				delete(s.refs, id)
 			}
@@ -666,11 +1078,23 @@ func gameID(g *core.Game) (string, error) {
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
+	// Encode to a buffer before touching the ResponseWriter: the status
+	// header can be written only once, so a marshal failure discovered
+	// while streaming would emit a truncated body under the already-sent
+	// success code. Buffering turns that into a clean 500.
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		buf.Reset()
+		code = http.StatusInternalServerError
+		enc = json.NewEncoder(&buf)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(map[string]string{"error": "encode response: " + err.Error()})
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	_ = enc.Encode(v)
+	_, _ = w.Write(buf.Bytes())
 }
 
 func writeError(w http.ResponseWriter, code int, err error) {

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -383,6 +384,31 @@ func TestHandleOrderBoundedUnderChurn(t *testing.T) {
 	}
 	if len(s.handleOrder) > 2*engine.DefaultRetention+1 {
 		t.Fatalf("handleOrder grew to %d entries under churn", len(s.handleOrder))
+	}
+}
+
+// TestWriteJSONMarshalFailureIs500: writeJSON used to write the success
+// header before encoding, so a marshal failure emitted a truncated 200
+// body; it must buffer first and degrade to a clean 500 error document.
+func TestWriteJSONMarshalFailureIs500(t *testing.T) {
+	rec := httptest.NewRecorder()
+	writeJSON(rec, http.StatusOK, math.NaN()) // json: unsupported value
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("code = %d, want 500", rec.Code)
+	}
+	var e map[string]string
+	if err := json.Unmarshal(rec.Body.Bytes(), &e); err != nil {
+		t.Fatalf("500 body is not valid JSON: %v\n%s", err, rec.Body.Bytes())
+	}
+	if e["error"] == "" {
+		t.Fatalf("500 body carries no error: %s", rec.Body.Bytes())
+	}
+
+	// The happy path is unchanged: chosen code, indented JSON.
+	rec = httptest.NewRecorder()
+	writeJSON(rec, http.StatusCreated, map[string]int{"n": 1})
+	if rec.Code != http.StatusCreated || rec.Body.String() != "{\n  \"n\": 1\n}\n" {
+		t.Fatalf("happy path changed: %d %q", rec.Code, rec.Body.String())
 	}
 }
 

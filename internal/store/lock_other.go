@@ -1,0 +1,7 @@
+//go:build !unix
+
+package store
+
+// lockExclusive is a no-op on platforms without flock: the store still
+// works, but concurrent opens of one data directory are not detected.
+func lockExclusive(f interface{ Fd() uintptr }) error { return nil }

@@ -1,0 +1,19 @@
+//go:build unix
+
+package store
+
+import (
+	"errors"
+	"syscall"
+)
+
+// lockExclusive takes a non-blocking exclusive advisory lock on f, held
+// until f is closed. flock is per open-file description, so a second
+// OpenFile on the same directory conflicts even within one process.
+func lockExclusive(f interface{ Fd() uintptr }) error {
+	err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB)
+	if errors.Is(err, syscall.EWOULDBLOCK) {
+		return errors.New("flock held elsewhere")
+	}
+	return err
+}

@@ -1,0 +1,258 @@
+// Package store persists gocserve's durable state: the game registry, the
+// job table with its deterministic results, and the v2 handle/refcount
+// bookkeeping. Everything the server keeps is a deterministic function of
+// (canonical spec JSON, seed), so a persisted job record is a reusable
+// artifact — after a restart a finished job serves its cached result
+// byte-identically, and a job interrupted mid-run can simply be resubmitted
+// under its original spec and seed.
+//
+// The Store interface is write-through: the server applies every mutation
+// to its in-memory tables first and mirrors it into the store, then reads
+// the whole state back once at startup (Load). Two implementations:
+//
+//   - Mem: process-local maps; nothing survives exit. The default, and
+//     byte-identical to the pre-persistence server.
+//   - File: an append-only JSONL operation log in a directory, replayed on
+//     open and periodically compacted. Stdlib only.
+package store
+
+import (
+	"encoding/json"
+	"sort"
+	"sync"
+
+	"gameofcoins/internal/core"
+	"gameofcoins/internal/engine"
+)
+
+// Job record states. Submitted marks a job that was running (or about to
+// run) when the record was last written — after a crash or shutdown it is
+// the signal to resubmit. The other three are terminal.
+const (
+	JobSubmitted = "submitted"
+	JobDone      = "done"
+	JobFailed    = "failed"
+	JobCanceled  = "canceled"
+)
+
+// JobRecord is the durable form of one job: everything needed to re-serve
+// its result (ID, kind, cached-result document) or to recompute it from
+// scratch (canonical spec document + seed — determinism makes the rerun
+// byte-identical).
+type JobRecord struct {
+	// ID is the manager job ID ("job-N"); rehydration preserves it so
+	// pre-restart handles and result URLs stay valid.
+	ID string `json:"id"`
+	// Key is the engine cache key for (Spec, Seed).
+	Key string `json:"key"`
+	// Kind is the registered spec kind.
+	Kind string `json:"kind"`
+	// Seed roots the job's deterministic randomness.
+	Seed uint64 `json:"seed"`
+	// Tasks is the job's task fan-out (progress totals after rehydration).
+	Tasks int `json:"tasks"`
+	// Spec is the canonical, game-resolved spec document.
+	Spec json.RawMessage `json:"spec,omitempty"`
+	// State is one of the Job* constants above.
+	State string `json:"state"`
+	// Result is the marshalled result (State == JobDone only).
+	Result json.RawMessage `json:"result,omitempty"`
+	// Error is the terminal error (failed/canceled).
+	Error string `json:"error,omitempty"`
+}
+
+// Snapshot is the full durable state, as Load returns it.
+type Snapshot struct {
+	// Games maps content-addressed game IDs to registered games.
+	Games map[string]*core.Game
+	// Jobs maps job IDs to their latest records.
+	Jobs map[string]JobRecord
+	// Handles maps live v2 handle IDs to job IDs.
+	Handles map[string]string
+	// Pins is the set of job IDs a v1 client submitted or attached to.
+	Pins map[string]struct{}
+	// NextHandle is the highest handle sequence number ever minted — not
+	// just the highest live one, so a restart never re-mints a released
+	// handle ID (a stale client could otherwise control a stranger's job).
+	NextHandle uint64
+}
+
+// Store persists the server's durable state. Implementations must be safe
+// for concurrent use; the server calls the Put/Delete methods while holding
+// its own mutex and never reacquires it from store callbacks, so a store
+// may lock freely but must not call back into the server.
+type Store interface {
+	// Load returns the current state. The server calls it once at startup;
+	// the returned maps are the caller's to keep.
+	Load() (Snapshot, error)
+	// PutGame upserts a registered game.
+	PutGame(id string, g *core.Game) error
+	// PutJob upserts a job record keyed by rec.ID.
+	PutJob(rec JobRecord) error
+	// PutHandle records a live handle claiming a job.
+	PutHandle(handle, jobID string) error
+	// DeleteHandle removes a released (or evicted) handle.
+	DeleteHandle(handle string) error
+	// PutPin marks a job as v1-attached.
+	PutPin(jobID string) error
+	// Close releases the store. Further mutations fail.
+	Close() error
+}
+
+// handleSeq is engine.ParseSeq for "h-N" handle IDs; foreign shapes report
+// 0 (they never advance the mint counter).
+func handleSeq(handle string) uint64 {
+	n, _ := engine.ParseSeq(handle, "h-")
+	return n
+}
+
+// dropExcessJobs evicts the oldest terminal job records past limit —
+// mirroring the engine manager's retention policy — and garbage-collects
+// handles and pins whose job record is gone. Submitted records always
+// survive: they are the restart-recovery signal. (The server writes a job
+// record before any handle or pin referencing it, so a missing record means
+// the job itself was evicted, not that the ops raced.)
+func (s *Snapshot) dropExcessJobs(limit int) {
+	if len(s.Jobs) > limit {
+		terminal := make([]string, 0, len(s.Jobs))
+		for id, rec := range s.Jobs {
+			if rec.State != JobSubmitted {
+				terminal = append(terminal, id)
+			}
+		}
+		sort.Slice(terminal, func(i, k int) bool { return jobSeq(terminal[i]) < jobSeq(terminal[k]) })
+		for _, id := range terminal {
+			if len(s.Jobs) <= limit {
+				break
+			}
+			delete(s.Jobs, id)
+		}
+	}
+	for h, id := range s.Handles {
+		if _, ok := s.Jobs[id]; !ok {
+			delete(s.Handles, h)
+		}
+	}
+	for id := range s.Pins {
+		if _, ok := s.Jobs[id]; !ok {
+			delete(s.Pins, id)
+		}
+	}
+}
+
+// jobSeq orders "job-N" IDs by age; foreign shapes sort first (oldest).
+func jobSeq(id string) uint64 {
+	n, _ := engine.ParseSeq(id, "job-")
+	return n
+}
+
+// Mem is the in-memory Store: a mirror of the server's own tables that
+// vanishes with the process. It exists so the server has exactly one code
+// path — persistence is always on, durability is the store's property. Like
+// File it caps retained job records (the engine manager evicts terminal
+// jobs past its retention, and a mirror that never forgot them would leak
+// in the default no-persistence server).
+type Mem struct {
+	// MaxJobs overrides DefaultMaxJobRecords when positive. Set before use.
+	MaxJobs int
+
+	mu   sync.Mutex
+	snap Snapshot
+}
+
+// NewMem returns an empty in-memory store.
+func NewMem() *Mem {
+	return &Mem{snap: emptySnapshot()}
+}
+
+func emptySnapshot() Snapshot {
+	return Snapshot{
+		Games:   map[string]*core.Game{},
+		Jobs:    map[string]JobRecord{},
+		Handles: map[string]string{},
+		Pins:    map[string]struct{}{},
+	}
+}
+
+// clone copies the snapshot so Load callers can keep (and mutate) the maps
+// without aliasing the store's live state. Games are shared pointers —
+// immutable by construction.
+func (s Snapshot) clone() Snapshot {
+	out := emptySnapshot()
+	for id, g := range s.Games {
+		out.Games[id] = g
+	}
+	for id, rec := range s.Jobs {
+		out.Jobs[id] = rec
+	}
+	for h, id := range s.Handles {
+		out.Handles[h] = id
+	}
+	for id := range s.Pins {
+		out.Pins[id] = struct{}{}
+	}
+	out.NextHandle = s.NextHandle
+	return out
+}
+
+// Load implements Store.
+func (m *Mem) Load() (Snapshot, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.snap.clone(), nil
+}
+
+// PutGame implements Store.
+func (m *Mem) PutGame(id string, g *core.Game) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.snap.Games[id] = g
+	return nil
+}
+
+// PutJob implements Store.
+func (m *Mem) PutJob(rec JobRecord) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.snap.Jobs[rec.ID] = rec
+	limit := m.MaxJobs
+	if limit <= 0 {
+		limit = DefaultMaxJobRecords
+	}
+	// Quarter-cap hysteresis, like File's compaction trigger, so a table
+	// sitting at the cap doesn't rescan on every insert.
+	if len(m.snap.Jobs) > limit+limit/4 {
+		m.snap.dropExcessJobs(limit)
+	}
+	return nil
+}
+
+// PutHandle implements Store.
+func (m *Mem) PutHandle(handle, jobID string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.snap.Handles[handle] = jobID
+	if n := handleSeq(handle); n > m.snap.NextHandle {
+		m.snap.NextHandle = n
+	}
+	return nil
+}
+
+// DeleteHandle implements Store.
+func (m *Mem) DeleteHandle(handle string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.snap.Handles, handle)
+	return nil
+}
+
+// PutPin implements Store.
+func (m *Mem) PutPin(jobID string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.snap.Pins[jobID] = struct{}{}
+	return nil
+}
+
+// Close implements Store.
+func (m *Mem) Close() error { return nil }
