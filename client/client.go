@@ -1,6 +1,7 @@
-// Package client is the typed Go SDK for the gocserve v2 job API: submit
-// self-describing spec envelopes, watch progress as a live stream, fetch
-// deterministic results, and release per-client job handles.
+// Package client is the typed Go SDK for the gocserve v2 job API: introspect
+// the versioned spec catalog, submit self-describing spec envelopes (singly
+// or batched), watch progress as a live stream, fetch deterministic results,
+// and release per-client job handles.
 //
 // A Client is cheap and safe for concurrent use. Spec and result types are
 // the facade's aliases (gameofcoins.EquilibriumSweep, …), so external
@@ -15,6 +16,16 @@
 //	err = h.Result(ctx, &res)
 //	_ = h.Release(ctx)               // drop this client's claim on the job
 //
+// Spec kinds are versioned server-side: a bare kind runs the latest
+// registered version, and client.AtVersion(n) pins an exact one —
+//
+//	h, err := c.Submit(ctx, "learn_sweep", 7, spec, client.AtVersion(1))
+//
+// Catalog fetches every kind@version with its JSON-Schema (what the server
+// will 422 against) and the catalog fingerprint identifying the accepted
+// wire surface; SubmitBatch sends up to server.MaxBatchJobs envelopes in one
+// round-trip and returns per-item handles or per-item errors.
+//
 // Handles reference-count the server-side job: identical submissions from
 // several clients share one computation, and Release drops only the caller's
 // interest — the job is canceled only when its last handle is released.
@@ -23,9 +34,10 @@
 // and handles survive server restarts: a handle minted before a restart
 // still resolves afterwards, a finished job's result is served from the
 // rehydrated cache byte-identically, and a job that was mid-run is
-// resubmitted server-side under its original seed — Wait and Watch simply
-// see it running again. Clients need no special handling beyond retrying
-// the usual transport errors while the server is down.
+// resubmitted server-side under its original seed. Watch rides restarts out
+// on its own: a stream that drops mid-job reconnects with backoff and the
+// standard Last-Event-ID header instead of closing its channel, so Wait and
+// Watch simply see the job running again.
 package client
 
 import (
@@ -33,9 +45,12 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"strings"
+	"time"
 
 	"gameofcoins/internal/core"
 	"gameofcoins/internal/engine"
@@ -119,7 +134,7 @@ func decodeAPIError(resp *http.Response) error {
 	return &APIError{StatusCode: resp.StatusCode, Message: e.Error}
 }
 
-// SpecKinds lists the spec kinds the server's registry accepts.
+// SpecKinds lists the bare spec kinds the server's registry accepts.
 func (c *Client) SpecKinds(ctx context.Context) ([]string, error) {
 	var out struct {
 		Kinds []string `json:"kinds"`
@@ -128,6 +143,31 @@ func (c *Client) SpecKinds(ctx context.Context) ([]string, error) {
 		return nil, err
 	}
 	return out.Kinds, nil
+}
+
+// Catalog is the server's spec catalog: every registered kind@version with
+// its schema, plus the catalog fingerprint identifying the accepted wire
+// surface as a whole.
+type Catalog struct {
+	Fingerprint string                `json:"fingerprint"`
+	Specs       []engine.CatalogEntry `json:"specs"`
+}
+
+// Catalog fetches the full spec catalog from GET /v2/specs: kinds,
+// versions, latest/deprecated flags, and per-version JSON-Schemas clients
+// can validate against before submitting.
+func (c *Client) Catalog(ctx context.Context) (Catalog, error) {
+	var out Catalog
+	err := c.do(ctx, http.MethodGet, "/v2/specs", nil, &out)
+	return out, err
+}
+
+// Spec fetches one catalog entry from GET /v2/specs/{kind}: a bare kind
+// names its latest version, "kind@vN" pins one.
+func (c *Client) Spec(ctx context.Context, wire string) (engine.CatalogEntry, error) {
+	var out engine.CatalogEntry
+	err := c.do(ctx, http.MethodGet, "/v2/specs/"+wire, nil, &out)
+	return out, err
 }
 
 // RegisterGame registers a game and returns its content-addressed ID, which
@@ -153,16 +193,54 @@ type Handle struct {
 	Submitted server.JobHandle
 }
 
-// Submit sends a raw envelope: kind names a registered spec kind, seed roots
-// the job's deterministic randomness, and spec is any JSON-encodable value
-// matching the kind's spec document (typically the engine spec struct
-// itself). Prefer the typed Submit* helpers for the built-in sweeps.
-func (c *Client) Submit(ctx context.Context, kind string, seed uint64, spec any) (*Handle, error) {
+// SubmitOption configures one submission (Submit, SubmitSpec, the typed
+// helpers, and batch items via BatchItem.Version).
+type SubmitOption func(*submitOptions)
+
+type submitOptions struct{ version int }
+
+// AtVersion pins the submission to an exact registered spec version: the
+// envelope goes out as "kind@vN" instead of the bare kind, so the job runs
+// under that version's wire format even after the server registers a newer
+// one. Pinning version 1 shares cache lines with bare-kind submissions —
+// v1 is the bare wire format.
+func AtVersion(version int) SubmitOption {
+	return func(o *submitOptions) { o.version = version }
+}
+
+// versionedWire renders the wire name for a (kind, pinned version): the
+// bare kind when no pin is requested, "kind@vN" otherwise — the one place
+// the client spells the version-suffix syntax.
+func versionedWire(kind string, version int) string {
+	if version <= 0 {
+		return kind
+	}
+	return fmt.Sprintf("%s@v%d", kind, version)
+}
+
+// wireKind applies submit options to a bare kind.
+func wireKind(kind string, opts []SubmitOption) string {
+	var o submitOptions
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return versionedWire(kind, o.version)
+}
+
+// Submit sends a raw envelope: kind names a registered spec kind — the
+// server resolves it to the kind's latest version unless AtVersion pins one
+// — seed roots the job's deterministic randomness, and spec is any
+// JSON-encodable value matching the resolved version's spec document
+// (typically the engine spec struct itself; the server validates it against
+// the version's published schema and rejects shape mismatches with a 422
+// APIError naming the offending field). Prefer the typed Submit* helpers
+// for the built-in sweeps.
+func (c *Client) Submit(ctx context.Context, kind string, seed uint64, spec any, opts ...SubmitOption) (*Handle, error) {
 	raw, err := json.Marshal(spec)
 	if err != nil {
 		return nil, fmt.Errorf("client: encode %s spec: %w", kind, err)
 	}
-	env := engine.JobEnvelope{Kind: kind, Seed: seed, Spec: raw}
+	env := engine.JobEnvelope{Kind: wireKind(kind, opts), Seed: seed, Spec: raw}
 	var jh server.JobHandle
 	if err := c.do(ctx, http.MethodPost, "/v2/jobs", env, &jh); err != nil {
 		return nil, err
@@ -171,28 +249,102 @@ func (c *Client) Submit(ctx context.Context, kind string, seed uint64, spec any)
 }
 
 // SubmitSpec submits a typed engine spec under its own Kind.
-func (c *Client) SubmitSpec(ctx context.Context, spec engine.Spec, seed uint64) (*Handle, error) {
-	return c.Submit(ctx, spec.Kind(), seed, spec)
+func (c *Client) SubmitSpec(ctx context.Context, spec engine.Spec, seed uint64, opts ...SubmitOption) (*Handle, error) {
+	return c.Submit(ctx, spec.Kind(), seed, spec, opts...)
 }
 
 // SubmitLearnSweep submits a better-response learning sweep.
-func (c *Client) SubmitLearnSweep(ctx context.Context, spec engine.LearnSweep, seed uint64) (*Handle, error) {
-	return c.SubmitSpec(ctx, spec, seed)
+func (c *Client) SubmitLearnSweep(ctx context.Context, spec engine.LearnSweep, seed uint64, opts ...SubmitOption) (*Handle, error) {
+	return c.SubmitSpec(ctx, spec, seed, opts...)
 }
 
 // SubmitDesignSweep submits a Section-5 reward-design sweep.
-func (c *Client) SubmitDesignSweep(ctx context.Context, spec engine.DesignSweep, seed uint64) (*Handle, error) {
-	return c.SubmitSpec(ctx, spec, seed)
+func (c *Client) SubmitDesignSweep(ctx context.Context, spec engine.DesignSweep, seed uint64, opts ...SubmitOption) (*Handle, error) {
+	return c.SubmitSpec(ctx, spec, seed, opts...)
 }
 
 // SubmitReplaySweep submits a market-replay sweep.
-func (c *Client) SubmitReplaySweep(ctx context.Context, spec engine.ReplaySweep, seed uint64) (*Handle, error) {
-	return c.SubmitSpec(ctx, spec, seed)
+func (c *Client) SubmitReplaySweep(ctx context.Context, spec engine.ReplaySweep, seed uint64, opts ...SubmitOption) (*Handle, error) {
+	return c.SubmitSpec(ctx, spec, seed, opts...)
 }
 
 // SubmitEquilibriumSweep submits an equilibrium-census sweep.
-func (c *Client) SubmitEquilibriumSweep(ctx context.Context, spec engine.EquilibriumSweep, seed uint64) (*Handle, error) {
-	return c.SubmitSpec(ctx, spec, seed)
+func (c *Client) SubmitEquilibriumSweep(ctx context.Context, spec engine.EquilibriumSweep, seed uint64, opts ...SubmitOption) (*Handle, error) {
+	return c.SubmitSpec(ctx, spec, seed, opts...)
+}
+
+// BatchItem is one envelope of a SubmitBatch call.
+type BatchItem struct {
+	// Kind names a registered spec kind (bare; set Version to pin).
+	Kind string
+	// Seed roots the item's deterministic randomness.
+	Seed uint64
+	// Spec is any JSON-encodable value matching the kind's spec document.
+	Spec any
+	// Version pins an exact registered spec version (0 = latest).
+	Version int
+}
+
+// BatchError is one item's failure inside an otherwise delivered batch: the
+// status code and message the single-submit path would have produced, plus
+// the JSON-pointer path into the item's spec document for 422 schema
+// mismatches.
+type BatchError struct {
+	StatusCode int
+	Message    string
+	Path       string
+}
+
+// Error implements error.
+func (e *BatchError) Error() string {
+	if e.Path != "" {
+		return fmt.Sprintf("server: %s (HTTP %d, at %s)", e.Message, e.StatusCode, e.Path)
+	}
+	return fmt.Sprintf("server: %s (HTTP %d)", e.Message, e.StatusCode)
+}
+
+// BatchResult is one item's outcome, index-aligned with the submitted
+// items: a live Handle (exactly as if the item had been submitted alone) or
+// a *BatchError.
+type BatchResult struct {
+	Handle *Handle
+	Err    error
+}
+
+// SubmitBatch submits up to server.MaxBatchJobs envelopes in one round-trip
+// (POST /v2/batch). Items are processed server-side in order through the
+// same dedupe/refcount path as single submissions: identical items attach
+// to one job (each with its own handle), and a failing item costs only its
+// own slot — inspect each BatchResult. The returned error covers the batch
+// call itself (encoding, transport, a rejected request); per-item failures
+// live in the results.
+func (c *Client) SubmitBatch(ctx context.Context, items []BatchItem) ([]BatchResult, error) {
+	envs := make([]engine.JobEnvelope, len(items))
+	for i, it := range items {
+		raw, err := json.Marshal(it.Spec)
+		if err != nil {
+			return nil, fmt.Errorf("client: encode %s spec (item %d): %w", it.Kind, i, err)
+		}
+		envs[i] = engine.JobEnvelope{Kind: versionedWire(it.Kind, it.Version), Seed: it.Seed, Spec: raw}
+	}
+	var out struct {
+		Results []server.BatchResult `json:"results"`
+	}
+	if err := c.do(ctx, http.MethodPost, "/v2/batch", server.BatchRequest{Jobs: envs}, &out); err != nil {
+		return nil, err
+	}
+	if len(out.Results) != len(items) {
+		return nil, fmt.Errorf("client: batch returned %d results for %d items", len(out.Results), len(items))
+	}
+	results := make([]BatchResult, len(out.Results))
+	for i, r := range out.Results {
+		if r.Job != nil {
+			results[i] = BatchResult{Handle: &Handle{c: c, id: r.Job.Handle, Submitted: *r.Job}}
+			continue
+		}
+		results[i] = BatchResult{Err: &BatchError{StatusCode: r.Code, Message: r.Error, Path: r.Path}}
+	}
+	return results, nil
 }
 
 // ID returns the server-side handle identifier.
@@ -205,16 +357,90 @@ func (h *Handle) Status(ctx context.Context) (server.JobHandle, error) {
 	return jh, err
 }
 
+// Watch reconnection backoff: starts small (a restarting gocserve is
+// usually back within a second), doubles per failed attempt, and caps so a
+// long outage polls gently rather than hammering.
+const (
+	watchBackoffMin = 100 * time.Millisecond
+	watchBackoffMax = 2 * time.Second
+)
+
 // Watch subscribes to the job's SSE event stream. The channel carries status
 // snapshots — progress updates coalesced to the latest, then the terminal
-// status — and closes when the stream ends. Canceling ctx tears the stream
-// down.
+// status — and closes after the terminal status is delivered. Canceling ctx
+// tears the stream down.
+//
+// A stream that drops mid-job (server restart, proxy idle timeout) does NOT
+// close the channel: Watch reconnects with exponential backoff, passing the
+// standard Last-Event-ID header so the server suppresses progress already
+// seen. Against a persistent server (gocserve -data) the handle survives
+// the restart and the watch simply resumes — an interrupted job is
+// resubmitted server-side and watched to its (deterministic) end. The watch
+// gives up and closes the channel only when ctx is canceled or the handle
+// itself is gone (404/410 — evicted, or a store-less restart forgot it);
+// Wait then reports the stream as cut.
 func (h *Handle) Watch(ctx context.Context) (<-chan engine.Status, error) {
+	resp, err := h.connectEvents(ctx, "")
+	if err != nil {
+		return nil, err
+	}
+	ch := make(chan engine.Status)
+	go func() {
+		defer close(ch)
+		body := resp.Body
+		var lastEventID string
+		backoff := watchBackoffMin
+		for {
+			terminal, delivered := streamEvents(ctx, body, ch, &lastEventID)
+			body.Close()
+			if terminal || ctx.Err() != nil {
+				return
+			}
+			if delivered {
+				// The connection was healthy before it dropped; restart the
+				// backoff clock instead of compounding across reconnects.
+				backoff = watchBackoffMin
+			}
+			for {
+				select {
+				case <-time.After(backoff):
+				case <-ctx.Done():
+					return
+				}
+				if backoff *= 2; backoff > watchBackoffMax {
+					backoff = watchBackoffMax
+				}
+				next, err := h.connectEvents(ctx, lastEventID)
+				if err != nil {
+					var apiErr *APIError
+					if errors.As(err, &apiErr) &&
+						(apiErr.StatusCode == http.StatusNotFound || apiErr.StatusCode == http.StatusGone) {
+						// The handle is gone server-side; no retry revives it.
+						return
+					}
+					if ctx.Err() != nil {
+						return
+					}
+					continue // transport error or 5xx: the server may be mid-restart
+				}
+				body = next.Body
+				break
+			}
+		}
+	}()
+	return ch, nil
+}
+
+// connectEvents opens one SSE connection to the handle's event stream.
+func (h *Handle) connectEvents(ctx context.Context, lastEventID string) (*http.Response, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, h.c.base+"/v2/jobs/"+h.id+"/events", nil)
 	if err != nil {
 		return nil, err
 	}
 	req.Header.Set("Accept", "text/event-stream")
+	if lastEventID != "" {
+		req.Header.Set("Last-Event-ID", lastEventID)
+	}
 	resp, err := h.c.hc.Do(req)
 	if err != nil {
 		return nil, err
@@ -223,35 +449,44 @@ func (h *Handle) Watch(ctx context.Context) (<-chan engine.Status, error) {
 		defer resp.Body.Close()
 		return nil, decodeAPIError(resp)
 	}
-	ch := make(chan engine.Status)
-	go func() {
-		defer resp.Body.Close()
-		defer close(ch)
-		sc := bufio.NewScanner(resp.Body)
-		sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
-		var data string
-		for sc.Scan() {
-			line := sc.Text()
-			switch {
-			case line == "": // blank line terminates one SSE event
-				if data == "" {
-					continue
-				}
-				var st engine.Status
-				if err := json.Unmarshal([]byte(data), &st); err == nil {
-					select {
-					case ch <- st:
-					case <-ctx.Done():
-						return
-					}
-				}
-				data = ""
-			case strings.HasPrefix(line, "data:"):
-				data = strings.TrimSpace(strings.TrimPrefix(line, "data:"))
+	return resp, nil
+}
+
+// streamEvents consumes one SSE connection, forwarding status snapshots to
+// ch and recording the last seen event ID for reconnects. It returns
+// whether the terminal status was delivered (the stream is complete) and
+// whether anything was delivered at all (the connection was healthy).
+func streamEvents(ctx context.Context, body io.Reader, ch chan<- engine.Status, lastEventID *string) (terminal, delivered bool) {
+	sc := bufio.NewScanner(body)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	var data string
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "": // blank line terminates one SSE event
+			if data == "" {
+				continue
 			}
+			var st engine.Status
+			if err := json.Unmarshal([]byte(data), &st); err == nil {
+				select {
+				case ch <- st:
+					delivered = true
+				case <-ctx.Done():
+					return false, delivered
+				}
+				if st.State.Terminal() {
+					return true, true
+				}
+			}
+			data = ""
+		case strings.HasPrefix(line, "id:"):
+			*lastEventID = strings.TrimSpace(strings.TrimPrefix(line, "id:"))
+		case strings.HasPrefix(line, "data:"):
+			data = strings.TrimSpace(strings.TrimPrefix(line, "data:"))
 		}
-	}()
-	return ch, nil
+	}
+	return false, delivered
 }
 
 // Wait streams the job via Watch until it reaches a terminal state and

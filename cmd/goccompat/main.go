@@ -1,0 +1,204 @@
+// Command goccompat replays the golden wire-compat corpus
+// (internal/engine/testdata/wire_corpus.json) against a live gocserve and
+// fails loudly on any drift. It is the live half of the corpus gate: the
+// unit tests prove the versioned registry still decodes and cache-keys
+// recorded PR 2/3-era payloads byte-identically; goccompat proves a freshly
+// built server *serves* them identically — old-format (bare-kind)
+// submissions run, an explicit @v1 pin dedupes onto the same job and
+// returns byte-identical result bodies, batch submission hits the same
+// cache lines, and the catalog advertises every corpus kind at v1.
+//
+// Usage:
+//
+//	goccompat [-base http://127.0.0.1:8372] [-corpus PATH] [-timeout 5m]
+//
+// CI runs it via scripts/compat_smoke.sh.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"time"
+
+	"gameofcoins/client"
+	"gameofcoins/internal/engine"
+)
+
+// corpusEnvelope reads just the envelope out of each corpus entry. The
+// recorded cache_key is deliberately ignored here: the server never exposes
+// raw cache keys, so key drift against the recorded values is enforced by
+// the unit gate (internal/engine/compat_test.go), while this tool proves
+// the *serving* consequences — bare and @v1 submissions landing on one
+// cache line with byte-identical results.
+type corpusEnvelope struct {
+	Envelope engine.JobEnvelope `json:"envelope"`
+}
+
+type corpus struct {
+	Envelopes []corpusEnvelope `json:"envelopes"`
+}
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "goccompat:", err)
+		os.Exit(1)
+	}
+	fmt.Println("goccompat: corpus replay OK")
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("goccompat", flag.ContinueOnError)
+	base := fs.String("base", "http://127.0.0.1:8372", "gocserve base URL")
+	corpusPath := fs.String("corpus", "internal/engine/testdata/wire_corpus.json", "wire-compat corpus file")
+	timeout := fs.Duration("timeout", 5*time.Minute, "overall deadline")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	raw, err := os.ReadFile(*corpusPath)
+	if err != nil {
+		return err
+	}
+	var corp corpus
+	if err := json.Unmarshal(raw, &corp); err != nil {
+		return fmt.Errorf("corpus unreadable: %w", err)
+	}
+	if len(corp.Envelopes) == 0 {
+		return fmt.Errorf("corpus has no envelopes")
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+	c := client.New(*base)
+
+	// The catalog must advertise every corpus kind at v1 with a schema, and
+	// /healthz must agree with it on the fingerprint.
+	cat, err := c.Catalog(ctx)
+	if err != nil {
+		return fmt.Errorf("fetch catalog: %w", err)
+	}
+	v1 := map[string]bool{}
+	for _, e := range cat.Specs {
+		if e.Version == 1 {
+			v1[e.Kind] = e.Schema != nil
+		}
+	}
+	for _, ce := range corp.Envelopes {
+		if hasSchema, ok := v1[ce.Envelope.Kind]; !ok {
+			return fmt.Errorf("catalog lost %s@v1", ce.Envelope.Kind)
+		} else if !hasSchema {
+			return fmt.Errorf("catalog serves no schema for %s@v1", ce.Envelope.Kind)
+		}
+	}
+	var hz struct {
+		Fingerprint string `json:"catalog_fingerprint"`
+	}
+	if err := getJSON(ctx, *base+"/healthz", &hz); err != nil {
+		return err
+	}
+	if hz.Fingerprint != cat.Fingerprint {
+		return fmt.Errorf("healthz fingerprint %q != catalog %q", hz.Fingerprint, cat.Fingerprint)
+	}
+
+	// Replay each old-format envelope: submit bare (exactly the recorded
+	// bytes), run to completion, then resubmit pinned @v1 — it must dedupe
+	// onto the same job and serve a byte-identical result body.
+	results := make([][]byte, len(corp.Envelopes))
+	for i, ce := range corp.Envelopes {
+		h, err := c.Submit(ctx, ce.Envelope.Kind, ce.Envelope.Seed, ce.Envelope.Spec)
+		if err != nil {
+			return fmt.Errorf("%s: old-format submit rejected: %w", ce.Envelope.Kind, err)
+		}
+		st, err := h.Wait(ctx)
+		if err != nil {
+			return fmt.Errorf("%s: %w", ce.Envelope.Kind, err)
+		}
+		if st.State != engine.StateDone {
+			return fmt.Errorf("%s: job ended %s: %s", ce.Envelope.Kind, st.State, st.Error)
+		}
+		before, err := getRaw(ctx, *base+"/v2/jobs/"+h.ID()+"/result")
+		if err != nil {
+			return fmt.Errorf("%s: %w", ce.Envelope.Kind, err)
+		}
+		results[i] = before
+
+		pinned, err := c.Submit(ctx, ce.Envelope.Kind, ce.Envelope.Seed, ce.Envelope.Spec, client.AtVersion(1))
+		if err != nil {
+			return fmt.Errorf("%s: @v1 pin rejected: %w", ce.Envelope.Kind, err)
+		}
+		if !pinned.Submitted.Cached || pinned.Submitted.Status.ID != h.Submitted.Status.ID {
+			return fmt.Errorf("%s: @v1 pin missed the bare-kind cache entry (cached=%v job=%s vs %s) — v1 cache keys drifted",
+				ce.Envelope.Kind, pinned.Submitted.Cached, pinned.Submitted.Status.ID, h.Submitted.Status.ID)
+		}
+		after, err := getRaw(ctx, *base+"/v2/jobs/"+pinned.ID()+"/result")
+		if err != nil {
+			return fmt.Errorf("%s: %w", ce.Envelope.Kind, err)
+		}
+		if !bytes.Equal(before, after) {
+			return fmt.Errorf("%s: result bodies differ between bare and @v1 submissions", ce.Envelope.Kind)
+		}
+		fmt.Printf("goccompat: %s OK (job %s, %d result bytes)\n", ce.Envelope.Kind, st.ID, len(before))
+	}
+
+	// The whole corpus as one batch: every item must be answered from cache
+	// (same keys), proving batch submission shares the dedupe path.
+	items := make([]client.BatchItem, len(corp.Envelopes))
+	for i, ce := range corp.Envelopes {
+		items[i] = client.BatchItem{Kind: ce.Envelope.Kind, Seed: ce.Envelope.Seed, Spec: ce.Envelope.Spec}
+	}
+	batch, err := c.SubmitBatch(ctx, items)
+	if err != nil {
+		return fmt.Errorf("batch replay: %w", err)
+	}
+	for i, r := range batch {
+		if r.Err != nil {
+			return fmt.Errorf("batch item %d (%s): %w", i, items[i].Kind, r.Err)
+		}
+		if !r.Handle.Submitted.Cached {
+			return fmt.Errorf("batch item %d (%s) recomputed instead of hitting the cache", i, items[i].Kind)
+		}
+		after, err := getRaw(ctx, *base+"/v2/jobs/"+r.Handle.ID()+"/result")
+		if err != nil {
+			return fmt.Errorf("batch item %d: %w", i, err)
+		}
+		if !bytes.Equal(results[i], after) {
+			return fmt.Errorf("batch item %d (%s): result bytes differ from the single-submit replay", i, items[i].Kind)
+		}
+	}
+	fmt.Printf("goccompat: batch of %d OK, fingerprint %s\n", len(items), cat.Fingerprint)
+	return nil
+}
+
+func getRaw(ctx context.Context, url string) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET %s: %d: %s", url, resp.StatusCode, b)
+	}
+	return b, nil
+}
+
+func getJSON(ctx context.Context, url string, out any) error {
+	b, err := getRaw(ctx, url)
+	if err != nil {
+		return err
+	}
+	return json.Unmarshal(b, out)
+}

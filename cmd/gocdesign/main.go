@@ -92,10 +92,13 @@ func run(args []string) error {
 }
 
 // runSweep runs the same engine.DesignSweep spec gocserve serves for
-// design_sweep jobs, locally, fanned across the worker pool.
+// design_sweep jobs, locally, fanned across the worker pool. The spec takes
+// the exact wire path a v2 envelope would — versioned-kind resolution,
+// schema validation, the registered decoder — so the CLI can never drift
+// from what the server accepts.
 func runSweep(miners, coins int, seed uint64, pairs, parallel int) error {
 	spec := engine.DesignSweep{Gen: core.GenSpec{Miners: miners, Coins: coins}, Pairs: pairs}
-	res, err := engine.New(parallel).Run(context.Background(), spec, seed, nil)
+	res, err := engine.RunWire(context.Background(), engine.New(parallel), spec, seed)
 	if err != nil {
 		return err
 	}

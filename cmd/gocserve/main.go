@@ -5,12 +5,19 @@
 // Usage:
 //
 //	gocserve [-addr :8372] [-workers N] [-data DIR] [-fail-interrupted]
+//	gocserve -version
 //
 // The preferred API is v2, the self-describing envelope form: POST a
 // {"kind", "seed", "spec"} document and the server resolves it purely
-// through the engine's spec registry — new spec kinds plug in via
-// engine.RegisterSpec with zero server changes. GET /v2/specs lists the
-// registered kinds. A v2 session:
+// through the engine's versioned spec registry — new spec kinds (and new
+// versions of existing kinds) plug in via engine.RegisterSpec with zero
+// server changes. GET /v2/specs serves the full catalog: every registered
+// kind@version with its JSON-Schema, so clients can introspect and validate
+// before submitting; a bare kind in an envelope resolves to the latest
+// version, "kind@vN" pins one, and submissions whose spec document doesn't
+// match the resolved version's schema are rejected with 422 and a
+// JSON-pointer path. POST /v2/batch submits up to 256 envelopes in one
+// round-trip with per-item handles/errors. A v2 session:
 //
 //	curl -X POST :8372/v2/jobs -d '{"kind":"learn_sweep","seed":11,"spec":{"gen":{"Miners":8,"Coins":3},"runs":50}}'
 //	curl :8372/v2/jobs/h-1                    # poll the handle
@@ -52,9 +59,11 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 	"time"
 
+	"gameofcoins/internal/engine"
 	"gameofcoins/internal/server"
 	"gameofcoins/internal/store"
 )
@@ -75,15 +84,25 @@ func run(ctx context.Context, args []string) error {
 	grace := fs.Duration("grace", 10*time.Second, "shutdown grace period")
 	dataDir := fs.String("data", "", "persist games, jobs, and results to this directory (empty = in-memory only)")
 	failInterrupted := fs.Bool("fail-interrupted", false, "on restart, mark jobs that were mid-run as failed instead of resubmitting them")
+	version := fs.Bool("version", false, "print the server version and catalog fingerprint, then exit")
 	fs.Usage = func() {
 		out := fs.Output()
 		fmt.Fprintf(out, "Usage: gocserve [flags]\n\nFlags:\n")
 		fs.PrintDefaults()
 		fmt.Fprintf(out, `
-v2 API (self-describing spec envelopes; kinds from GET /v2/specs):
-  POST   /v2/jobs                 {"kind","seed","spec"} -> per-client handle
+v2 API (self-describing, versioned spec envelopes):
+  GET    /v2/specs                full catalog: kinds@versions + JSON schemas
+                                  + the catalog fingerprint
+  GET    /v2/specs/{kind}         one entry ("kind" = latest, "kind@vN" pins)
+  POST   /v2/jobs                 {"kind","seed","spec"} -> per-client handle;
+                                  schema mismatches are 422 with a JSON-pointer
+                                  "path" into the spec document
+  POST   /v2/batch                {"jobs":[envelope,...]} (<= 256) -> per-item
+                                  handles/errors, in request order
   GET    /v2/jobs/{h}             poll the handle's job status
   GET    /v2/jobs/{h}/events      SSE progress stream, then one "end" event
+                                  (reconnect with Last-Event-ID to skip
+                                  already-seen progress)
   GET    /v2/jobs/{h}/result      fetch the finished job's result
   DELETE /v2/jobs/{h}             release the handle; the deduplicated job is
                                   canceled only when its last handle is gone
@@ -106,6 +125,14 @@ Persistence:
 	}
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *version {
+		// The same identity /healthz serves, for offline use: the catalog
+		// fingerprint hashes the registered kinds@versions, so two binaries
+		// printing the same line accept the same wire surface.
+		fmt.Printf("gocserve %s (%s) catalog %s (%d kinds)\n",
+			server.Version, runtime.Version(), engine.CatalogFingerprint(), len(engine.SpecKinds()))
+		return nil
 	}
 
 	opts := server.Options{FailInterrupted: *failInterrupted}

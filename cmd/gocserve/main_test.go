@@ -60,3 +60,18 @@ func TestRunBadFlag(t *testing.T) {
 		t.Fatal("bad flag accepted")
 	}
 }
+
+// TestVersionFlag: -version prints and exits without serving (run returns
+// immediately, no listener).
+func TestVersionFlag(t *testing.T) {
+	done := make(chan error, 1)
+	go func() { done <- run(context.Background(), []string{"-version"}) }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run -version: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("-version did not exit")
+	}
+}

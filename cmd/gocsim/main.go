@@ -85,7 +85,7 @@ func run(args []string) error {
 // independent of the worker count.
 func runSweep(params replay.ScenarioParams, seed uint64, runs, parallel int) error {
 	spec := engine.ReplaySweep{Params: params, Runs: runs}
-	res, err := engine.New(parallel).Run(context.Background(), spec, seed, nil)
+	res, err := engine.RunWire(context.Background(), engine.New(parallel), spec, seed)
 	if err != nil {
 		return err
 	}

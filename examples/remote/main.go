@@ -3,9 +3,10 @@
 // remote deployment; everything below the net.Listen line is exactly what a
 // real remote client would write.
 //
-// The flow: register a game, submit a learning sweep as a self-describing
-// spec envelope, stream progress over SSE, fetch the deterministic result,
-// and release the per-client job handle.
+// The flow: introspect the versioned spec catalog, register a game, submit
+// a learning sweep as a self-describing spec envelope, stream progress over
+// SSE, fetch the deterministic result, release the per-client job handle,
+// and submit a sweep-of-sweeps as one batch round-trip.
 package main
 
 import (
@@ -41,11 +42,21 @@ func run() error {
 	ctx := context.Background()
 	c := client.New("http://" + ln.Addr().String())
 
-	kinds, err := c.SpecKinds(ctx)
+	// The catalog is the server's self-description: every registered
+	// kind@version with its JSON-Schema, plus a fingerprint identifying the
+	// accepted wire surface (compare it across replicas to detect drift).
+	cat, err := c.Catalog(ctx)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("server accepts spec kinds: %v\n", kinds)
+	fmt.Printf("catalog %s:\n", cat.Fingerprint)
+	for _, e := range cat.Specs {
+		latest := ""
+		if e.Latest {
+			latest = " (latest)"
+		}
+		fmt.Printf("  %-20s v%d%s\n", e.Wire, e.Version, latest)
+	}
 
 	// Register the quick-start game; the spec references it by ID.
 	g, err := gameofcoins.NewGame(
@@ -97,5 +108,41 @@ func run() error {
 
 	// Drop this client's claim. The job is shared infrastructure: releasing
 	// a handle only cancels the job when no other client still holds one.
-	return h.Release(ctx)
+	if err := h.Release(ctx); err != nil {
+		return err
+	}
+
+	// A sweep-of-sweeps in one round-trip: POST /v2/batch submits several
+	// envelopes at once and returns per-item handles (or per-item errors —
+	// one bad item never sinks the batch). Each handle behaves exactly like
+	// a single submission's.
+	var items []client.BatchItem
+	for seed := uint64(1); seed <= 3; seed++ {
+		items = append(items, client.BatchItem{
+			Kind: "equilibrium_sweep", Seed: seed,
+			Spec: gameofcoins.EquilibriumSweep{Gen: gameofcoins.GenSpec{Miners: 4, Coins: 2}, Games: 50},
+		})
+	}
+	batch, err := c.SubmitBatch(ctx, items)
+	if err != nil {
+		return err
+	}
+	for i, r := range batch {
+		if r.Err != nil {
+			return fmt.Errorf("batch item %d: %w", i, r.Err)
+		}
+		if _, err := r.Handle.Wait(ctx); err != nil {
+			return err
+		}
+		var eq gameofcoins.EquilibriumSweepResult
+		if err := r.Handle.Result(ctx, &eq); err != nil {
+			return err
+		}
+		fmt.Printf("batch seed %d: %d/%d games with multiple equilibria\n",
+			items[i].Seed, eq.Multiple, eq.Games)
+		if err := r.Handle.Release(ctx); err != nil {
+			return err
+		}
+	}
+	return nil
 }

@@ -115,6 +115,26 @@ func TestFacadeV2Surface(t *testing.T) {
 		}
 	}
 
+	// The versioned catalog is visible through the facade too: every built-in
+	// registers at version 1 with a schema, and the fingerprint is stable.
+	catalog := gameofcoins.SpecCatalog()
+	seen := map[string]gameofcoins.SpecCatalogEntry{}
+	for _, e := range catalog {
+		seen[e.Wire] = e
+	}
+	for _, want := range kinds {
+		e, ok := seen[want]
+		if !ok || e.Version != 1 || !e.Latest {
+			t.Fatalf("catalog entry for %s = %+v", want, e)
+		}
+	}
+	if ls := seen["learn_sweep"]; ls.Schema == nil || ls.Schema.Properties["runs"] == nil {
+		t.Fatalf("learn_sweep schema missing from facade catalog: %+v", seen["learn_sweep"])
+	}
+	if fp := gameofcoins.CatalogFingerprint(); fp == "" || fp != gameofcoins.CatalogFingerprint() {
+		t.Fatal("catalog fingerprint unstable")
+	}
+
 	api := gameofcoins.NewServer(2)
 	defer api.Close()
 	ts := httptest.NewServer(api)

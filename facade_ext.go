@@ -127,8 +127,15 @@ type (
 	JobRecord = store.JobRecord
 
 	// JobEnvelope is the self-describing v2 wire form of a job: a registered
-	// spec kind, a seed, and the spec document the registry decodes.
+	// spec kind — bare ("learn_sweep", latest version) or version-pinned
+	// ("learn_sweep@v2") — a seed, and the spec document the registry
+	// decodes.
 	JobEnvelope = engine.JobEnvelope
+	// SpecSchema is the JSON-Schema (draft 2020-12 subset) describing one
+	// spec version's wire document, served from GET /v2/specs.
+	SpecSchema = engine.Schema
+	// SpecCatalogEntry is one (kind, version) of the spec catalog.
+	SpecCatalogEntry = engine.CatalogEntry
 	// JobHandle is the v2 wire form of a per-client job handle: one client's
 	// reference-counted claim on a deduplicated server-side job.
 	JobHandle = server.JobHandle
@@ -181,25 +188,43 @@ func NewMemStore() Store { return store.NewMem() }
 func NewFileStore(dir string) (Store, error) { return store.OpenFile(dir) }
 
 // RegisterResultCodec registers a decoder reviving stored results of a
-// custom spec kind into their typed form after a restart. Optional — kinds
-// without a codec still round-trip byte-identically as raw JSON — but a
-// registered codec means in-process consumers (Job.Result) see the same
-// types before and after rehydration.
-func RegisterResultCodec(kind string, decode func(json.RawMessage) (any, error)) {
-	engine.RegisterResultCodec(kind, decode)
+// custom spec kind and version into their typed form after a restart.
+// Optional — versions without a codec still round-trip byte-identically as
+// raw JSON — but a registered codec means in-process consumers (Job.Result)
+// see the same types before and after rehydration. The (kind, version) must
+// already be registered via RegisterSpec.
+func RegisterResultCodec(kind string, version int, decode func(json.RawMessage) (any, error)) {
+	engine.RegisterResultCodec(kind, version, decode)
 }
 
-// RegisterSpec registers a decoder for a new job-spec kind. Once registered,
-// the kind is accepted end to end — POST /v2/jobs, result caching, the
+// RegisterSpec registers a decoder for one version of a job-spec kind
+// (version 1 is the kind's original wire format; a breaking change to the
+// spec's JSON shape ships as version+1 and coexists with the old one). Once
+// registered, the version is accepted end to end — POST /v2/jobs as "kind"
+// (latest) or "kind@vN" (pinned), POST /v2/batch, result caching, the
 // client SDK — with zero changes to the server: the serving layers resolve
-// every envelope purely through this registry. Call it from an init
-// function, next to the spec type; it panics on duplicate kinds.
-func RegisterSpec(kind string, decode func(json.RawMessage) (EngineSpec, error)) {
-	engine.RegisterSpec(kind, decode)
+// every envelope purely through this registry. schema, if non-nil, is
+// served from GET /v2/specs and enforced on submissions (422 on shape
+// mismatch); it must accept exactly the documents decode accepts. Call
+// RegisterSpec from an init function, next to the spec type; it panics on
+// duplicate (kind, version) pairs.
+func RegisterSpec(kind string, version int, decode func(json.RawMessage) (EngineSpec, error), schema *SpecSchema) {
+	engine.RegisterSpec(kind, version, decode, schema)
 }
 
-// SpecKinds returns the registered job-spec kinds, sorted.
+// SpecKinds returns the registered job-spec kinds (bare, unversioned),
+// sorted.
 func SpecKinds() []string { return engine.SpecKinds() }
+
+// SpecCatalog returns every registered (kind, version) with its wire name,
+// latest/deprecated flags, and schema — what gocserve serves from
+// GET /v2/specs.
+func SpecCatalog() []SpecCatalogEntry { return engine.Catalog() }
+
+// CatalogFingerprint hashes the registered kinds@versions into a short
+// identifier: two processes with the same fingerprint accept the same wire
+// surface.
+func CatalogFingerprint() string { return engine.CatalogFingerprint() }
 
 // NewClient returns the typed SDK client for a gocserve instance at url.
 func NewClient(url string) *Client { return client.New(url) }

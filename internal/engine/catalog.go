@@ -1,0 +1,79 @@
+package engine
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// CatalogEntry is one (kind, version) of the spec catalog — the
+// self-describing form GET /v2/specs serves so clients can discover kinds,
+// pin versions, and validate spec documents before submitting.
+type CatalogEntry struct {
+	// Kind is the bare spec kind ("learn_sweep").
+	Kind string `json:"kind"`
+	// Version is the registered version (1 is the original wire format).
+	Version int `json:"version"`
+	// Wire is the name envelopes use to pin this exact version: the bare
+	// kind for v1, "kind@vN" otherwise. A bare kind always resolves to the
+	// latest version.
+	Wire string `json:"wire"`
+	// Latest marks the version a bare wire kind resolves to.
+	Latest bool `json:"latest"`
+	// Deprecated flags versions clients should migrate off; they still run.
+	Deprecated bool `json:"deprecated,omitempty"`
+	// Schema is the version's wire-document schema (draft 2020-12 subset),
+	// nil when the registration carried none.
+	Schema *Schema `json:"schema,omitempty"`
+}
+
+// Catalog returns every registered (kind, version), sorted by kind then
+// version. The slice and its schemas are shared snapshots: schemas are
+// registered once at init and never mutated, so callers may render them
+// freely but must not modify them.
+func Catalog() []CatalogEntry {
+	registry.RLock()
+	defer registry.RUnlock()
+	var out []CatalogEntry
+	for kind, versions := range registry.kinds {
+		for v, e := range versions {
+			out = append(out, CatalogEntry{
+				Kind:       kind,
+				Version:    v,
+				Wire:       VersionedKind(kind, v),
+				Latest:     v == registry.latest[kind],
+				Deprecated: e.deprecated,
+				Schema:     e.schema,
+			})
+		}
+	}
+	sort.Slice(out, func(i, k int) bool {
+		if out[i].Kind != out[k].Kind {
+			return out[i].Kind < out[k].Kind
+		}
+		return out[i].Version < out[k].Version
+	})
+	return out
+}
+
+// CatalogFingerprint hashes the registered kinds@versions (and their
+// deprecation flags) into a short stable identifier. Two processes with the
+// same fingerprint accept the same wire surface — gocserve reports it from
+// /healthz and -version so operators can tell replica drift (one binary
+// registering a kind the other lacks) apart from transport trouble.
+// Schema *content* is deliberately not hashed: the fingerprint tracks what
+// the registry accepts, and a doc-comment edit should not read as drift.
+func CatalogFingerprint() string {
+	var lines []string
+	for _, e := range Catalog() {
+		line := fmt.Sprintf("%s@v%d", e.Kind, e.Version)
+		if e.Deprecated {
+			line += "!"
+		}
+		lines = append(lines, line)
+	}
+	sum := sha256.Sum256([]byte(strings.Join(lines, "\n")))
+	return hex.EncodeToString(sum[:8])
+}

@@ -125,7 +125,7 @@ func TestRegisterSpecDuplicatePanics(t *testing.T) {
 			t.Fatal("duplicate registration did not panic")
 		}
 	}()
-	RegisterSpec("learn_sweep", DecodeJSON[LearnSweep]())
+	RegisterSpec("learn_sweep", 1, DecodeJSON[LearnSweep](), nil)
 }
 
 func TestJobEnvelopeDecode(t *testing.T) {

@@ -135,7 +135,7 @@ func TestResultCodecRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	revived, err := DecodeResult("learn_sweep", raw)
+	revived, err := DecodeResult("learn_sweep", 1, raw)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -157,7 +157,7 @@ func TestResultCodecRoundTrip(t *testing.T) {
 
 	// Unregistered kind: the raw document itself comes back (a copy).
 	doc := json.RawMessage(`{"answer":41}`)
-	out, err := DecodeResult("never_registered_kind", doc)
+	out, err := DecodeResult("never_registered_kind", 1, doc)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -171,7 +171,7 @@ func TestResultCodecRoundTrip(t *testing.T) {
 	}
 
 	// A registered codec surfaces corrupt documents as errors.
-	if _, err := DecodeResult("learn_sweep", json.RawMessage(`{"total_runs":"nope"}`)); err == nil ||
+	if _, err := DecodeResult("learn_sweep", 1, json.RawMessage(`{"total_runs":"nope"}`)); err == nil ||
 		!strings.Contains(err.Error(), "learn_sweep") {
 		t.Fatalf("corrupt document err = %v", err)
 	}

@@ -1,0 +1,238 @@
+package engine
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Schema is a hand-written JSON Schema (a draft 2020-12 subset) describing
+// the wire document one registered spec version accepts. Schemas serve two
+// masters: GET /v2/specs renders them so clients can introspect and validate
+// before submitting, and the server validates every submission against them
+// before the decoder runs, turning shape mismatches into 422s with a precise
+// JSON-pointer path instead of whatever error text encoding/json produces.
+//
+// The subset is deliberately the shape level only — types, known fields,
+// required fields, array items — because that is exactly what the registered
+// decoder enforces (DecodeJSON + DisallowUnknownFields). Semantic rules
+// ("runs must be positive") stay in the spec's Validate, so a schema accepts
+// precisely the documents its decoder accepts; the agreement is enforced by
+// tests in schema_test.go.
+type Schema struct {
+	Title       string `json:"title,omitempty"`
+	Description string `json:"description,omitempty"`
+	// Type is one of "object", "array", "string", "integer", "number",
+	// "boolean", "null"; empty accepts any value.
+	Type       string             `json:"type,omitempty"`
+	Properties map[string]*Schema `json:"properties,omitempty"`
+	Required   []string           `json:"required,omitempty"`
+	// AdditionalProperties false rejects unknown object keys — the schema
+	// form of DecodeJSON's DisallowUnknownFields. nil (omitted) allows them.
+	AdditionalProperties *bool   `json:"additionalProperties,omitempty"`
+	Items                *Schema `json:"items,omitempty"`
+	// Enum and Minimum are rendered for clients and enforced by Validate,
+	// but the built-in sweep schemas leave them unset: encoding/json has no
+	// value constraints, and a schema stricter than its decoder would 422
+	// documents the decoder (and the spec's own Validate) are the authority
+	// on.
+	Enum    []any    `json:"enum,omitempty"`
+	Minimum *float64 `json:"minimum,omitempty"`
+}
+
+// SchemaError reports where a document diverges from its schema. Path is a
+// JSON pointer (RFC 6901) into the spec document — "" is the root,
+// "/gen/Miners" a nested field — which the server forwards verbatim in 422
+// responses so clients can point at the offending field.
+type SchemaError struct {
+	Path string
+	Msg  string
+}
+
+// Error implements error.
+func (e *SchemaError) Error() string {
+	if e.Path == "" {
+		return "spec document: " + e.Msg
+	}
+	return fmt.Sprintf("spec document at %s: %s", e.Path, e.Msg)
+}
+
+// Validate checks raw against the schema. An empty document is always valid
+// (it decodes to the spec's zero value; semantic validation rejects it later
+// if the kind has required parameters). The returned error is always a
+// *SchemaError.
+func (s *Schema) Validate(raw json.RawMessage) error {
+	if s == nil || len(raw) == 0 {
+		return nil
+	}
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.UseNumber()
+	var v any
+	if err := dec.Decode(&v); err != nil {
+		return &SchemaError{Msg: "malformed JSON: " + err.Error()}
+	}
+	return s.validate(v, "")
+}
+
+func (s *Schema) validate(v any, path string) error {
+	if s == nil {
+		return nil
+	}
+	// JSON null is valid against every schema: encoding/json treats null as
+	// "leave the field at its zero value" for any Go type, and the schema
+	// must not be stricter than the decoder it describes.
+	if v == nil {
+		return nil
+	}
+	if err := s.checkType(v, path); err != nil {
+		return err
+	}
+	if len(s.Enum) > 0 {
+		if err := s.checkEnum(v, path); err != nil {
+			return err
+		}
+	}
+	switch val := v.(type) {
+	case map[string]any:
+		for _, req := range s.Required {
+			if _, ok := val[req]; !ok {
+				return &SchemaError{Path: path, Msg: fmt.Sprintf("missing required field %q", req)}
+			}
+		}
+		for key, elem := range val {
+			sub, known := s.Properties[key]
+			if !known {
+				if s.AdditionalProperties != nil && !*s.AdditionalProperties {
+					return &SchemaError{Path: path + "/" + escapePointer(key), Msg: "unknown field"}
+				}
+				continue
+			}
+			if err := sub.validate(elem, path+"/"+escapePointer(key)); err != nil {
+				return err
+			}
+		}
+	case []any:
+		for i, elem := range val {
+			if err := s.Items.validate(elem, path+"/"+strconv.Itoa(i)); err != nil {
+				return err
+			}
+		}
+	case json.Number:
+		if s.Minimum != nil {
+			if f, err := val.Float64(); err == nil && f < *s.Minimum {
+				return &SchemaError{Path: path, Msg: fmt.Sprintf("%v is below minimum %v", val, *s.Minimum)}
+			}
+		}
+	}
+	return nil
+}
+
+func (s *Schema) checkType(v any, path string) error {
+	if s.Type == "" {
+		return nil
+	}
+	ok := false
+	switch s.Type {
+	case "object":
+		_, ok = v.(map[string]any)
+	case "array":
+		_, ok = v.([]any)
+	case "string":
+		_, ok = v.(string)
+	case "boolean":
+		_, ok = v.(bool)
+	case "number":
+		_, ok = v.(json.Number)
+	case "integer":
+		// Mirror encoding/json exactly: an int field accepts any literal
+		// strconv can parse as a (signed or unsigned) integer — "100" yes,
+		// "1.5" and "1e2" no.
+		if n, isNum := v.(json.Number); isNum {
+			if _, err := strconv.ParseInt(n.String(), 10, 64); err == nil {
+				ok = true
+			} else if _, err := strconv.ParseUint(n.String(), 10, 64); err == nil {
+				ok = true
+			}
+		}
+	case "null":
+		ok = v == nil
+	default:
+		return &SchemaError{Path: path, Msg: fmt.Sprintf("schema has unsupported type %q", s.Type)}
+	}
+	if !ok {
+		return &SchemaError{Path: path, Msg: fmt.Sprintf("want %s, got %s", s.Type, jsonTypeName(v))}
+	}
+	return nil
+}
+
+func (s *Schema) checkEnum(v any, path string) error {
+	want, err := json.Marshal(v)
+	if err != nil {
+		return &SchemaError{Path: path, Msg: "unencodable value"}
+	}
+	for _, allowed := range s.Enum {
+		b, err := json.Marshal(allowed)
+		if err == nil && bytes.Equal(b, want) {
+			return nil
+		}
+	}
+	return &SchemaError{Path: path, Msg: fmt.Sprintf("%s not in enum", want)}
+}
+
+func jsonTypeName(v any) string {
+	switch v.(type) {
+	case map[string]any:
+		return "object"
+	case []any:
+		return "array"
+	case string:
+		return "string"
+	case bool:
+		return "boolean"
+	case json.Number:
+		return "number"
+	case nil:
+		return "null"
+	default:
+		return fmt.Sprintf("%T", v)
+	}
+}
+
+// escapePointer escapes one JSON-pointer reference token (RFC 6901: "~"
+// becomes "~0", "/" becomes "~1").
+func escapePointer(token string) string {
+	token = strings.ReplaceAll(token, "~", "~0")
+	return strings.ReplaceAll(token, "/", "~1")
+}
+
+// Schema literal helpers, so hand-written schemas read as declarations.
+
+// SchemaObject returns an object schema over the given properties that
+// rejects unknown fields — the shape DecodeJSON enforces.
+func SchemaObject(props map[string]*Schema, required ...string) *Schema {
+	f := false
+	return &Schema{Type: "object", Properties: props, Required: required, AdditionalProperties: &f}
+}
+
+// SchemaOpenObject is SchemaObject without the unknown-field rejection, for
+// sub-documents decoded by custom unmarshalers that tolerate extra keys.
+func SchemaOpenObject(props map[string]*Schema, required ...string) *Schema {
+	return &Schema{Type: "object", Properties: props, Required: required}
+}
+
+// SchemaArray returns an array schema with the given item schema.
+func SchemaArray(items *Schema) *Schema { return &Schema{Type: "array", Items: items} }
+
+// SchemaInt returns an integer schema with the given description.
+func SchemaInt(desc string) *Schema { return &Schema{Type: "integer", Description: desc} }
+
+// SchemaNumber returns a number schema with the given description.
+func SchemaNumber(desc string) *Schema { return &Schema{Type: "number", Description: desc} }
+
+// SchemaString returns a string schema with the given description.
+func SchemaString(desc string) *Schema { return &Schema{Type: "string", Description: desc} }
+
+// SchemaBool returns a boolean schema with the given description.
+func SchemaBool(desc string) *Schema { return &Schema{Type: "boolean", Description: desc} }

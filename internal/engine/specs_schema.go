@@ -1,0 +1,101 @@
+package engine
+
+// Hand-written wire schemas for the built-in sweep specs, registered
+// alongside their decoders in registry.go's init. Each schema describes
+// exactly the JSON shape its DecodeJSON decoder accepts — object fields and
+// types, unknown-field rejection — and nothing more: semantic constraints
+// ("runs must be positive") belong to the spec's Validate, so the schema
+// never 422s a document the decoder would take. schema_test.go enforces the
+// agreement case by case.
+
+// genSpecSchema describes core.GenSpec (no json tags: Go field names).
+func genSpecSchema() *Schema {
+	return SchemaObject(map[string]*Schema{
+		"Miners":    SchemaInt("number of miners to generate"),
+		"Coins":     SchemaInt("number of coins to generate"),
+		"PowerZipf": SchemaNumber("Zipf exponent for mining powers; 0 draws uniformly"),
+		"PowerLo":   SchemaNumber("power range low end (default 1)"),
+		"PowerHi":   SchemaNumber("power range high end (default 100)"),
+		"RewardLo":  SchemaNumber("reward range low end (default 1)"),
+		"RewardHi":  SchemaNumber("reward range high end (default 100)"),
+	})
+}
+
+// gameSchema describes core.Game's wire form. The game document is decoded
+// by core.Game's own UnmarshalJSON (plain json.Unmarshal inside, which
+// tolerates unknown keys — DisallowUnknownFields does not reach through a
+// custom unmarshaler), so the object is open; the inner miner/coin entries
+// are open for the same reason.
+func gameSchema() *Schema {
+	return SchemaOpenObject(map[string]*Schema{
+		"miners": SchemaArray(SchemaOpenObject(map[string]*Schema{
+			"name":  SchemaString("miner name"),
+			"power": SchemaNumber("mining power"),
+		})),
+		"coins": SchemaArray(SchemaOpenObject(map[string]*Schema{
+			"name": SchemaString("coin name"),
+		})),
+		"rewards":  SchemaArray(SchemaNumber("per-coin reward")),
+		"epsilon":  SchemaNumber("better-response improvement threshold"),
+		"eligible": SchemaArray(SchemaArray(SchemaBool("miner may mine coin"))),
+	})
+}
+
+// scenarioParamsSchema describes replay.ScenarioParams (no json tags).
+func scenarioParamsSchema() *Schema {
+	return SchemaObject(map[string]*Schema{
+		"Miners":       SchemaInt("fleet size (default 200)"),
+		"ZipfExponent": SchemaNumber("hashrate concentration (default 1.1)"),
+		"Epochs":       SchemaInt("simulation length in hours (default 2880)"),
+		"SpikeHour":    SchemaInt("hour the BCH rate spike begins (default 1200)"),
+		"SpikeFactor":  SchemaNumber("peak BCH rate relative to baseline (default 3.2)"),
+		"Activity":     SchemaNumber("per-epoch re-evaluation probability (default 0.15)"),
+		"Hysteresis":   SchemaNumber("relative gain required to switch (default 0.02)"),
+		"Seed":         SchemaInt("must be 0 in sweeps: per-run seeds derive from the job seed"),
+	})
+}
+
+func learnSweepSchema() *Schema {
+	s := SchemaObject(map[string]*Schema{
+		"game":       gameSchema(),
+		"game_id":    SchemaString("reference to a game registered via POST /v1/games"),
+		"gen":        genSpecSchema(),
+		"schedulers": SchemaArray(SchemaString("scheduler name")),
+		"runs":       SchemaInt("learning runs per scheduler"),
+		"max_steps":  SchemaInt("per-run step cap (0 = learning default)"),
+	})
+	s.Title = "learn_sweep"
+	s.Description = "Better-response learning sweep: Runs runs per scheduler on a fixed or generated game, aggregating steps-to-equilibrium statistics."
+	return s
+}
+
+func designSweepSchema() *Schema {
+	s := SchemaObject(map[string]*Schema{
+		"gen":       genSpecSchema(),
+		"pairs":     SchemaInt("number of design runs"),
+		"max_tries": SchemaInt("game-search bound per task (default 500)"),
+	})
+	s.Title = "design_sweep"
+	s.Description = "Section-5 reward-design sweep: Algorithm 2 between random equilibrium pairs on random games."
+	return s
+}
+
+func replaySweepSchema() *Schema {
+	s := SchemaObject(map[string]*Schema{
+		"params": scenarioParamsSchema(),
+		"runs":   SchemaInt("number of scenario replays"),
+	})
+	s.Title = "replay_sweep"
+	s.Description = "Market-simulator replay sweep: the Figure-1 BTC/BCH scenario across derived seeds, aggregating migration outcomes."
+	return s
+}
+
+func equilibriumSweepSchema() *Schema {
+	s := SchemaObject(map[string]*Schema{
+		"gen":   genSpecSchema(),
+		"games": SchemaInt("number of random games to enumerate"),
+	})
+	s.Title = "equilibrium_sweep"
+	s.Description = "Equilibrium census: enumerate pure equilibria of random games, aggregating the count distribution."
+	return s
+}

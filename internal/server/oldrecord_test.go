@@ -1,0 +1,131 @@
+// Pre-versioning data-directory test: a gocserve -data DIR written by the
+// PR 3-era server — job records with no "version" field — must rehydrate
+// through the versioned registry as v1, serve its recorded results
+// byte-identically, and share cache lines with @v1-pinned resubmissions.
+// The records come from the golden corpus (internal/engine/testdata), so
+// the on-disk fixture and the unit-level compat gate can never drift apart.
+package server_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"gameofcoins/client"
+	"gameofcoins/internal/engine"
+)
+
+func TestRehydratePreVersioningDataDir(t *testing.T) {
+	raw, err := os.ReadFile(filepath.Join("..", "engine", "testdata", "wire_corpus.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Keep the records as raw bytes — the fixture must hit the disk exactly
+	// as PR 3 wrote it, not re-marshalled through today's (versioned) types.
+	var corp struct {
+		JobRecords []json.RawMessage `json:"job_records"`
+	}
+	if err := json.Unmarshal(raw, &corp); err != nil {
+		t.Fatal(err)
+	}
+	if len(corp.JobRecords) == 0 {
+		t.Fatal("corpus has no job records")
+	}
+
+	// Forge the PR 3-era data directory: one {"op":"job","job":{...}} line
+	// per record, verbatim.
+	dir := t.TempDir()
+	var log bytes.Buffer
+	type oldRec struct {
+		ID     string          `json:"id"`
+		Key    string          `json:"key"`
+		Kind   string          `json:"kind"`
+		Seed   uint64          `json:"seed"`
+		Spec   json.RawMessage `json:"spec"`
+		Result json.RawMessage `json:"result"`
+	}
+	var recs []oldRec
+	for _, rec := range corp.JobRecords {
+		if bytes.Contains(rec, []byte(`"version"`)) {
+			t.Fatalf("corpus record is not pre-versioning: %s", rec)
+		}
+		line, err := json.Marshal(map[string]json.RawMessage{
+			"op":  json.RawMessage(`"job"`),
+			"job": rec,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		log.Write(line)
+		log.WriteByte('\n')
+		var or oldRec
+		if err := json.Unmarshal(rec, &or); err != nil {
+			t.Fatal(err)
+		}
+		recs = append(recs, or)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "log.jsonl"), log.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	p := openPersistent(t, dir, false)
+	c := client.New(p.URL)
+	ctx := context.Background()
+
+	for _, or := range recs {
+		// The recorded result is served byte-identically under the original
+		// job ID.
+		var served struct {
+			Result json.RawMessage `json:"result"`
+		}
+		if err := json.Unmarshal(rawGet(t, p.URL+"/v1/jobs/"+or.ID+"/result"), &served); err != nil {
+			t.Fatal(err)
+		}
+		var want, got bytes.Buffer
+		if err := json.Compact(&want, or.Result); err != nil {
+			t.Fatal(err)
+		}
+		if err := json.Compact(&got, served.Result); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(want.Bytes(), got.Bytes()) {
+			t.Fatalf("%s: served result drifted from the PR 3 record:\n%s\n%s", or.ID, &got, &want)
+		}
+
+		// A @v1-pinned resubmission of the recorded spec hits the
+		// rehydrated cache entry — version-less records key as v1.
+		h, err := c.Submit(ctx, or.Kind, or.Seed, or.Spec, client.AtVersion(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !h.Submitted.Cached || h.Submitted.Status.ID != or.ID {
+			t.Fatalf("%s: @v1 resubmit missed the rehydrated entry: %+v", or.ID, h.Submitted)
+		}
+		// And so does a bare-kind one (what a PR 3 client still sends).
+		h2, err := c.Submit(ctx, or.Kind, or.Seed, or.Spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !h2.Submitted.Cached || h2.Submitted.Status.ID != or.ID {
+			t.Fatalf("%s: bare-kind resubmit missed the rehydrated entry: %+v", or.ID, h2.Submitted)
+		}
+		if st := h2.Submitted.Status; st.Kind != or.Kind || !st.State.Terminal() {
+			t.Fatalf("%s: rehydrated status = %+v", or.ID, st)
+		}
+	}
+
+	// The rehydrated jobs are engine-visible under their original IDs with
+	// full progress (Restore path), not recomputing.
+	for _, or := range recs {
+		var st engine.Status
+		if err := json.Unmarshal(rawGet(t, p.URL+"/v1/jobs/"+or.ID), &st); err != nil {
+			t.Fatal(err)
+		}
+		if st.State != engine.StateDone || st.Progress.Done != st.Progress.Total || st.Progress.Total == 0 {
+			t.Fatalf("%s: status after rehydration = %+v", or.ID, st)
+		}
+	}
+}

@@ -57,10 +57,10 @@ func (badMarshalSpec) MarshalJSON() ([]byte, error) {
 }
 
 func init() {
-	engine.RegisterSpec("test_stubborn", engine.DecodeJSON[stubbornSpec]())
-	engine.RegisterSpec("test_badmarshal", func(json.RawMessage) (engine.Spec, error) {
+	engine.RegisterSpec("test_stubborn", 1, engine.DecodeJSON[stubbornSpec](), nil)
+	engine.RegisterSpec("test_badmarshal", 1, func(json.RawMessage) (engine.Spec, error) {
 		return badMarshalSpec{}, nil
-	})
+	}, nil)
 }
 
 // TestV1CancelRetractsCacheEntry is the regression test for the

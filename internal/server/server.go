@@ -21,22 +21,42 @@
 // Clients that must not share fate should vary the seed (or use /v2, whose
 // handles reference-count shared jobs).
 //
-//	GET    /healthz             liveness probe
+//	GET    /healthz             liveness probe: build info (server version,
+//	                            Go runtime) and the catalog fingerprint —
+//	                            replicas serving different spec surfaces are
+//	                            distinguishable at a glance
 //
 // The v2 API is the self-describing envelope form: a job arrives as
 // {"kind": ..., "seed": ..., "spec": {...}} and is resolved purely through
-// the engine's spec registry (engine.RegisterSpec) — the server never
-// switches on job kinds, so new spec types plug in without server edits.
-// POST returns a per-client *handle* (h-N) that reference-counts the
-// underlying deduplicated job: DELETE releases one client's interest and
+// the engine's versioned spec registry (engine.RegisterSpec) — the server
+// never switches on job kinds, so new spec types plug in without server
+// edits. Kinds are versioned: "kind" resolves to the latest registered
+// version, "kind@vN" pins one, and each version's JSON-Schema is served from
+// the catalog so clients can validate before submitting. The server itself
+// validates every submission against the resolved version's schema and
+// rejects shape mismatches with 422 and a JSON-pointer "path" into the spec
+// document. POST returns a per-client *handle* (h-N) that reference-counts
+// the underlying deduplicated job: DELETE releases one client's interest and
 // cancels the job only when the last handle is released.
 //
-//	GET    /v2/specs                  list registered spec kinds
+//	GET    /v2/specs                  full spec catalog: every registered
+//	                                  kind@version with its schema, latest/
+//	                                  deprecated flags, and the catalog
+//	                                  fingerprint
+//	GET    /v2/specs/{kind}           one catalog entry ("kind" = latest,
+//	                                  "kind@vN" = pinned)
 //	POST   /v2/jobs                   submit a JobEnvelope → JobHandle
+//	POST   /v2/batch                  submit up to MaxBatchJobs envelopes in
+//	                                  one request → per-item handles/errors,
+//	                                  in request order, sharing the dedupe/
+//	                                  refcount path
 //	GET    /v2/jobs/{handle}          poll the handle's job status
 //	GET    /v2/jobs/{handle}/result   fetch the finished job's result
 //	GET    /v2/jobs/{handle}/events   stream progress + terminal status (SSE:
-//	                                  "progress" events, then one "end")
+//	                                  "progress" events, then one "end"; "id:"
+//	                                  carries the progress counter and a
+//	                                  reconnect's Last-Event-ID suppresses
+//	                                  already-seen progress)
 //	DELETE /v2/jobs/{handle}          release the handle; cancels the job
 //	                                  only if no other handle remains
 //
@@ -73,7 +93,9 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"runtime"
 	"sort"
+	"strconv"
 	"sync"
 
 	"gameofcoins/internal/core"
@@ -347,7 +369,7 @@ type watchStart struct {
 func (s *Server) rehydrateJob(rec store.JobRecord, failInterrupted bool) []watchStart {
 	switch rec.State {
 	case store.JobDone:
-		res, err := engine.DecodeResult(rec.Kind, rec.Result)
+		res, err := engine.DecodeResult(rec.Kind, rec.Version, rec.Result)
 		if err != nil {
 			return s.recomputeJob(rec, failInterrupted,
 				fmt.Sprintf("stored result unreadable after restart: %v", err))
@@ -384,7 +406,10 @@ func (s *Server) recomputeJob(rec store.JobRecord, failInterrupted bool, reason 
 		restoreFailed(reason)
 		return nil
 	}
-	spec, err := engine.DecodeSpec(rec.Kind, rec.Spec)
+	// Records written before the catalog redesign carry no version (0);
+	// DecodeSpecAt maps that to v1, the pre-versioning wire format, so old
+	// data directories recompute under exactly the semantics they ran with.
+	spec, err := engine.DecodeSpecAt(rec.Kind, rec.Version, rec.Spec)
 	if err != nil {
 		restoreFailed(fmt.Sprintf("%s; not recomputable: %v", reason, err))
 		return nil
@@ -430,14 +455,14 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleJobResult)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancelJob)
 	s.mux.HandleFunc("GET /v2/specs", s.handleListSpecs)
+	s.mux.HandleFunc("GET /v2/specs/{kind}", s.handleSpecEntry)
 	s.mux.HandleFunc("POST /v2/jobs", s.handleCreateJobV2)
+	s.mux.HandleFunc("POST /v2/batch", s.handleCreateBatch)
 	s.mux.HandleFunc("GET /v2/jobs/{handle}", s.handleHandleStatus)
 	s.mux.HandleFunc("GET /v2/jobs/{handle}/result", s.handleHandleResult)
 	s.mux.HandleFunc("GET /v2/jobs/{handle}/events", s.handleHandleEvents)
 	s.mux.HandleFunc("DELETE /v2/jobs/{handle}", s.handleReleaseHandle)
-	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
-	})
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 }
 
 // ServeHTTP implements http.Handler.
@@ -529,11 +554,15 @@ func (s *Server) resolveGame(id string) (*core.Game, error) {
 // between the cache lookup and the refcount increment.
 func (s *Server) submitEnvelope(env engine.JobEnvelope, mint bool) (*engine.Job, bool, JobHandle, error) {
 	var jh JobHandle
-	spec, err := env.Decode()
+	// ResolveEnvelope is the whole registry path: version resolution ("kind"
+	// → latest, "kind@vN" pinned), schema validation (a mismatch surfaces as
+	// a *engine.SchemaError, which handlers map to 422 with the error's
+	// JSON-pointer path), then the version's decoder.
+	rs, err := engine.ResolveEnvelope(env)
 	if err != nil {
 		return nil, false, jh, err
 	}
-	spec, err = engine.ResolveSpec(spec, s.resolveGame)
+	spec, err := engine.ResolveSpec(rs.Spec, s.resolveGame)
 	if err != nil {
 		return nil, false, jh, err
 	}
@@ -544,7 +573,10 @@ func (s *Server) submitEnvelope(env engine.JobEnvelope, mint bool) (*engine.Job,
 		// decoder), not the client's: surface it as a 500, not a 400.
 		return nil, false, jh, internalError{err}
 	}
-	key := engine.CacheKeyJSON(spec.Kind(), canonical, env.Seed)
+	// The key hashes the *versioned* wire kind — bare for v1, so every
+	// pre-versioning cache entry and data directory stays valid, and two
+	// versions of one kind can never share a cache line.
+	key := engine.CacheKeyJSON(rs.WireKind(), canonical, env.Seed)
 	// Check-and-reserve is one critical section: concurrent identical
 	// submissions either all see the same cached job or exactly one of them
 	// submits and publishes the key the others then hit. (Lock order is
@@ -582,13 +614,14 @@ func (s *Server) submitEnvelope(env engine.JobEnvelope, mint bool) (*engine.Job,
 		return nil, false, jh, err
 	}
 	rec := store.JobRecord{
-		ID:    job.ID(),
-		Key:   key,
-		Kind:  spec.Kind(),
-		Seed:  env.Seed,
-		Tasks: spec.Tasks(),
-		Spec:  canonical,
-		State: store.JobSubmitted,
+		ID:      job.ID(),
+		Key:     key,
+		Kind:    rs.Kind,
+		Version: rs.Version,
+		Seed:    env.Seed,
+		Tasks:   spec.Tasks(),
+		Spec:    canonical,
+		State:   store.JobSubmitted,
 	}
 	// Persistence of the job table is best-effort: a store hiccup costs
 	// durability of this record, not the submission (the job still runs).
@@ -688,14 +721,46 @@ func (e internalError) Error() string { return e.err.Error() }
 func (e internalError) Unwrap() error { return e.err }
 
 // submitErrorCode classifies a submitEnvelope (or translateV1) failure:
-// client errors — unknown kind, malformed or invalid spec, unknown game —
-// are 400; internal encoding failures are 500.
+// schema mismatches — the document's shape diverges from the resolved
+// version's published schema — are 422 (the request was well-formed JSON,
+// the entity just doesn't match the catalog contract); other client errors
+// — unknown kind, malformed or invalid spec, unknown game — are 400;
+// internal encoding failures are 500.
 func submitErrorCode(err error) int {
 	var ie internalError
 	if errors.As(err, &ie) {
 		return http.StatusInternalServerError
 	}
+	var se *engine.SchemaError
+	if errors.As(err, &se) {
+		return http.StatusUnprocessableEntity
+	}
 	return http.StatusBadRequest
+}
+
+// submitErrorParts classifies a submission failure into the (code, message,
+// path) triple both the single-submit response and batch items carry — one
+// classifier, so the two surfaces can never diverge.
+func submitErrorParts(err error) (code int, msg, path string) {
+	code = submitErrorCode(err)
+	msg = err.Error()
+	var se *engine.SchemaError
+	if errors.As(err, &se) {
+		path = se.Path
+	}
+	return code, msg, path
+}
+
+// writeSubmitError writes a submission failure with its mapped status code;
+// schema mismatches additionally carry the JSON-pointer "path" into the
+// spec document so clients can point at the offending field.
+func writeSubmitError(w http.ResponseWriter, err error) {
+	code, msg, path := submitErrorParts(err)
+	body := map[string]string{"error": msg}
+	if path != "" {
+		body["path"] = path
+	}
+	writeJSON(w, code, body)
 }
 
 func (s *Server) handleCreateJob(w http.ResponseWriter, r *http.Request) {
@@ -706,12 +771,12 @@ func (s *Server) handleCreateJob(w http.ResponseWriter, r *http.Request) {
 	}
 	env, err := translateV1(req)
 	if err != nil {
-		writeError(w, submitErrorCode(err), err)
+		writeSubmitError(w, err)
 		return
 	}
 	job, cached, _, err := s.submitEnvelope(env, false)
 	if err != nil {
-		writeError(w, submitErrorCode(err), err)
+		writeSubmitError(w, err)
 		return
 	}
 	st := job.Status()
@@ -837,10 +902,52 @@ func (s *Server) retractCacheLocked(job *engine.Job) {
 	}
 }
 
-// ---- v2: self-describing envelopes, per-client handles, SSE ----
+// ---- v2: versioned spec catalog, envelopes, handles, batch, SSE ----
 
+// handleListSpecs serves the full spec catalog: every registered
+// kind@version with its JSON-Schema and latest/deprecated flags, the
+// catalog fingerprint, and — kept for older clients — the flat kind list.
 func (s *Server) handleListSpecs(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{"kinds": engine.SpecKinds()})
+	writeJSON(w, http.StatusOK, map[string]any{
+		"fingerprint": engine.CatalogFingerprint(),
+		"kinds":       engine.SpecKinds(),
+		"specs":       engine.Catalog(),
+	})
+}
+
+// handleSpecEntry serves one catalog entry: a bare kind names its latest
+// version, "kind@vN" pins one.
+func (s *Server) handleSpecEntry(w http.ResponseWriter, r *http.Request) {
+	wire := r.PathValue("kind")
+	kind, version, err := engine.ParseKindVersion(wire)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	for _, e := range engine.Catalog() {
+		if e.Kind != kind {
+			continue
+		}
+		if version == 0 && e.Latest || version == e.Version {
+			writeJSON(w, http.StatusOK, e)
+			return
+		}
+	}
+	writeError(w, http.StatusNotFound, fmt.Errorf("unknown spec %q", wire))
+}
+
+// handleHealthz is the liveness probe, extended with build identity: the
+// server version, the Go runtime, and the catalog fingerprint (hash of the
+// registered kinds@versions) — so replica drift in the accepted wire
+// surface is observable without submitting anything.
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":              "ok",
+		"version":             Version,
+		"go":                  runtime.Version(),
+		"catalog_fingerprint": engine.CatalogFingerprint(),
+		"kinds":               len(engine.SpecKinds()),
+	})
 }
 
 func (s *Server) handleCreateJobV2(w http.ResponseWriter, r *http.Request) {
@@ -856,12 +963,90 @@ func (s *Server) handleCreateJobV2(w http.ResponseWriter, r *http.Request) {
 	// keeps one client's DELETE from canceling another's work.
 	job, cached, jh, err := s.submitEnvelope(env, true)
 	if err != nil {
-		writeError(w, submitErrorCode(err), err)
+		writeSubmitError(w, err)
 		return
 	}
 	jh.Status = job.Status()
 	jh.Cached = cached
 	writeJSON(w, http.StatusCreated, jh)
+}
+
+// MaxBatchJobs caps the envelopes one POST /v2/batch request may carry. The
+// cap bounds the worst-case work a single request can enqueue (each item is
+// its own job, each already bounded by engine.MaxTasksPerJob) without making
+// a sweep-of-sweeps multi-round-trip.
+const MaxBatchJobs = 256
+
+// BatchRequest is the wire form of POST /v2/batch: up to MaxBatchJobs
+// envelopes submitted in one request.
+type BatchRequest struct {
+	Jobs []engine.JobEnvelope `json:"jobs"`
+}
+
+// BatchResult is one item of the POST /v2/batch response, index-aligned with
+// the request's jobs array: either the minted handle (exactly what a single
+// POST /v2/jobs would have returned) or the item's error with the status
+// code the single-submit path would have used — and, for schema mismatches,
+// the JSON-pointer path into that item's spec document.
+type BatchResult struct {
+	Job   *JobHandle `json:"job,omitempty"`
+	Error string     `json:"error,omitempty"`
+	Code  int        `json:"code,omitempty"`
+	Path  string     `json:"path,omitempty"`
+}
+
+// handleCreateBatch submits a batch of envelopes through the same
+// dedupe/refcount path as single submissions, one item at a time in request
+// order — so minted handle IDs are ordered like the request, identical
+// items within one batch dedupe onto one job (each with its own handle),
+// and one bad item costs only its own slot, never the batch. To keep that
+// isolation total, items are decoded individually: a malformed envelope (a
+// typo'd field, the wrong JSON shape) errors its own slot exactly like an
+// unknown kind would, instead of failing the whole request's decode.
+func (s *Server) handleCreateBatch(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Jobs []json.RawMessage `json:"jobs"`
+	}
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decode batch request: %w", err))
+		return
+	}
+	if len(req.Jobs) == 0 {
+		writeError(w, http.StatusBadRequest, errors.New("batch needs at least one job"))
+		return
+	}
+	if len(req.Jobs) > MaxBatchJobs {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("batch of %d jobs exceeds the cap of %d", len(req.Jobs), MaxBatchJobs))
+		return
+	}
+	results := make([]BatchResult, len(req.Jobs))
+	for i, raw := range req.Jobs {
+		submitItem := func() (JobHandle, error) {
+			var env engine.JobEnvelope
+			idec := json.NewDecoder(bytes.NewReader(raw))
+			idec.DisallowUnknownFields()
+			if err := idec.Decode(&env); err != nil {
+				return JobHandle{}, fmt.Errorf("decode job envelope: %w", err)
+			}
+			job, cached, jh, err := s.submitEnvelope(env, true)
+			if err != nil {
+				return JobHandle{}, err
+			}
+			jh.Status = job.Status()
+			jh.Cached = cached
+			return jh, nil
+		}
+		jh, err := submitItem()
+		if err != nil {
+			code, msg, path := submitErrorParts(err)
+			results[i] = BatchResult{Error: msg, Code: code, Path: path}
+			continue
+		}
+		results[i] = BatchResult{Job: &jh}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"results": results})
 }
 
 // jobForHandle resolves a handle to its job and the job's live handle count.
@@ -903,6 +1088,12 @@ func (s *Server) handleHandleResult(w http.ResponseWriter, r *http.Request) {
 // "progress" event per observed snapshot (coalesced to the latest for slow
 // consumers) and a final "end" event carrying the terminal status, after
 // which the stream closes. Backed by engine.Manager.Watch.
+//
+// Each event carries an "id:" line holding the snapshot's progress counter,
+// so a client that reconnects after a dropped stream can send the standard
+// Last-Event-ID header and have progress it already saw suppressed; the
+// terminal event is never suppressed (progress counters reset if a restart
+// recomputes the job, so a stale ID must not swallow the ending).
 func (s *Server) handleHandleEvents(w http.ResponseWriter, r *http.Request) {
 	job, _, err := s.jobForHandle(r.PathValue("handle"))
 	if err != nil {
@@ -914,6 +1105,12 @@ func (s *Server) handleHandleEvents(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusInternalServerError, errors.New("response writer cannot stream"))
 		return
 	}
+	lastSeen := -1
+	if lev := r.Header.Get("Last-Event-ID"); lev != "" {
+		if n, err := strconv.Atoi(lev); err == nil {
+			lastSeen = n
+		}
+	}
 	w.Header().Set("Content-Type", "text/event-stream")
 	w.Header().Set("Cache-Control", "no-cache")
 	w.WriteHeader(http.StatusOK)
@@ -923,12 +1120,14 @@ func (s *Server) handleHandleEvents(w http.ResponseWriter, r *http.Request) {
 		event := "progress"
 		if st.State.Terminal() {
 			event = "end"
+		} else if st.Progress.Done <= lastSeen {
+			continue
 		}
 		b, err := json.Marshal(st)
 		if err != nil {
 			return
 		}
-		fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, b)
+		fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", st.Progress.Done, event, b)
 		fl.Flush()
 	}
 }

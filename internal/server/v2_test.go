@@ -101,8 +101,9 @@ func (s gatedSpec) RunTask(ctx context.Context, i int, _ *rng.Rand) (any, error)
 func (s gatedSpec) Aggregate(results []any) (any, error) { return len(results), nil }
 
 func init() {
-	engine.RegisterSpec("toy_sum", engine.DecodeJSON[toySpec]())
-	engine.RegisterSpec("test_gated", engine.DecodeJSON[gatedSpec]())
+	engine.RegisterSpec("toy_sum", 1, engine.DecodeJSON[toySpec](),
+		engine.SchemaObject(map[string]*engine.Schema{"n": engine.SchemaInt("number of tasks")}))
+	engine.RegisterSpec("test_gated", 1, engine.DecodeJSON[gatedSpec](), nil)
 }
 
 // TestToySpecEndToEndOverV2: the registered toy kind is visible in
@@ -407,26 +408,46 @@ func TestSSEProgressStream(t *testing.T) {
 	}
 }
 
-// TestV2BadEnvelopes covers the v2 error surface: unknown kind, malformed
-// envelope, misspelled spec field, failed validation, unknown game ref.
+// TestV2BadEnvelopes covers the v2 error surface: unknown kind and version,
+// malformed envelope, failed validation, unknown game ref (400); schema
+// mismatches — misspelled or mistyped spec fields — are 422 with a
+// JSON-pointer "path" into the spec document.
 func TestV2BadEnvelopes(t *testing.T) {
 	base := v2Server(t)
-	for name, body := range map[string]string{
-		"unknown_kind":      `{"kind":"bogus_sweep","seed":1,"spec":{}}`,
-		"unknown_field":     `{"kind":"equilibrium_sweep","seed":1,"spec":{"gmaes":5}}`,
-		"invalid_spec":      `{"kind":"equilibrium_sweep","seed":1,"spec":{"games":0}}`,
-		"unknown_game":      `{"kind":"learn_sweep","seed":1,"spec":{"game_id":"g-nope","runs":3}}`,
-		"envelope_typo":     `{"knd":"equilibrium_sweep","seed":1}`,
-		"replay_inner_seed": `{"kind":"replay_sweep","seed":1,"spec":{"params":{"Miners":30,"Epochs":48,"SpikeHour":24,"Seed":9},"runs":1}}`,
+	for name, c := range map[string]struct {
+		body string
+		code int
+		path string
+	}{
+		"unknown_kind":      {body: `{"kind":"bogus_sweep","seed":1,"spec":{}}`, code: 400},
+		"unknown_version":   {body: `{"kind":"equilibrium_sweep@v9","seed":1,"spec":{}}`, code: 400},
+		"malformed_version": {body: `{"kind":"equilibrium_sweep@x","seed":1,"spec":{}}`, code: 400},
+		"invalid_spec":      {body: `{"kind":"equilibrium_sweep","seed":1,"spec":{"games":0}}`, code: 400},
+		"unknown_game":      {body: `{"kind":"learn_sweep","seed":1,"spec":{"game_id":"g-nope","runs":3}}`, code: 400},
+		"envelope_typo":     {body: `{"knd":"equilibrium_sweep","seed":1}`, code: 400},
+		"replay_inner_seed": {body: `{"kind":"replay_sweep","seed":1,"spec":{"params":{"Miners":30,"Epochs":48,"SpikeHour":24,"Seed":9},"runs":1}}`, code: 400},
+		"unknown_field":     {body: `{"kind":"equilibrium_sweep","seed":1,"spec":{"gmaes":5}}`, code: 422, path: "/gmaes"},
+		"mistyped_field":    {body: `{"kind":"equilibrium_sweep","seed":1,"spec":{"games":"many"}}`, code: 422, path: "/games"},
+		"nested_mistype":    {body: `{"kind":"learn_sweep","seed":1,"spec":{"gen":{"Miners":"eight"},"runs":3}}`, code: 422, path: "/gen/Miners"},
 	} {
 		t.Run(name, func(t *testing.T) {
-			resp, err := http.Post(base+"/v2/jobs", "application/json", bytes.NewReader([]byte(body)))
+			resp, err := http.Post(base+"/v2/jobs", "application/json", bytes.NewReader([]byte(c.body)))
 			if err != nil {
 				t.Fatal(err)
 			}
-			resp.Body.Close()
-			if resp.StatusCode != http.StatusBadRequest {
-				t.Fatalf("status %d, want 400", resp.StatusCode)
+			defer resp.Body.Close()
+			if resp.StatusCode != c.code {
+				t.Fatalf("status %d, want %d", resp.StatusCode, c.code)
+			}
+			var e struct {
+				Error string `json:"error"`
+				Path  string `json:"path"`
+			}
+			if err := json.NewDecoder(resp.Body).Decode(&e); err != nil || e.Error == "" {
+				t.Fatalf("error body undecodable: %v %+v", err, e)
+			}
+			if e.Path != c.path {
+				t.Fatalf("path = %q, want %q", e.Path, c.path)
 			}
 		})
 	}

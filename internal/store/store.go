@@ -43,10 +43,15 @@ type JobRecord struct {
 	// ID is the manager job ID ("job-N"); rehydration preserves it so
 	// pre-restart handles and result URLs stay valid.
 	ID string `json:"id"`
-	// Key is the engine cache key for (Spec, Seed).
+	// Key is the engine cache key for (Spec, Seed) at Version.
 	Key string `json:"key"`
-	// Kind is the registered spec kind.
+	// Kind is the registered bare spec kind.
 	Kind string `json:"kind"`
+	// Version is the registered spec version the job resolved to. Records
+	// written before the catalog redesign carry no version (0), which
+	// rehydration maps to version 1 — the pre-versioning wire format — so
+	// old data directories revive without migration.
+	Version int `json:"version,omitempty"`
 	// Seed roots the job's deterministic randomness.
 	Seed uint64 `json:"seed"`
 	// Tasks is the job's task fan-out (progress totals after rehydration).

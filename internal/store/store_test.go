@@ -27,7 +27,9 @@ func populate(t *testing.T, s Store) {
 	recs := []JobRecord{
 		{ID: "job-1", Key: "k1", Kind: "learn_sweep", Seed: 7, Tasks: 4,
 			Spec: json.RawMessage(`{"runs":4}`), State: JobDone, Result: json.RawMessage(`{"total_runs":4}`)},
-		{ID: "job-2", Key: "k2", Kind: "toy_sum", Seed: 9, Tasks: 3,
+		// Version 2: the versioned-registry field must survive the
+		// round-trip (version-less records read back as 0 → v1).
+		{ID: "job-2", Key: "k2", Kind: "toy_sum", Version: 2, Seed: 9, Tasks: 3,
 			Spec: json.RawMessage(`{"n":3}`), State: JobSubmitted},
 		{ID: "job-3", Key: "k3", Kind: "toy_sum", Seed: 1, Tasks: 1,
 			Spec: json.RawMessage(`{"n":1}`), State: JobCanceled, Error: "context canceled"},
@@ -62,8 +64,11 @@ func checkSnapshot(t *testing.T, snap Snapshot) {
 	if rec := snap.Jobs["job-1"]; rec.State != JobDone || string(rec.Result) != `{"total_runs":4}` {
 		t.Fatalf("job-1 = %+v", rec)
 	}
-	if rec := snap.Jobs["job-2"]; rec.State != JobSubmitted || rec.Seed != 9 {
+	if rec := snap.Jobs["job-2"]; rec.State != JobSubmitted || rec.Seed != 9 || rec.Version != 2 {
 		t.Fatalf("job-2 = %+v", rec)
+	}
+	if rec := snap.Jobs["job-1"]; rec.Version != 0 {
+		t.Fatalf("version-less record gained a version: %+v", rec)
 	}
 	if !reflect.DeepEqual(snap.Handles, map[string]string{"h-2": "job-2"}) {
 		t.Fatalf("handles = %+v", snap.Handles)
@@ -251,7 +256,7 @@ func TestFileCompaction(t *testing.T) {
 	}
 	s.CompactMinOps = 16
 	populate(t, s)
-	rec := JobRecord{ID: "job-2", Key: "k2", Kind: "toy_sum", Seed: 9, Tasks: 3, State: JobSubmitted}
+	rec := JobRecord{ID: "job-2", Key: "k2", Kind: "toy_sum", Version: 2, Seed: 9, Tasks: 3, State: JobSubmitted}
 	for i := 0; i < 200; i++ {
 		if err := s.PutJob(rec); err != nil {
 			t.Fatal(err)

@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Wire-compat smoke test: build gocserve fresh, start it with persistence,
+# and replay the golden corpus of PR 2/3-era envelopes through goccompat —
+# old-format (bare-kind) submissions must run, pin @v1 must dedupe onto the
+# same jobs with byte-identical result bodies, and batch submission must hit
+# the same cache lines. CI runs this alongside restart_smoke.sh; it is also
+# handy locally: ./scripts/compat_smoke.sh
+set -euo pipefail
+
+addr=127.0.0.1:8374
+base="http://$addr"
+bindir=$(mktemp -d)
+data=$(mktemp -d)
+pid=""
+cleanup() { [ -n "$pid" ] && kill "$pid" 2>/dev/null || true; }
+trap cleanup EXIT
+
+go build -o "$bindir/gocserve" ./cmd/gocserve
+go build -o "$bindir/goccompat" ./cmd/goccompat
+
+# -version must work offline and report the catalog fingerprint.
+"$bindir/gocserve" -version | grep -q "catalog" || {
+  echo "gocserve -version did not report the catalog" >&2
+  exit 1
+}
+
+"$bindir/gocserve" -addr "$addr" -data "$data" &
+pid=$!
+
+for _ in $(seq 1 100); do
+  curl -sf "$base/healthz" >/dev/null 2>&1 && break
+  sleep 0.1
+done
+curl -sf "$base/healthz" >/dev/null || { echo "gocserve never became healthy" >&2; exit 1; }
+
+"$bindir/goccompat" -base "$base" -corpus internal/engine/testdata/wire_corpus.json
+
+echo "compat smoke OK"
