@@ -7,13 +7,21 @@
 // byte-identical to a sequential run — every experiment derives its
 // randomness from the seed alone — only wall-clock time changes.
 //
+// With -sched FILE it instead runs the engine scheduler's tail-latency
+// benchmark — a skewed-cost sweep under FIFO vs size-aware (LPT) dispatch,
+// plus a concurrent fair-share phase — and writes the JSON report (makespan,
+// p50/p99 task latency, speedup, steal count) to FILE ("-" for stdout).
+// scripts/bench.sh uses it to emit BENCH_sched.json.
+//
 // Usage:
 //
 //	gocbench [-seed N] [-run E1,E4,...] [-parallel N]
+//	gocbench -sched BENCH_sched.json [-sched-scale F]
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -22,6 +30,7 @@ import (
 	"strings"
 
 	"gameofcoins/internal/experiments"
+	"gameofcoins/internal/schedbench"
 )
 
 func main() {
@@ -37,8 +46,13 @@ func run(w io.Writer, args []string) error {
 	only := fs.String("run", "", "comma-separated experiment IDs (default all)")
 	parallel := fs.Int("parallel", 0,
 		fmt.Sprintf("worker count for the experiment engine; 0 runs sequentially, -1 uses all %d cores", runtime.GOMAXPROCS(0)))
+	sched := fs.String("sched", "", "run the scheduler tail-latency benchmark and write its JSON report to this file ('-' = stdout) instead of the experiment suite")
+	schedScale := fs.Float64("sched-scale", 1, "scale factor for the scheduler benchmark's task durations")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *sched != "" {
+		return runSched(w, *sched, *schedScale)
 	}
 	want := map[string]bool{}
 	if *only != "" {
@@ -67,5 +81,30 @@ func run(w io.Writer, args []string) error {
 	if failures > 0 {
 		return fmt.Errorf("%d experiment(s) did not reproduce the expected shape", failures)
 	}
+	return nil
+}
+
+// runSched runs the scheduler benchmark and writes its JSON report to path.
+// "-" streams the report itself to w — and only the report, so the stdout
+// mode stays machine-readable; writing to a file prints the one-line summary
+// instead.
+func runSched(w io.Writer, path string, scale float64) error {
+	rep, err := schedbench.Run(schedbench.Options{Scale: scale})
+	if err != nil {
+		return fmt.Errorf("sched benchmark: %w", err)
+	}
+	b, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	if path == "-" {
+		_, err := w.Write(b)
+		return err
+	}
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintln(w, rep.String())
 	return nil
 }

@@ -79,8 +79,16 @@ type (
 	Engine = engine.Engine
 	// EngineSpec is a typed, deterministic, parallelizable job.
 	EngineSpec = engine.Spec
-	// EngineProgress reports completed/total tasks of a running job.
+	// EngineProgress reports completed/total tasks of a running job, plus
+	// the scheduler's running/queued counts as of the last completed task.
 	EngineProgress = engine.Progress
+	// Sizer is implemented by specs that can estimate per-task cost up
+	// front; the engine then dispatches their tasks longest-first, cutting
+	// tail latency on skewed workloads. Ordering never affects results.
+	Sizer = engine.Sizer
+	// EngineSchedStats snapshots the engine's shared dispatcher (workers,
+	// active jobs, queued/running tasks, steals); served from /healthz.
+	EngineSchedStats = engine.SchedStats
 	// EngineJob tracks an asynchronous engine run.
 	EngineJob = engine.Job
 	// EngineJobStatus is a point-in-time job snapshot.

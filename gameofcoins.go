@@ -30,8 +30,11 @@
 //	}, 11)
 //
 // The engine forks one deterministic rng stream per task index
-// (Rand.Fork), so results are bit-identical for any worker count; the same
-// guarantee makes the in-memory result cache of the HTTP service sound.
+// (Rand.Fork), so results are bit-identical for any worker count and any
+// scheduling order; the same guarantee makes the in-memory result cache of
+// the HTTP service sound. Scheduling is size-aware and fair: specs
+// implementing Sizer run longest-tasks-first, and concurrent jobs share the
+// worker pool evenly instead of queueing behind each other.
 // NewServer returns that service — the handler behind cmd/gocserve — with
 // POST /v1/games, POST /v1/jobs, GET /v1/jobs/{id}, GET
 // /v1/jobs/{id}/result, and DELETE /v1/jobs/{id} for cancellation.

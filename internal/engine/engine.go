@@ -14,16 +14,24 @@
 // The engine layers:
 //
 //	Spec     — a typed, deterministic job (LearnSweep, DesignSweep, …)
-//	Engine   — runs one Spec synchronously over a worker pool
+//	Engine   — runs Specs over a shared size-aware work-stealing dispatcher
 //	Manager  — asynchronous job submission, status, cancellation (gocserve)
+//
+// Scheduling is size-aware and fair: specs that implement Sizer have their
+// tasks ordered longest-processing-time-first (so a fat straggler starts
+// early instead of last), and concurrent Runs share the worker pool evenly —
+// each take goes to the active job with the fewest tasks in flight, so a
+// huge job submitted first cannot starve a small one submitted later. None
+// of this can perturb results: scheduling chooses *when* a task runs, never
+// what it computes.
 package engine
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
-	"sync/atomic"
 
 	"gameofcoins/internal/rng"
 )
@@ -56,29 +64,43 @@ type Validator interface{ Validate() error }
 const MaxTasksPerJob = 1 << 20
 
 // Progress reports how far a running job has advanced. Done counts finished
-// tasks; it is monotone but may be observed out of submission order.
+// tasks and is monotone per job (the dispatcher serializes publication).
+// Running and Queued expose the scheduler's view as of the last completed
+// task: tasks executing on workers and tasks still waiting in the job's
+// deque. They are omitted when zero, so terminal statuses stay compact.
 type Progress struct {
-	Done  int `json:"done"`
-	Total int `json:"total"`
+	Done    int `json:"done"`
+	Total   int `json:"total"`
+	Running int `json:"running,omitempty"`
+	Queued  int `json:"queued,omitempty"`
 }
 
-// Engine runs Specs over a fixed-size worker pool. The zero value is not
-// usable; construct with New. An Engine is safe for concurrent use, and the
-// worker cap is global: concurrent Runs on one Engine share the same token
-// pool, so a server running many jobs at once never executes more than
-// `workers` tasks simultaneously.
+// Engine runs Specs over a shared work-stealing dispatcher (sched.go): up to
+// `workers` worker goroutines — spawned on demand, retired when the engine
+// drains — pull tasks from per-job deques, fair-sharing the pool across
+// every concurrent Run. The zero value is not usable; construct with New.
+// An Engine is safe for concurrent use, and the worker cap is global: a
+// server running many jobs at once never executes more than `workers` tasks
+// simultaneously.
 type Engine struct {
 	workers int
-	sem     chan struct{}
+
+	mu        sync.Mutex
+	active    []*runJob // jobs with pending or in-flight tasks, submit order
+	rr        int       // rotating fair-share cursor over active
+	live      int       // worker goroutines currently running
+	steals    uint64    // cumulative cross-job takes
+	completed uint64    // cumulative finished tasks
 }
 
 // New returns an engine with the given worker count; workers <= 0 selects
-// GOMAXPROCS.
+// GOMAXPROCS. The engine spawns no goroutines until a job arrives and holds
+// none while idle.
 func New(workers int) *Engine {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	return &Engine{workers: workers, sem: make(chan struct{}, workers)}
+	return &Engine{workers: workers}
 }
 
 // Workers returns the configured worker count.
@@ -86,9 +108,13 @@ func (e *Engine) Workers() int { return e.workers }
 
 // Run executes spec synchronously and returns its aggregated result.
 // seed roots the deterministic stream tree: task i draws from
-// rng.New(seed).Fork(i), so the result is independent of worker count.
-// onProgress, if non-nil, is invoked after each completed task; it must be
-// safe for concurrent use (workers call it directly).
+// rng.New(seed).Fork(i), so the result is independent of worker count and
+// scheduling order. onProgress, if non-nil, is invoked after each completed
+// task; invocations are serialized per job and stop the moment the job
+// starts failing or is canceled, and every invocation happens before Run
+// returns. A canceled Run returns the first real task error if one caused
+// the failure, otherwise the cancellation wrapped as "engine: <kind>: …"
+// (errors.Is(err, context.Canceled) still holds).
 func (e *Engine) Run(ctx context.Context, spec Spec, seed uint64, onProgress func(Progress)) (any, error) {
 	if v, ok := spec.(Validator); ok {
 		if err := v.Validate(); err != nil {
@@ -105,76 +131,57 @@ func (e *Engine) Run(ctx context.Context, spec Spec, seed uint64, onProgress fun
 		// the job, not OOM the process.
 		return nil, fmt.Errorf("engine: %s spec reports %d tasks, cap is %d", spec.Kind(), n, MaxTasksPerJob)
 	}
+	// The ctx gate must precede the n == 0 early return: a zero-task spec
+	// under an already-canceled context is a canceled job, not a success.
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("engine: %s: %w", spec.Kind(), err)
+	}
 	if n == 0 {
 		return aggregate(spec, nil)
 	}
 
-	// Fork is a pure function of (parent state, index) and never mutates the
-	// parent, so workers fork lazily from the shared base: concurrent reads
-	// of immutable state, no per-task pre-allocation.
-	base := rng.New(seed)
-
 	cctx, cancel := context.WithCancel(ctx)
 	defer cancel()
-
-	results := make([]any, n)
-	var (
-		done     atomic.Int64
-		firstErr error
-		errOnce  sync.Once
-		wg       sync.WaitGroup
-	)
-	tasks := make(chan int)
-	workers := e.workers
-	if workers > n {
-		workers = n
+	j := &runJob{
+		spec:   spec,
+		n:      n,
+		ctx:    cctx,
+		cancel: cancel,
+		// Fork is a pure function of (parent state, index) and never mutates
+		// the parent, so workers fork lazily from the shared base: concurrent
+		// reads of immutable state, no per-task pre-allocation.
+		base:       rng.New(seed),
+		results:    make([]any, n),
+		onProgress: onProgress,
+		pending:    orderTasks(spec, n),
+		finished:   make(chan struct{}),
 	}
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range tasks {
-				// The token pool is Engine-wide: it bounds in-flight tasks
-				// across every concurrent Run sharing this Engine.
-				select {
-				case e.sem <- struct{}{}:
-				case <-cctx.Done():
-					return
-				}
-				out, err := runTask(cctx, spec, i, base.Fork(uint64(i)))
-				<-e.sem
-				if err != nil {
-					errOnce.Do(func() {
-						firstErr = fmt.Errorf("engine: %s task %d: %w", spec.Kind(), i, err)
-						cancel()
-					})
-					return
-				}
-				results[i] = out
-				if onProgress != nil {
-					onProgress(Progress{Done: int(done.Add(1)), Total: n})
-				}
-			}
-		}()
-	}
-feed:
-	for i := 0; i < n; i++ {
+	e.enqueue(j)
+	go func() {
 		select {
-		case tasks <- i:
 		case <-cctx.Done():
-			break feed
+			e.haltJob(j)
+		case <-j.finished:
 		}
-	}
-	close(tasks)
-	wg.Wait()
+	}()
+	<-j.finished
 
+	j.pmu.Lock()
+	firstErr := j.firstErr
+	j.pmu.Unlock()
+	// Prefer the task error that doomed the job over the cancellation it
+	// triggered — unless the "error" is itself the cancellation, in which
+	// case report the canceled ctx with the same engine/kind wrapping.
+	if firstErr != nil && !errors.Is(firstErr, context.Canceled) && !errors.Is(firstErr, context.DeadlineExceeded) {
+		return nil, firstErr
+	}
 	if err := ctx.Err(); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("engine: %s: %w", spec.Kind(), err)
 	}
 	if firstErr != nil {
 		return nil, firstErr
 	}
-	return aggregate(spec, results)
+	return aggregate(spec, j.results)
 }
 
 // runTask and aggregate convert spec panics into job errors: a bad spec
@@ -200,12 +207,15 @@ func aggregate(spec Spec, results []any) (out any, err error) {
 
 // Func adapts closures to Spec, for one-off jobs (the experiment suite uses
 // it to fan E1–E13 across workers). If Agg is nil the per-task results are
-// returned as a []any in task order.
+// returned as a []any in task order. If Cost is nil every task costs the
+// same, which keeps submission order (FIFO); set it to let the scheduler
+// order tasks longest-first.
 type Func struct {
 	Name string
 	N    int
 	Task func(ctx context.Context, i int, r *rng.Rand) (any, error)
 	Agg  func(results []any) (any, error)
+	Cost func(i int) float64
 }
 
 // Kind implements Spec.
@@ -230,4 +240,13 @@ func (f Func) Aggregate(results []any) (any, error) {
 		return results, nil
 	}
 	return f.Agg(results)
+}
+
+// TaskCost implements Sizer. With no Cost hook every task weighs the same
+// and the stable LPT sort degrades to index order.
+func (f Func) TaskCost(i int) float64 {
+	if f.Cost == nil {
+		return 1
+	}
+	return f.Cost(i)
 }

@@ -290,8 +290,8 @@ func TestTaskPanicBecomesJobError(t *testing.T) {
 }
 
 // TestConcurrentRunsShareWorkerCap: two Runs on a 1-worker engine interleave
-// on the shared token pool and both finish (no deadlock, no oversubscription
-// beyond the cap).
+// on the shared dispatcher and both finish (no deadlock, no oversubscription
+// beyond the worker cap).
 func TestConcurrentRunsShareWorkerCap(t *testing.T) {
 	eng := New(1)
 	var inFlight, maxInFlight atomic.Int64

@@ -47,8 +47,13 @@ type Job struct {
 	kind  string
 	total int
 
-	done   atomic.Int64
-	cancel context.CancelFunc
+	done atomic.Int64
+	// running and queued mirror the dispatcher's view as of the last
+	// completed task (see Progress); statusLocked zeroes them once the job
+	// is terminal.
+	running atomic.Int64
+	queued  atomic.Int64
+	cancel  context.CancelFunc
 
 	mu     sync.Mutex
 	state  State
@@ -77,6 +82,10 @@ func (j *Job) statusLocked() Status {
 		Kind:     j.kind,
 		State:    j.state,
 		Progress: Progress{Done: int(j.done.Load()), Total: j.total},
+	}
+	if !j.state.Terminal() {
+		st.Progress.Running = int(j.running.Load())
+		st.Progress.Queued = int(j.queued.Load())
 	}
 	if j.err != nil {
 		st.Error = j.err.Error()
@@ -282,14 +291,18 @@ func (m *Manager) submit(id string, spec Spec, seed uint64) (*Job, error) {
 		cancel()
 		return nil, err
 	}
+	// Until the first task completes, the whole job is queue: the scheduler
+	// snapshot starts at (running 0, queued n).
+	j.queued.Store(int64(n))
 	j.mu.Lock()
 	j.state = StateRunning
 	j.mu.Unlock()
 	go func() {
 		defer cancel()
 		res, err := m.eng.Run(jctx, spec, seed, func(p Progress) {
-			// CAS-max: callbacks race across workers, and a stale Store
-			// could make the published progress go backwards.
+			// CAS-max: the dispatcher serializes callbacks with strictly
+			// increasing Done, but the guard keeps a hypothetical stale
+			// publisher from making progress go backwards.
 			for {
 				old := j.done.Load()
 				if int64(p.Done) <= old {
@@ -299,12 +312,18 @@ func (m *Manager) submit(id string, spec Spec, seed uint64) (*Job, error) {
 					break
 				}
 			}
+			j.running.Store(int64(p.Running))
+			j.queued.Store(int64(p.Queued))
 			j.notifyWatchers()
 		})
 		j.finish(res, err, jctx.Err() != nil && errors.Is(err, context.Canceled))
 	}()
 	return j, nil
 }
+
+// Engine returns the engine the manager runs jobs on — the serving layer
+// reads its scheduler stats (Engine.Stats) into /healthz.
+func (m *Manager) Engine() *Engine { return m.eng }
 
 func (m *Manager) newJob(id, kind string, total int, cancel context.CancelFunc) (*Job, error) {
 	m.mu.Lock()

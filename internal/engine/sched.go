@@ -1,0 +1,289 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+
+	"gameofcoins/internal/rng"
+)
+
+// Sizer is implemented by specs that can estimate per-task cost up front.
+// When a spec implements it, the engine orders the job's tasks
+// longest-processing-time-first (LPT), so one fat straggler is started early
+// instead of being discovered last with every other worker already idle.
+// Costs are relative — only their ordering matters — and they must be pure
+// functions of the task index and the spec's immutable fields. Task ordering
+// cannot influence results (results land by task index, rng streams fork per
+// index), so a wrong estimate costs tail latency, never correctness.
+type Sizer interface {
+	// TaskCost estimates the relative cost of task i. Ties keep submission
+	// (index) order, so a uniform estimate degrades to FIFO.
+	TaskCost(i int) float64
+}
+
+// runJob is one Run's scheduling state on the engine's shared dispatcher:
+// a deque of LPT-ordered pending task indices workers pull from, plus the
+// completion bookkeeping that decides when the job is finished.
+type runJob struct {
+	spec       Spec
+	n          int
+	ctx        context.Context
+	cancel     context.CancelFunc
+	base       *rng.Rand
+	results    []any
+	onProgress func(Progress)
+
+	// Guarded by the engine mutex.
+	pending  []int // task indices, most expensive first; popped from the front
+	inFlight int   // tasks taken by workers and not yet returned
+	removed  bool  // off the active list; finished is closed exactly once
+
+	// Guarded by pmu, which serializes completion publication: firstErr is
+	// recorded once, and onProgress is only ever invoked under pmu with
+	// halted false — so the instant a job starts failing (or is canceled),
+	// progress publication stops, and SSE watchers can never observe a
+	// doomed job advancing.
+	pmu      sync.Mutex
+	halted   bool // failing or canceled: suppress results and progress
+	firstErr error
+	done     int
+
+	finished chan struct{}
+}
+
+// SchedStats is a point-in-time snapshot of the engine's shared dispatcher,
+// exposed through gocserve's /healthz so queue pressure and cross-job
+// migration are observable without submitting anything.
+type SchedStats struct {
+	// Workers is the configured worker cap (the fair-share denominator).
+	Workers int `json:"workers"`
+	// ActiveJobs counts jobs with pending or in-flight tasks.
+	ActiveJobs int `json:"active_jobs"`
+	// QueuedTasks counts tasks waiting in per-job deques.
+	QueuedTasks int `json:"queued_tasks"`
+	// RunningTasks counts tasks currently executing on workers.
+	RunningTasks int `json:"running_tasks"`
+	// Steals counts cross-job takes: a worker whose previous job had no
+	// pending work (or more than its fair share) pulling from another live
+	// job's deque. High steal rates mean heterogeneous jobs are being
+	// rebalanced, which is the scheduler doing its work, not a problem.
+	Steals uint64 `json:"steals"`
+	// CompletedTasks counts tasks finished and published to their job since
+	// the engine was built; errored tasks and completions discarded after a
+	// job halts are excluded, so the counter always equals the sum of
+	// progress every job ever reported.
+	CompletedTasks uint64 `json:"completed_tasks"`
+}
+
+// Stats snapshots the dispatcher.
+func (e *Engine) Stats() SchedStats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	st := SchedStats{
+		Workers:        e.workers,
+		ActiveJobs:     len(e.active),
+		Steals:         e.steals,
+		CompletedTasks: e.completed,
+	}
+	for _, j := range e.active {
+		st.QueuedTasks += len(j.pending)
+		st.RunningTasks += j.inFlight
+	}
+	return st
+}
+
+// orderTasks builds a job's initial deque: LPT order when the spec can size
+// its tasks, submission (index) order otherwise. The sort is stable, so
+// cost ties — including the all-equal costs of a uniform sweep — preserve
+// index order exactly.
+func orderTasks(spec Spec, n int) []int {
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sz, ok := spec.(Sizer)
+	if !ok {
+		return idx
+	}
+	costs := make([]float64, n)
+	uniform := true
+	for i := range costs {
+		costs[i] = sz.TaskCost(i)
+		if costs[i] != costs[0] {
+			uniform = false
+		}
+	}
+	if uniform {
+		// All-equal costs — the common case (Func without a Cost hook, the
+		// flat-within-a-sweep built-ins) — can only sort back to index
+		// order; skip the O(n log n) shuffle a million-task job would pay.
+		return idx
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return costs[idx[a]] > costs[idx[b]] })
+	return idx
+}
+
+// enqueue publishes a job to the dispatcher and tops up the worker pool.
+// Workers are spawned on demand and exit when the engine drains, so an idle
+// Engine holds no goroutines — construction stays free and nothing leaks.
+func (e *Engine) enqueue(j *runJob) {
+	e.mu.Lock()
+	e.active = append(e.active, j)
+	for spawn := len(j.pending); e.live < e.workers && spawn > 0; spawn-- {
+		e.live++
+		go e.worker()
+	}
+	e.mu.Unlock()
+}
+
+// worker is one persistent scheduling loop: take a task under the fair-share
+// policy, execute it, repeat; exit when no job anywhere has pending work.
+func (e *Engine) worker() {
+	var last *runJob
+	for {
+		j, task, ok := e.take(&last)
+		if !ok {
+			return
+		}
+		e.execute(j, task)
+	}
+}
+
+// take picks the next (job, task) under the engine's fair-share policy:
+// among jobs with pending work, the one with the fewest tasks already in
+// flight wins, so concurrent jobs split the worker pool evenly instead of
+// the first-submitted job monopolizing it. Ties prefer the worker's previous
+// job (cheap affinity), then round-robin from a rotating cursor so equal
+// jobs alternate. A take from a different still-live job counts as a steal.
+// Within the chosen job, tasks pop from the front of the LPT deque.
+//
+// take also owns worker retirement: when nothing is pending anywhere it
+// decrements the live count and reports false in the same critical section
+// enqueue spawns under, so a job submitted while workers wind down always
+// sees an accurate pool and tops it back up.
+func (e *Engine) take(lastp **runJob) (*runJob, int, bool) {
+	last := *lastp
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	var best *runJob
+	bestIdx := -1
+	if n := len(e.active); n > 0 {
+		start := e.rr % n
+		for k := 0; k < n; k++ {
+			idx := (start + k) % n
+			j := e.active[idx]
+			if len(j.pending) == 0 {
+				continue
+			}
+			switch {
+			case best == nil,
+				j.inFlight < best.inFlight,
+				j.inFlight == best.inFlight && j == last && best != last:
+				best, bestIdx = j, idx
+			}
+		}
+	}
+	if best == nil {
+		e.live--
+		return nil, 0, false
+	}
+	if last != nil && best != last && !last.removed {
+		e.steals++
+	}
+	e.rr = bestIdx + 1
+	task := best.pending[0]
+	best.pending = best.pending[1:]
+	best.inFlight++
+	*lastp = best
+	return best, task, true
+}
+
+// execute runs one task and publishes its completion. Publication order is
+// load-bearing: the progress callback fires before this worker's in-flight
+// decrement, so a job can only be declared finished — and Run return — after
+// every completed task's progress has been delivered.
+func (e *Engine) execute(j *runJob, task int) {
+	out, err := runTask(j.ctx, j.spec, task, j.base.Fork(uint64(task)))
+
+	published := false
+	j.pmu.Lock()
+	if err != nil {
+		j.halted = true
+		if j.firstErr == nil {
+			j.firstErr = fmt.Errorf("engine: %s task %d: %w", j.spec.Kind(), task, err)
+		}
+	} else if !j.halted {
+		published = true
+		j.results[task] = out
+		j.done++
+		if j.onProgress != nil {
+			// Snapshot queue depth inside the publication critical section,
+			// so serialized callbacks carry consistent triples: Done only
+			// rises and Queued only falls across them (pending never
+			// refills). Acquiring e.mu under pmu is safe — no path locks
+			// pmu while holding e.mu. inFlight still counts this task, so
+			// exclude it: its work is done.
+			e.mu.Lock()
+			queued := len(j.pending)
+			running := j.inFlight - 1
+			e.mu.Unlock()
+			j.onProgress(Progress{Done: j.done, Total: j.n, Queued: queued, Running: running})
+		}
+	}
+	j.pmu.Unlock()
+
+	e.mu.Lock()
+	if err != nil {
+		// The job is failing: drop its queue here, synchronously, so no
+		// worker starts another of its doomed tasks while the cancellation
+		// below propagates.
+		j.pending = nil
+	}
+	j.inFlight--
+	if published {
+		e.completed++
+	}
+	finished := e.finishIfIdleLocked(j)
+	e.mu.Unlock()
+	if err != nil {
+		j.cancel()
+	}
+	if finished {
+		close(j.finished)
+	}
+}
+
+// haltJob is the cancellation path: suppress further publication, drop the
+// pending queue, and finish the job if no task is in flight (in-flight tasks
+// observe the canceled ctx and drain through execute as usual).
+func (e *Engine) haltJob(j *runJob) {
+	j.pmu.Lock()
+	j.halted = true
+	j.pmu.Unlock()
+	e.mu.Lock()
+	j.pending = nil
+	finished := e.finishIfIdleLocked(j)
+	e.mu.Unlock()
+	if finished {
+		close(j.finished)
+	}
+}
+
+// finishIfIdleLocked retires a drained job from the active list. It reports
+// true exactly once per job — the caller that got true closes j.finished.
+// Callers must hold e.mu.
+func (e *Engine) finishIfIdleLocked(j *runJob) bool {
+	if j.removed || len(j.pending) > 0 || j.inFlight > 0 {
+		return false
+	}
+	j.removed = true
+	for i, a := range e.active {
+		if a == j {
+			e.active = append(e.active[:i], e.active[i+1:]...)
+			break
+		}
+	}
+	return true
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 
 	"gameofcoins/internal/core"
 	"gameofcoins/internal/design"
@@ -142,6 +143,37 @@ func (s LearnSweep) schedulerForTask(i int) (learning.Scheduler, error) {
 	return learning.AllSchedulers()[idx], nil
 }
 
+// TaskCost implements Sizer: a coarse relative prior — proportional to the
+// game's miner×coin dimensions, doubled for the blind "random" scheduler,
+// whose walks take more steps to converge than the gain-guided ones (the E8
+// series measures exactly this spread). Only the ordering matters: a wrong
+// estimate costs tail latency, never correctness.
+func (s LearnSweep) TaskCost(i int) float64 {
+	m, c := s.Gen.Miners, s.Gen.Coins
+	if s.Game != nil {
+		m, c = s.Game.NumMiners(), s.Game.NumCoins()
+	}
+	cost := float64(m * c)
+	if cost <= 0 {
+		cost = 1
+	}
+	// Resolve task i's scheduler without rebuilding the full default list
+	// per call: TaskCost runs once per task at enqueue, and a sweep can fan
+	// out to a million tasks.
+	if s.Runs > 0 {
+		idx := i / s.Runs
+		switch {
+		case len(s.Schedulers) > 0:
+			if idx < len(s.Schedulers) && s.Schedulers[idx] == "random" {
+				cost *= 2
+			}
+		case idx == 1: // AllSchedulers order: round-robin, random, …
+			cost *= 2
+		}
+	}
+	return cost
+}
+
 // RunTask implements Spec.
 func (s LearnSweep) RunTask(ctx context.Context, i int, r *rng.Rand) (any, error) {
 	if err := ctx.Err(); err != nil {
@@ -216,6 +248,31 @@ func (s DesignSweep) Kind() string { return "design_sweep" }
 
 // Tasks implements Spec.
 func (s DesignSweep) Tasks() int { return s.Pairs }
+
+// TaskCost implements Sizer. Each task repeatedly enumerates equilibria of
+// drawn games (up to MaxTries draws), and enumeration is exponential in game
+// size, so the estimate is draws × enumeration cost. Every task of one sweep
+// shares it — the true per-pair spread comes from random draws no prior can
+// see — so dispatch within a sweep stays in index order (the stable sort)
+// and the value is today a published size signal, not an ordering one: it
+// feeds the ROADMAP follow-ups (cost-weighted fair share, observed-latency
+// feedback) rather than changing current scheduling.
+func (s DesignSweep) TaskCost(int) float64 {
+	tries := s.MaxTries
+	if tries <= 0 {
+		tries = 500
+	}
+	return float64(tries) * enumCost(s.Gen)
+}
+
+// enumCost estimates the cost of enumerating one random game's equilibria:
+// the configuration space is coins^miners.
+func enumCost(gen core.GenSpec) float64 {
+	if gen.Miners <= 0 || gen.Coins <= 0 {
+		return 1
+	}
+	return math.Pow(float64(gen.Coins), float64(gen.Miners))
+}
 
 // Validate implements Validator.
 func (s DesignSweep) Validate() error {
@@ -354,6 +411,17 @@ func (s ReplaySweep) Kind() string { return "replay_sweep" }
 // Tasks implements Spec.
 func (s ReplaySweep) Tasks() int { return s.Runs }
 
+// TaskCost implements Sizer: every run replays the same scenario, so cost is
+// flat within a sweep — fleet size × simulated epochs, the knobs the replay
+// loop scales with. Like DesignSweep's, a size signal, not a reordering.
+func (s ReplaySweep) TaskCost(int) float64 {
+	cost := float64(s.Params.Miners) * float64(s.Params.Epochs)
+	if cost <= 0 {
+		return 1
+	}
+	return cost
+}
+
 // Validate implements Validator.
 func (s ReplaySweep) Validate() error {
 	if s.Runs <= 0 {
@@ -435,6 +503,11 @@ func (s EquilibriumSweep) Kind() string { return "equilibrium_sweep" }
 
 // Tasks implements Spec.
 func (s EquilibriumSweep) Tasks() int { return s.Games }
+
+// TaskCost implements Sizer: one enumeration per task, exponential in game
+// size (see enumCost). Flat within a sweep — a size signal for cross-job
+// policies, not a reordering (see DesignSweep.TaskCost).
+func (s EquilibriumSweep) TaskCost(int) float64 { return enumCost(s.Gen) }
 
 // Validate implements Validator.
 func (s EquilibriumSweep) Validate() error {

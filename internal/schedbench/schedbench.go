@@ -1,0 +1,228 @@
+// Package schedbench is the engine scheduler's tail-latency benchmark: a
+// skewed-cost sweep — many cheap tasks plus one fat straggler arriving last,
+// the adversarial shape ISSUE'd straight from the Game-of-Coins sweeps,
+// where one DesignSweep pair can cost orders of magnitude more than another
+// — run twice on fresh engines, once in FIFO submission order (the spec
+// hides its costs) and once size-aware (the spec implements engine.Sizer, so
+// the dispatcher orders longest-processing-time-first). It reports makespan
+// and per-task completion-latency percentiles for both, plus a concurrent
+// long+short phase measuring cross-job fair share and the dispatcher's steal
+// count.
+//
+// Task costs are wall-clock sleeps, not CPU burns: scheduling quality is a
+// function of *when* tasks start, so sleeping makes the measured ratios
+// hardware-independent and CI-stable. cmd/gocbench -sched emits the report
+// as JSON (scripts/bench.sh writes it to BENCH_sched.json), and the root
+// BenchmarkSchedTailLatency surfaces the same numbers under `go test
+// -bench`.
+package schedbench
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"gameofcoins/internal/engine"
+	"gameofcoins/internal/rng"
+)
+
+// Options size the benchmark. The zero value selects the defaults noted per
+// field.
+type Options struct {
+	// Workers is the engine worker count (default 8 — the acceptance
+	// configuration).
+	Workers int
+	// SmallTasks is the number of cheap tasks (default 63).
+	SmallTasks int
+	// Small and Large are the cheap/fat task durations before scaling
+	// (defaults 10ms and 90ms: the fat task equals the cheap work one
+	// worker-slot short of the pool, the shape where LPT's win is largest).
+	Small, Large time.Duration
+	// Scale multiplies every task duration (default 1; tests shrink it).
+	Scale float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Workers <= 0 {
+		o.Workers = 8
+	}
+	if o.SmallTasks <= 0 {
+		o.SmallTasks = 63
+	}
+	if o.Small <= 0 {
+		o.Small = 10 * time.Millisecond
+	}
+	if o.Large <= 0 {
+		o.Large = 90 * time.Millisecond
+	}
+	if o.Scale <= 0 {
+		o.Scale = 1
+	}
+	return o
+}
+
+// VariantStats are one scheduling policy's measurements over the skewed
+// sweep: total makespan and per-task completion latency percentiles (time
+// from job start to each task's completion — the tail is what a progress
+// watcher experiences).
+type VariantStats struct {
+	MakespanMS float64 `json:"makespan_ms"`
+	P50TaskMS  float64 `json:"p50_task_ms"`
+	P99TaskMS  float64 `json:"p99_task_ms"`
+}
+
+// FairShareStats measure the concurrent-jobs phase: a long job is submitted
+// first, a short job once the long one is running. Under fair share the
+// short job's wall clock stays near its own work; under FIFO feeding it
+// would have inherited the long job's.
+type FairShareStats struct {
+	ShortJobMS float64 `json:"short_job_ms"`
+	LongJobMS  float64 `json:"long_job_ms"`
+}
+
+// Report is the benchmark's JSON document.
+type Report struct {
+	Workers   int            `json:"workers"`
+	Tasks     int            `json:"tasks"`
+	FIFO      VariantStats   `json:"fifo"`
+	LPT       VariantStats   `json:"lpt"`
+	Speedup   float64        `json:"speedup"` // FIFO makespan / LPT makespan
+	Steals    uint64         `json:"steals"`  // from the fair-share phase
+	FairShare FairShareStats `json:"fair_share"`
+}
+
+func (r Report) String() string {
+	return fmt.Sprintf(
+		"sched: %d workers, %d tasks: makespan fifo=%.1fms lpt=%.1fms (%.2fx), p99 fifo=%.1fms lpt=%.1fms; fair share: short=%.1fms long=%.1fms, %d steals",
+		r.Workers, r.Tasks, r.FIFO.MakespanMS, r.LPT.MakespanMS, r.Speedup,
+		r.FIFO.P99TaskMS, r.LPT.P99TaskMS,
+		r.FairShare.ShortJobMS, r.FairShare.LongJobMS, r.Steals)
+}
+
+// sleepSpec is the skewed sweep: task i sleeps costs[i] and records its
+// completion offset. It deliberately hides its costs from the engine —
+// the FIFO baseline. It bends the Spec purity contract (tasks record
+// timestamps) the way a benchmark harness may: each index is written once.
+type sleepSpec struct {
+	name  string
+	costs []time.Duration
+	done  []time.Duration
+	start time.Time
+}
+
+func (s *sleepSpec) Kind() string { return s.name }
+func (s *sleepSpec) Tasks() int   { return len(s.costs) }
+func (s *sleepSpec) RunTask(ctx context.Context, i int, _ *rng.Rand) (any, error) {
+	t := time.NewTimer(s.costs[i])
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	case <-t.C:
+	}
+	s.done[i] = time.Since(s.start)
+	return i, nil
+}
+func (s *sleepSpec) Aggregate(results []any) (any, error) { return len(results), nil }
+
+// sizedSleepSpec is the same sweep with its costs exposed: the dispatcher
+// orders it longest-processing-time-first.
+type sizedSleepSpec struct{ *sleepSpec }
+
+func (s sizedSleepSpec) TaskCost(i int) float64 { return float64(s.costs[i]) }
+
+var _ engine.Sizer = sizedSleepSpec{}
+
+// skewedCosts builds the adversarial arrival order: SmallTasks cheap tasks
+// followed by one fat straggler at the highest index — exactly the job shape
+// where FIFO feeding leaves the whole pool idling behind one task.
+func skewedCosts(o Options) []time.Duration {
+	costs := make([]time.Duration, o.SmallTasks+1)
+	for i := 0; i < o.SmallTasks; i++ {
+		costs[i] = time.Duration(float64(o.Small) * o.Scale)
+	}
+	costs[o.SmallTasks] = time.Duration(float64(o.Large) * o.Scale)
+	return costs
+}
+
+func runVariant(workers int, spec *sleepSpec, sized bool) (VariantStats, error) {
+	eng := engine.New(workers)
+	spec.start = time.Now()
+	var toRun engine.Spec = spec
+	if sized {
+		toRun = sizedSleepSpec{spec}
+	}
+	if _, err := eng.Run(context.Background(), toRun, 1, nil); err != nil {
+		return VariantStats{}, err
+	}
+	makespan := time.Since(spec.start)
+	lat := append([]time.Duration(nil), spec.done...)
+	sort.Slice(lat, func(a, b int) bool { return lat[a] < lat[b] })
+	// Percentile ranks round up, so p99 of 64 tasks is the slowest task —
+	// the straggler whose completion time is the whole tail story.
+	pct := func(p float64) float64 {
+		i := int(math.Ceil(p * float64(len(lat)-1)))
+		return float64(lat[i]) / float64(time.Millisecond)
+	}
+	return VariantStats{
+		MakespanMS: float64(makespan) / float64(time.Millisecond),
+		P50TaskMS:  pct(0.50),
+		P99TaskMS:  pct(0.99),
+	}, nil
+}
+
+// Run executes the benchmark and returns its report.
+func Run(opts Options) (Report, error) {
+	o := opts.withDefaults()
+	costs := skewedCosts(o)
+	rep := Report{Workers: o.Workers, Tasks: len(costs)}
+
+	fifo := &sleepSpec{name: "sched_fifo", costs: costs, done: make([]time.Duration, len(costs))}
+	var err error
+	if rep.FIFO, err = runVariant(o.Workers, fifo, false); err != nil {
+		return rep, err
+	}
+	lpt := &sleepSpec{name: "sched_lpt", costs: costs, done: make([]time.Duration, len(costs))}
+	if rep.LPT, err = runVariant(o.Workers, lpt, true); err != nil {
+		return rep, err
+	}
+	if rep.LPT.MakespanMS > 0 {
+		rep.Speedup = rep.FIFO.MakespanMS / rep.LPT.MakespanMS
+	}
+
+	// Fair-share phase: a long uniform job first, a short one once the long
+	// job occupies the pool. Both on one engine, so the dispatcher must
+	// split the workers and finishing workers steal across jobs.
+	eng := engine.New(o.Workers)
+	longCosts := make([]time.Duration, 4*o.Workers)
+	for i := range longCosts {
+		longCosts[i] = time.Duration(float64(o.Small) * o.Scale)
+	}
+	long := &sleepSpec{name: "sched_long", costs: longCosts, done: make([]time.Duration, len(longCosts))}
+	shortCosts := make([]time.Duration, o.Workers/2+1)
+	for i := range shortCosts {
+		shortCosts[i] = time.Duration(float64(o.Small) * o.Scale / 2)
+	}
+	shortSpec := &sleepSpec{name: "sched_short", costs: shortCosts, done: make([]time.Duration, len(shortCosts))}
+	longErr := make(chan error, 1)
+	long.start = time.Now()
+	go func() {
+		_, err := eng.Run(context.Background(), sizedSleepSpec{long}, 1, nil)
+		longErr <- err
+	}()
+	// Let the long job sink into the pool before the short job arrives.
+	time.Sleep(time.Duration(float64(o.Small) * o.Scale / 2))
+	shortStart := time.Now()
+	if _, err := eng.Run(context.Background(), sizedSleepSpec{shortSpec}, 1, nil); err != nil {
+		return rep, err
+	}
+	rep.FairShare.ShortJobMS = float64(time.Since(shortStart)) / float64(time.Millisecond)
+	if err := <-longErr; err != nil {
+		return rep, err
+	}
+	rep.FairShare.LongJobMS = float64(time.Since(long.start)) / float64(time.Millisecond)
+	rep.Steals = eng.Stats().Steals
+	return rep, nil
+}

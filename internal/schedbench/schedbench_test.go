@@ -1,0 +1,34 @@
+package schedbench
+
+import "testing"
+
+// TestRunShape runs a scaled-down benchmark and checks the report is
+// internally coherent; the full-scale ≥1.3× acceptance number is recorded by
+// scripts/bench.sh into BENCH_sched.json, not asserted here (CI machines
+// under load shouldn't fail the suite on a timing ratio).
+func TestRunShape(t *testing.T) {
+	rep, err := Run(Options{Scale: 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Workers != 8 || rep.Tasks != 64 {
+		t.Fatalf("report sized wrong: %+v", rep)
+	}
+	for _, v := range []VariantStats{rep.FIFO, rep.LPT} {
+		if v.MakespanMS <= 0 || v.P50TaskMS <= 0 || v.P99TaskMS < v.P50TaskMS || v.MakespanMS < v.P99TaskMS {
+			t.Fatalf("incoherent variant stats: %+v", v)
+		}
+	}
+	if rep.Speedup <= 1 {
+		t.Fatalf("LPT no faster than FIFO on the skewed sweep: %+v", rep)
+	}
+	if rep.FairShare.ShortJobMS <= 0 || rep.FairShare.LongJobMS <= rep.FairShare.ShortJobMS {
+		t.Fatalf("fair-share phase incoherent: %+v", rep.FairShare)
+	}
+	if rep.Steals == 0 {
+		t.Fatal("concurrent phase recorded no steals")
+	}
+	if rep.String() == "" {
+		t.Fatal("empty summary")
+	}
+}

@@ -1,0 +1,86 @@
+package server
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"gameofcoins/internal/engine"
+	"gameofcoins/internal/replay"
+)
+
+// TestHealthzReportsEngineStats: the liveness probe carries the engine's
+// scheduler snapshot, so queue pressure is observable without enumerating
+// jobs.
+func TestHealthzReportsEngineStats(t *testing.T) {
+	s := New(3)
+	ts := httptest.NewServer(s)
+	t.Cleanup(func() { ts.Close(); s.Close() })
+	var body struct {
+		Status string            `json:"status"`
+		Engine engine.SchedStats `json:"engine"`
+	}
+	doJSON(t, http.MethodGet, ts.URL+"/healthz", nil, http.StatusOK, &body)
+	if body.Status != "ok" || body.Engine.Workers != 3 {
+		t.Fatalf("healthz = %+v, want status ok with 3 engine workers", body)
+	}
+	if body.Engine.ActiveJobs != 0 || body.Engine.QueuedTasks != 0 {
+		t.Fatalf("idle server reports scheduler load: %+v", body.Engine)
+	}
+}
+
+// TestV2StatusCarriesQueueCounts: a running job's v2 status exposes the
+// scheduler's per-job view — tasks still queued (and, after completions
+// start, tasks running) — and a terminal status drops both back to zero.
+func TestV2StatusCarriesQueueCounts(t *testing.T) {
+	s := New(1) // one worker: the queue is always the remainder
+	ts := httptest.NewServer(s)
+	t.Cleanup(func() { ts.Close(); s.Close() })
+
+	env, err := engine.CanonicalSpecJSON(engine.ReplaySweep{
+		Runs:   300,
+		Params: replay.ScenarioParams{Miners: 30, Epochs: 24 * 10, SpikeHour: 24 * 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var jh JobHandle
+	doJSON(t, http.MethodPost, ts.URL+"/v2/jobs",
+		map[string]any{"kind": "replay_sweep", "seed": 5, "spec": env},
+		http.StatusCreated, &jh)
+	// The submit snapshot is taken before the worker can drain a 300-task
+	// queue: the whole job reads as queued.
+	if !jh.State.Terminal() && jh.Progress.Queued == 0 {
+		t.Fatalf("submit snapshot exposes no queue: %+v", jh.Progress)
+	}
+
+	sawQueued := false
+	deadline := time.Now().Add(60 * time.Second)
+	var st JobHandle
+	for time.Now().Before(deadline) {
+		// Decode into a fresh struct each poll: queued/running are omitempty,
+		// so a reused target would carry stale counts into later snapshots.
+		st = JobHandle{}
+		doJSON(t, http.MethodGet, ts.URL+"/v2/jobs/"+jh.Handle, nil, http.StatusOK, &st)
+		if st.State.Terminal() {
+			break
+		}
+		if st.Progress.Queued > 0 {
+			sawQueued = true
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if !st.State.Terminal() {
+		t.Fatal("job never finished")
+	}
+	if !sawQueued {
+		t.Fatal("no running snapshot exposed a queued count")
+	}
+	if st.State != engine.StateDone || st.Progress.Done != 300 {
+		t.Fatalf("terminal status = %+v", st.Status)
+	}
+	if st.Progress.Queued != 0 || st.Progress.Running != 0 {
+		t.Fatalf("terminal status still reports scheduler load: %+v", st.Progress)
+	}
+}

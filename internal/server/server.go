@@ -22,9 +22,16 @@
 // handles reference-count shared jobs).
 //
 //	GET    /healthz             liveness probe: build info (server version,
-//	                            Go runtime) and the catalog fingerprint —
+//	                            Go runtime), the catalog fingerprint —
 //	                            replicas serving different spec surfaces are
-//	                            distinguishable at a glance
+//	                            distinguishable at a glance — and the engine
+//	                            scheduler snapshot (workers, active jobs,
+//	                            queued/running tasks, steal count)
+//
+// Job statuses (v1 and v2) carry the scheduler's per-job view in "progress":
+// alongside done/total, "running" counts the job's tasks executing on
+// workers and "queued" its tasks still waiting in the run queue, as of the
+// job's last completed task.
 //
 // The v2 API is the self-describing envelope form: a job arrives as
 // {"kind": ..., "seed": ..., "spec": {...}} and is resolved purely through
@@ -936,10 +943,13 @@ func (s *Server) handleSpecEntry(w http.ResponseWriter, r *http.Request) {
 	writeError(w, http.StatusNotFound, fmt.Errorf("unknown spec %q", wire))
 }
 
-// handleHealthz is the liveness probe, extended with build identity: the
+// handleHealthz is the liveness probe, extended with build identity — the
 // server version, the Go runtime, and the catalog fingerprint (hash of the
-// registered kinds@versions) — so replica drift in the accepted wire
-// surface is observable without submitting anything.
+// registered kinds@versions), so replica drift in the accepted wire surface
+// is observable without submitting anything — and with the engine's
+// scheduler snapshot (worker cap, active jobs, queued/running task counts,
+// cumulative steals), so queue pressure is observable without enumerating
+// jobs.
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":              "ok",
@@ -947,6 +957,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 		"go":                  runtime.Version(),
 		"catalog_fingerprint": engine.CatalogFingerprint(),
 		"kinds":               len(engine.SpecKinds()),
+		"engine":              s.manager.Engine().Stats(),
 	})
 }
 

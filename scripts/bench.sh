@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# bench.sh — record the engine scheduler's perf trajectory.
+#
+# Runs the skewed-cost tail-latency benchmark (gocbench -sched, see
+# internal/schedbench) and writes BENCH_sched.json at the repo root:
+# makespan + p50/p99 task latency for FIFO vs size-aware (LPT) dispatch, the
+# FIFO/LPT speedup, and the fair-share phase's steal count. CI runs it
+# non-gating so every PR leaves a comparable datapoint.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${1:-BENCH_sched.json}"
+go run ./cmd/gocbench -sched "$OUT"
+echo "wrote $OUT:"
+cat "$OUT"
