@@ -26,6 +26,15 @@
 // wire surface; SubmitBatch sends up to server.MaxBatchJobs envelopes in one
 // round-trip and returns per-item handles or per-item errors.
 //
+// The fingerprint is also a submission guard: client.WithFingerprint(fp)
+// pins every request to a captured catalog, and a server whose spec surface
+// has drifted refuses pinned submissions with 409. Nothing else changes
+// client-side when the server runs a distributed fleet — remote gocworker
+// processes (started with `gocworker -coordinator URL`) make jobs finish
+// faster, and determinism keeps the result bytes identical to a
+// single-machine run, so handles, caching, and Watch behave exactly as
+// documented here.
+//
 // Handles reference-count the server-side job: identical submissions from
 // several clients share one computation, and Release drops only the caller's
 // interest — the job is canceled only when its last handle is released.
@@ -61,6 +70,7 @@ import (
 type Client struct {
 	base string
 	hc   *http.Client
+	fp   string
 }
 
 // Option configures a Client.
@@ -71,6 +81,16 @@ type Option func(*Client)
 // long-lived Watch streams (no client-side timeout).
 func WithHTTPClient(hc *http.Client) Option {
 	return func(c *Client) { c.hc = hc }
+}
+
+// WithFingerprint pins every request to a catalog fingerprint (as returned
+// by Catalog). A server whose spec surface has drifted — upgraded in place,
+// or a different replica behind the same address — refuses pinned
+// submissions with 409 instead of resolving kinds against a catalog the
+// client never saw. Workers joining the fleet (gocworker) make the same
+// assertion automatically.
+func WithFingerprint(fp string) Option {
+	return func(c *Client) { c.fp = fp }
 }
 
 // New returns a client for the gocserve instance at baseURL
@@ -108,6 +128,9 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 		return err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if c.fp != "" {
+		req.Header.Set(server.FingerprintHeader, c.fp)
+	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return err

@@ -13,10 +13,18 @@
 // p50/p99 task latency, speedup, steal count) to FILE ("-" for stdout).
 // scripts/bench.sh uses it to emit BENCH_sched.json.
 //
+// With -dist FILE it runs the distributed-execution benchmark instead
+// (internal/distbench): one sweep on a starved local pool alone, the same
+// sweep on that pool plus an in-process remote-worker fleet behind the lease
+// coordinator, reporting both makespans, the speedup, and whether the
+// distributed result stayed byte-identical. scripts/bench.sh uses it to emit
+// BENCH_dist.json.
+//
 // Usage:
 //
 //	gocbench [-seed N] [-run E1,E4,...] [-parallel N]
 //	gocbench -sched BENCH_sched.json [-sched-scale F]
+//	gocbench -dist BENCH_dist.json [-dist-scale F]
 package main
 
 import (
@@ -29,6 +37,7 @@ import (
 	"runtime"
 	"strings"
 
+	"gameofcoins/internal/distbench"
 	"gameofcoins/internal/experiments"
 	"gameofcoins/internal/schedbench"
 )
@@ -48,11 +57,16 @@ func run(w io.Writer, args []string) error {
 		fmt.Sprintf("worker count for the experiment engine; 0 runs sequentially, -1 uses all %d cores", runtime.GOMAXPROCS(0)))
 	sched := fs.String("sched", "", "run the scheduler tail-latency benchmark and write its JSON report to this file ('-' = stdout) instead of the experiment suite")
 	schedScale := fs.Float64("sched-scale", 1, "scale factor for the scheduler benchmark's task durations")
+	distOut := fs.String("dist", "", "run the distributed-execution benchmark and write its JSON report to this file ('-' = stdout) instead of the experiment suite")
+	distScale := fs.Float64("dist-scale", 1, "scale factor for the distributed benchmark's task durations")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *sched != "" {
 		return runSched(w, *sched, *schedScale)
+	}
+	if *distOut != "" {
+		return runDist(w, *distOut, *distScale)
 	}
 	want := map[string]bool{}
 	if *only != "" {
@@ -93,6 +107,19 @@ func runSched(w io.Writer, path string, scale float64) error {
 	if err != nil {
 		return fmt.Errorf("sched benchmark: %w", err)
 	}
+	return writeReport(w, path, rep, rep.String())
+}
+
+// runDist runs the distributed-execution benchmark, same output contract.
+func runDist(w io.Writer, path string, scale float64) error {
+	rep, err := distbench.Run(distbench.Options{Scale: scale})
+	if err != nil {
+		return fmt.Errorf("dist benchmark: %w", err)
+	}
+	return writeReport(w, path, rep, rep.String())
+}
+
+func writeReport(w io.Writer, path string, rep any, summary string) error {
 	b, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		return err
@@ -105,6 +132,6 @@ func runSched(w io.Writer, path string, scale float64) error {
 	if err := os.WriteFile(path, b, 0o644); err != nil {
 		return err
 	}
-	fmt.Fprintln(w, rep.String())
+	fmt.Fprintln(w, summary)
 	return nil
 }

@@ -63,6 +63,7 @@ import (
 	"syscall"
 	"time"
 
+	"gameofcoins/internal/dist"
 	"gameofcoins/internal/engine"
 	"gameofcoins/internal/server"
 	"gameofcoins/internal/store"
@@ -84,6 +85,9 @@ func run(ctx context.Context, args []string) error {
 	grace := fs.Duration("grace", 10*time.Second, "shutdown grace period")
 	dataDir := fs.String("data", "", "persist games, jobs, and results to this directory (empty = in-memory only)")
 	failInterrupted := fs.Bool("fail-interrupted", false, "on restart, mark jobs that were mid-run as failed instead of resubmitting them")
+	leaseTTL := fs.Duration("lease-ttl", dist.DefaultLeaseTTL, "how long a remote worker may go silent before its leased tasks are requeued")
+	leaseTasks := fs.Int("lease-tasks", dist.DefaultMaxLeaseTasks, "max tasks per remote worker lease")
+	leaseTarget := fs.Float64("lease-target-ms", dist.DefaultTargetLeaseMillis, "target predicted wall-clock per lease once task latency is observed")
 	version := fs.Bool("version", false, "print the server version and catalog fingerprint, then exit")
 	fs.Usage = func() {
 		out := fs.Output()
@@ -121,6 +125,14 @@ Persistence:
                                       # interrupted jobs resubmit (deterministic,
                                       # so results are byte-identical) unless
                                       # -fail-interrupted is set
+
+Distributed execution:
+  Remote gocworker processes join over /dist/join (refused with 409 unless
+  their catalog fingerprint matches), lease task ranges of running jobs, and
+  stream results back; a worker that dies mid-lease costs only its in-flight
+  range (requeued after -lease-ttl), and results are byte-identical however
+  tasks are distributed. The fleet is visible in /healthz under "dist".
+  gocworker -coordinator http://host:8372
 `)
 	}
 	if err := fs.Parse(args); err != nil {
@@ -135,7 +147,14 @@ Persistence:
 		return nil
 	}
 
-	opts := server.Options{FailInterrupted: *failInterrupted}
+	opts := server.Options{
+		FailInterrupted: *failInterrupted,
+		Dist: dist.Config{
+			LeaseTTL:          *leaseTTL,
+			MaxLeaseTasks:     *leaseTasks,
+			TargetLeaseMillis: *leaseTarget,
+		},
+	}
 	if *dataDir != "" {
 		st, err := store.OpenFile(*dataDir)
 		if err != nil {

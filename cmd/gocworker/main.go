@@ -1,0 +1,106 @@
+// Command gocworker is a remote execution node for a gocserve coordinator:
+// it joins the coordinator's fleet, leases contiguous task ranges of running
+// jobs, executes them on a local engine (same registry, same per-task rng
+// forks — so results are byte-identical to coordinator-local execution), and
+// streams completed results back.
+//
+// Usage:
+//
+//	gocworker -coordinator http://host:8372 [-workers N] [-name LABEL]
+//	gocworker -version
+//
+// The catalog fingerprint is the safety interlock: at join the worker
+// presents engine.CatalogFingerprint(), and a coordinator serving a
+// different spec surface (other kinds, other versions) refuses it with 409 —
+// a drifted binary exits instead of silently computing wrong-version tasks.
+//
+// Failure handling is lease-based and needs no operator choreography:
+//
+//   - SIGKILL / crash / partition: the worker just stops reporting; after
+//     the lease TTL the coordinator requeues the unreported remainder of
+//     its range and someone else computes it, byte-identically.
+//   - SIGINT / SIGTERM: the worker abandons its lease gracefully, returning
+//     completed results and the unfinished range in one final report.
+//   - Coordinator restart: the worker's ID and leases vanish; it re-joins
+//     and continues. Jobs themselves rehydrate server-side.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+
+	"flag"
+
+	"gameofcoins/internal/dist"
+	"gameofcoins/internal/engine"
+	"gameofcoins/internal/server"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "gocworker:", err)
+		os.Exit(1)
+	}
+}
+
+func run(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("gocworker", flag.ContinueOnError)
+	coordinator := fs.String("coordinator", "", "base URL of the gocserve coordinator (required)")
+	workers := fs.Int("workers", 0, "local engine worker count (0 = all cores)")
+	name := fs.String("name", "", "fleet label for this worker (default: hostname)")
+	version := fs.Bool("version", false, "print the worker version and catalog fingerprint, then exit")
+	fs.Usage = func() {
+		out := fs.Output()
+		fmt.Fprintf(out, "Usage: gocworker -coordinator URL [flags]\n\nFlags:\n")
+		fs.PrintDefaults()
+		fmt.Fprintf(out, `
+Example:
+  gocserve -addr :8372 &                         # the coordinator
+  gocworker -coordinator http://localhost:8372   # one worker, all cores
+
+Workers join the coordinator's fleet (409 unless their catalog fingerprint
+matches), lease task ranges of running jobs, and stream results back.
+Killing a worker mid-job costs only its in-flight range: the coordinator
+requeues it after the lease TTL and the job's results stay byte-identical.
+`)
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *version {
+		fmt.Printf("gocworker %s (%s) catalog %s (%d kinds)\n",
+			server.Version, runtime.Version(), engine.CatalogFingerprint(), len(engine.SpecKinds()))
+		return nil
+	}
+	if *coordinator == "" {
+		fs.Usage()
+		return fmt.Errorf("-coordinator is required")
+	}
+	if *name == "" {
+		if host, err := os.Hostname(); err == nil {
+			*name = host
+		}
+	}
+
+	logger := log.New(os.Stderr, "gocworker: ", log.LstdFlags)
+	runner := &dist.Runner{
+		Transport: dist.NewHTTP(*coordinator),
+		Name:      *name,
+		Workers:   *workers,
+		Logf:      logger.Printf,
+	}
+	logger.Printf("serving %s (catalog %s)", *coordinator, engine.CatalogFingerprint())
+	err := runner.Run(ctx)
+	if err != nil {
+		return err
+	}
+	logger.Printf("stopped")
+	return nil
+}

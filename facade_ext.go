@@ -7,6 +7,7 @@ import (
 
 	"gameofcoins/client"
 	"gameofcoins/internal/design"
+	"gameofcoins/internal/dist"
 	"gameofcoins/internal/engine"
 	"gameofcoins/internal/equilibria"
 	"gameofcoins/internal/exact"
@@ -152,8 +153,27 @@ type (
 
 	// Client is the typed Go SDK for the gocserve v2 API (package client).
 	Client = client.Client
+	// ClientOption configures a Client (client.WithHTTPClient,
+	// client.WithFingerprint, …).
+	ClientOption = client.Option
 	// ClientHandle is the SDK-side job handle (Wait, Watch, Result, Release).
 	ClientHandle = client.Handle
+
+	// DistConfig tunes the lease-based fleet coordinator embedded in every
+	// Server: lease TTL, lease sizing, poll cadence (internal/dist).
+	DistConfig = dist.Config
+	// DistStats is the coordinator's fleet snapshot (workers, leases,
+	// counters), served from /healthz under "dist".
+	DistStats = dist.Stats
+	// DistWorkerStats is one fleet worker's view within DistStats.
+	DistWorkerStats = dist.WorkerStats
+	// WorkerRunner is the worker-side loop gocworker wraps: join a
+	// coordinator, then lease → execute → report until the context ends.
+	// Embedders can run one in-process against any coordinator.
+	WorkerRunner = dist.Runner
+	// WorkerTransport carries the worker↔coordinator protocol; HTTP in
+	// production (NewWorkerTransport), in-process for tests.
+	WorkerTransport = dist.Transport
 )
 
 // NewEngine returns a worker-pool engine; workers <= 0 selects GOMAXPROCS.
@@ -235,7 +255,14 @@ func SpecCatalog() []SpecCatalogEntry { return engine.Catalog() }
 func CatalogFingerprint() string { return engine.CatalogFingerprint() }
 
 // NewClient returns the typed SDK client for a gocserve instance at url.
-func NewClient(url string) *Client { return client.New(url) }
+// Options pin behavior per client — e.g. client.WithFingerprint(fp) asserts
+// every submission against a captured catalog fingerprint (409 on drift).
+func NewClient(url string, opts ...ClientOption) *Client { return client.New(url, opts...) }
+
+// NewWorkerTransport returns the HTTP transport a WorkerRunner uses to reach
+// the coordinator embedded in a gocserve instance at url — the same wire
+// protocol the gocworker binary speaks.
+func NewWorkerTransport(url string) WorkerTransport { return dist.NewHTTP(url) }
 
 // Compile-time check that the facade server is a plain http.Handler.
 var _ http.Handler = (*Server)(nil)

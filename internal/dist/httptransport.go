@@ -1,0 +1,96 @@
+package dist
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// HTTPTransport reaches a coordinator over gocserve's /dist endpoints. The
+// zero value is not usable; construct with NewHTTP.
+type HTTPTransport struct {
+	base string
+	hc   *http.Client
+}
+
+// NewHTTP returns a transport for the coordinator at base (e.g.
+// "http://coordinator:8080"). The client timeout bounds every call —
+// reports carry at most one lease's results, so nothing long-polls.
+func NewHTTP(base string) *HTTPTransport {
+	return &HTTPTransport{
+		base: strings.TrimRight(base, "/"),
+		hc:   &http.Client{Timeout: 30 * time.Second},
+	}
+}
+
+// Join implements Transport.
+func (t *HTTPTransport) Join(req JoinRequest) (JoinResponse, error) {
+	var resp JoinResponse
+	err := t.post("/dist/join", req, &resp)
+	return resp, err
+}
+
+// Lease implements Transport. A 204 from the coordinator means no work.
+func (t *HTTPTransport) Lease(req LeaseRequest) (*Lease, error) {
+	var lease Lease
+	ok, err := t.postMaybe("/dist/lease", req, &lease)
+	if err != nil || !ok {
+		return nil, err
+	}
+	return &lease, nil
+}
+
+// Report implements Transport.
+func (t *HTTPTransport) Report(rep ReportRequest) (ReportResponse, error) {
+	var resp ReportResponse
+	err := t.post("/dist/report", rep, &resp)
+	return resp, err
+}
+
+func (t *HTTPTransport) post(path string, in, out any) error {
+	ok, err := t.postMaybe(path, in, out)
+	if err == nil && !ok {
+		return fmt.Errorf("dist: unexpected empty response from %s", path)
+	}
+	return err
+}
+
+// postMaybe POSTs in as JSON and decodes the response into out; ok is false
+// on 204 No Content. Error statuses map back to the protocol sentinels (409
+// fingerprint, 404 worker, 410 lease) so Runner logic is transport-agnostic.
+func (t *HTTPTransport) postMaybe(path string, in, out any) (ok bool, err error) {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return false, err
+	}
+	resp, err := t.hc.Post(t.base+path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return false, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNoContent {
+		io.Copy(io.Discard, resp.Body)
+		return false, nil
+	}
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		detail := strings.TrimSpace(string(msg))
+		switch resp.StatusCode {
+		case http.StatusConflict:
+			return false, fmt.Errorf("%w: %s", ErrFingerprint, detail)
+		case http.StatusNotFound:
+			return false, fmt.Errorf("%w: %s", ErrUnknownWorker, detail)
+		case http.StatusGone:
+			return false, fmt.Errorf("%w: %s", ErrUnknownLease, detail)
+		}
+		return false, fmt.Errorf("dist: %s: %s: %s", path, resp.Status, detail)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return false, fmt.Errorf("dist: decode %s response: %w", path, err)
+	}
+	return true, nil
+}

@@ -1,0 +1,233 @@
+// Package distbench measures what the distributed fleet buys: the same
+// sleep-cost sweep run twice — once on a starved local pool alone, once on
+// that pool plus N in-process remote workers leased through the dist
+// coordinator — reporting both makespans and their ratio.
+//
+// Task costs are wall-clock sleeps, not CPU burns (the schedbench idiom):
+// the speedup is then a function of scheduling and lease flow, not of how
+// many physical cores the CI machine happens to have, so the ratio is
+// hardware-independent and CI-stable. The distributed pass also
+// byte-compares its aggregated result against the local pass — the bench
+// doubles as an end-to-end determinism check on every run.
+//
+// cmd/gocbench -dist emits the report as JSON (scripts/bench.sh writes it
+// to BENCH_dist.json).
+package distbench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"gameofcoins/internal/dist"
+	"gameofcoins/internal/engine"
+	"gameofcoins/internal/rng"
+)
+
+// Options size the benchmark. The zero value selects the defaults noted per
+// field.
+type Options struct {
+	// LocalWorkers is the coordinator-local pool size (default 2 — starved,
+	// so remote capacity shows).
+	LocalWorkers int
+	// Remotes is the number of remote worker processes simulated (default 2).
+	Remotes int
+	// RemoteCores is each remote's local engine parallelism (default 2).
+	RemoteCores int
+	// Tasks is the sweep's fan-out (default 96).
+	Tasks int
+	// TaskDur is each task's sleep before scaling (default 5ms).
+	TaskDur time.Duration
+	// Scale multiplies TaskDur (default 1; tests shrink it).
+	Scale float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.LocalWorkers <= 0 {
+		o.LocalWorkers = 2
+	}
+	if o.Remotes <= 0 {
+		o.Remotes = 2
+	}
+	if o.RemoteCores <= 0 {
+		o.RemoteCores = 2
+	}
+	if o.Tasks <= 0 {
+		o.Tasks = 96
+	}
+	if o.TaskDur <= 0 {
+		o.TaskDur = 5 * time.Millisecond
+	}
+	if o.Scale <= 0 {
+		o.Scale = 1
+	}
+	return o
+}
+
+// Report is the benchmark's JSON document.
+type Report struct {
+	LocalWorkers int `json:"local_workers"`
+	Remotes      int `json:"remotes"`
+	RemoteCores  int `json:"remote_cores"`
+	Tasks        int `json:"tasks"`
+	// LocalMS / DistMS are the makespans of the local-only and pool+fleet
+	// passes; Speedup is their ratio.
+	LocalMS float64 `json:"local_makespan_ms"`
+	DistMS  float64 `json:"dist_makespan_ms"`
+	Speedup float64 `json:"speedup"`
+	// LeasesGranted / RemoteCompleted show the fleet actually carried load
+	// (a speedup with zero leases would mean the bench measured nothing).
+	LeasesGranted   uint64 `json:"leases_granted"`
+	RemoteCompleted uint64 `json:"remote_completed"`
+	// Identical reports that the distributed pass aggregated byte-identical
+	// results to the local pass — the determinism acceptance, re-checked on
+	// every benchmark run.
+	Identical bool `json:"identical"`
+}
+
+func (r Report) String() string {
+	return fmt.Sprintf(
+		"dist: %d tasks on %d local workers: %.1fms alone, %.1fms with %d remotes × %d cores (%.2fx); %d leases, %d remote tasks, identical=%v",
+		r.Tasks, r.LocalWorkers, r.LocalMS, r.DistMS, r.Remotes, r.RemoteCores,
+		r.Speedup, r.LeasesGranted, r.RemoteCompleted, r.Identical)
+}
+
+// benchSpec is the sweep: Tasks uniform sleep tasks, each returning a value
+// drawn from its forked stream so the distributed pass proves determinism,
+// not just completion.
+type benchSpec struct {
+	NTasks  int   `json:"tasks"`
+	DelayNS int64 `json:"delay_ns"`
+}
+
+type benchTask struct {
+	Index int    `json:"index"`
+	U     uint64 `json:"u"`
+}
+
+func (s benchSpec) Kind() string { return "distbench_sleep" }
+func (s benchSpec) Tasks() int   { return s.NTasks }
+
+func (s benchSpec) RunTask(ctx context.Context, i int, r *rng.Rand) (any, error) {
+	t := time.NewTimer(time.Duration(s.DelayNS))
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	case <-t.C:
+	}
+	return benchTask{Index: i, U: r.Uint64()}, nil
+}
+
+func (s benchSpec) Aggregate(results []any) (any, error) {
+	out := make([]benchTask, len(results))
+	for i, r := range results {
+		t, ok := r.(benchTask)
+		if !ok {
+			return nil, fmt.Errorf("task %d: unexpected type %T", i, r)
+		}
+		out[i] = t
+	}
+	return out, nil
+}
+
+func (s benchSpec) EncodeTaskResult(res any) (json.RawMessage, error) { return json.Marshal(res) }
+
+func (s benchSpec) DecodeTaskResult(raw json.RawMessage) (any, error) {
+	var v benchTask
+	if err := json.Unmarshal(raw, &v); err != nil {
+		return nil, err
+	}
+	return v, nil
+}
+
+func init() {
+	engine.RegisterSpec("distbench_sleep", 1, func(raw json.RawMessage) (engine.Spec, error) {
+		var s benchSpec
+		if err := json.Unmarshal(raw, &s); err != nil {
+			return nil, err
+		}
+		return s, nil
+	}, nil)
+}
+
+// Run executes both passes and returns the report.
+func Run(opts Options) (Report, error) {
+	o := opts.withDefaults()
+	rep := Report{LocalWorkers: o.LocalWorkers, Remotes: o.Remotes, RemoteCores: o.RemoteCores, Tasks: o.Tasks}
+	spec := benchSpec{NTasks: o.Tasks, DelayNS: int64(float64(o.TaskDur) * o.Scale)}
+	const seed = 11
+
+	// Pass 1: the starved local pool on its own.
+	start := time.Now()
+	localRes, err := engine.New(o.LocalWorkers).Run(context.Background(), spec, seed, nil)
+	if err != nil {
+		return rep, fmt.Errorf("local pass: %w", err)
+	}
+	rep.LocalMS = float64(time.Since(start)) / float64(time.Millisecond)
+	localJSON, err := json.Marshal(localRes)
+	if err != nil {
+		return rep, err
+	}
+
+	// Pass 2: the same pool plus the fleet. Short poll so lease pickup
+	// latency doesn't drown the signal at benchmark scale.
+	eng := engine.New(o.LocalWorkers)
+	mgr := engine.NewManager(eng)
+	defer mgr.Close()
+	// Lease chunks sized so every remote gets several bites at the deque;
+	// one giant lease would serialize the fleet behind one worker.
+	chunk := o.Tasks / (o.Remotes * 2)
+	if chunk < 1 {
+		chunk = 1
+	}
+	coord := dist.New(eng, dist.Config{
+		LeaseTTL:      2 * time.Second,
+		MaxLeaseTasks: chunk,
+		PollInterval:  2 * time.Millisecond,
+	})
+	defer coord.Close()
+	rctx, rcancel := context.WithCancel(context.Background())
+	defer rcancel()
+	for i := 0; i < o.Remotes; i++ {
+		r := &dist.Runner{Transport: dist.Local(coord), Name: fmt.Sprintf("bench-%d", i), Workers: o.RemoteCores}
+		go r.Run(rctx)
+	}
+
+	raw, err := json.Marshal(spec)
+	if err != nil {
+		return rep, err
+	}
+	start = time.Now()
+	job, err := mgr.SubmitJob("", spec, seed, &engine.RemoteInfo{WireKind: "distbench_sleep@v1", Spec: raw, Seed: seed})
+	if err != nil {
+		return rep, fmt.Errorf("dist pass: %w", err)
+	}
+	wctx, wcancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer wcancel()
+	if err := job.Wait(wctx); err != nil {
+		return rep, fmt.Errorf("dist pass: %w", err)
+	}
+	rep.DistMS = float64(time.Since(start)) / float64(time.Millisecond)
+
+	distRes, ok := job.Result()
+	if !ok {
+		return rep, fmt.Errorf("dist pass: job finished without a result")
+	}
+	distJSON, err := json.Marshal(distRes)
+	if err != nil {
+		return rep, err
+	}
+	rep.Identical = string(localJSON) == string(distJSON)
+	if rep.DistMS > 0 {
+		rep.Speedup = rep.LocalMS / rep.DistMS
+	}
+	st := coord.Stats()
+	rep.LeasesGranted = st.Granted
+	rep.RemoteCompleted = st.Completed
+	if !rep.Identical {
+		return rep, fmt.Errorf("distributed result diverged from local result")
+	}
+	return rep, nil
+}

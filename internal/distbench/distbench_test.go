@@ -1,0 +1,25 @@
+package distbench
+
+import "testing"
+
+// TestRunShrunk runs the benchmark at 1/5 scale: it must complete, the
+// distributed pass must aggregate byte-identical results, and the fleet
+// must actually have carried tasks (otherwise the "speedup" measured
+// nothing). The ratio itself is asserted loosely — CI machines vary — the
+// committed BENCH_dist.json carries the real number.
+func TestRunShrunk(t *testing.T) {
+	rep, err := Run(Options{Scale: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Identical {
+		t.Fatalf("distributed result diverged: %+v", rep)
+	}
+	if rep.LeasesGranted == 0 || rep.RemoteCompleted == 0 {
+		t.Fatalf("fleet carried no work: %+v", rep)
+	}
+	if rep.LocalMS <= 0 || rep.DistMS <= 0 || rep.Speedup <= 0 {
+		t.Fatalf("degenerate timings: %+v", rep)
+	}
+	t.Log(rep.String())
+}

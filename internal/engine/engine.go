@@ -91,6 +91,16 @@ type Engine struct {
 	live      int       // worker goroutines currently running
 	steals    uint64    // cumulative cross-job takes
 	completed uint64    // cumulative finished tasks
+
+	// Remote task source (remote.go): distributable jobs keyed by run token,
+	// plus lifetime lease counters. The observed-cost model (sched.go) feeds
+	// both weighted fair share and lease sizing.
+	runs           map[uint64]*runJob
+	nextRun        uint64
+	obs            map[string]*obsCost
+	leasesGranted  uint64
+	remoteDone     uint64
+	remoteRequeued uint64
 }
 
 // New returns an engine with the given worker count; workers <= 0 selects
@@ -116,6 +126,14 @@ func (e *Engine) Workers() int { return e.workers }
 // the failure, otherwise the cancellation wrapped as "engine: <kind>: …"
 // (errors.Is(err, context.Canceled) still holds).
 func (e *Engine) Run(ctx context.Context, spec Spec, seed uint64, onProgress func(Progress)) (any, error) {
+	return e.run(ctx, spec, seed, onProgress, nil)
+}
+
+// run is Run plus the optional remote wire identity. When remote is non-nil
+// and the spec implements TaskCoder, the job is published to the remote task
+// source (remote.go) so a coordinator can lease chunks of it to workers;
+// otherwise the job runs purely on the local pool.
+func (e *Engine) run(ctx context.Context, spec Spec, seed uint64, onProgress func(Progress), remote *RemoteInfo) (any, error) {
 	if v, ok := spec.(Validator); ok {
 		if err := v.Validate(); err != nil {
 			return nil, fmt.Errorf("engine: invalid %s spec: %w", spec.Kind(), err)
@@ -155,6 +173,14 @@ func (e *Engine) Run(ctx context.Context, spec Spec, seed uint64, onProgress fun
 		onProgress: onProgress,
 		pending:    orderTasks(spec, n),
 		finished:   make(chan struct{}),
+	}
+	j.sizer, _ = spec.(Sizer)
+	j.costKey = spec.Kind()
+	if remote != nil {
+		j.costKey = remote.WireKind
+		if coder, ok := spec.(TaskCoder); ok {
+			j.wire, j.coder = remote, coder
+		}
 	}
 	e.enqueue(j)
 	go func() {

@@ -255,7 +255,17 @@ func NewManager(eng *Engine) *Manager {
 // Submit starts spec asynchronously under the manager's lifetime (not the
 // caller's request context) and returns the tracking job.
 func (m *Manager) Submit(spec Spec, seed uint64) (*Job, error) {
-	return m.submit("", spec, seed)
+	return m.submit("", spec, seed, nil)
+}
+
+// SubmitJob is the full-control submission: a caller-chosen ID (empty mints
+// one, non-empty reruns under that identity like Resubmit) plus an optional
+// wire identity. When remote is non-nil and the spec implements TaskCoder,
+// the job becomes distributable — the coordinator may lease ranges of its
+// tasks to remote workers. The serving layer uses this for every envelope
+// submission; distribution changes where tasks run, never their results.
+func (m *Manager) SubmitJob(id string, spec Spec, seed uint64, remote *RemoteInfo) (*Job, error) {
+	return m.submit(id, spec, seed, remote)
 }
 
 // Resubmit is Submit with a caller-chosen job ID: the persistence layer uses
@@ -266,10 +276,10 @@ func (m *Manager) Resubmit(id string, spec Spec, seed uint64) (*Job, error) {
 	if id == "" {
 		return nil, errors.New("engine: Resubmit needs a job ID")
 	}
-	return m.submit(id, spec, seed)
+	return m.submit(id, spec, seed, nil)
 }
 
-func (m *Manager) submit(id string, spec Spec, seed uint64) (*Job, error) {
+func (m *Manager) submit(id string, spec Spec, seed uint64, remote *RemoteInfo) (*Job, error) {
 	if v, ok := spec.(Validator); ok {
 		if err := v.Validate(); err != nil {
 			return nil, fmt.Errorf("engine: invalid %s spec: %w", spec.Kind(), err)
@@ -299,7 +309,7 @@ func (m *Manager) submit(id string, spec Spec, seed uint64) (*Job, error) {
 	j.mu.Unlock()
 	go func() {
 		defer cancel()
-		res, err := m.eng.Run(jctx, spec, seed, func(p Progress) {
+		res, err := m.eng.run(jctx, spec, seed, func(p Progress) {
 			// CAS-max: the dispatcher serializes callbacks with strictly
 			// increasing Done, but the guard keeps a hypothetical stale
 			// publisher from making progress go backwards.
@@ -315,7 +325,7 @@ func (m *Manager) submit(id string, spec Spec, seed uint64) (*Job, error) {
 			j.running.Store(int64(p.Running))
 			j.queued.Store(int64(p.Queued))
 			j.notifyWatchers()
-		})
+		}, remote)
 		j.finish(res, err, jctx.Err() != nil && errors.Is(err, context.Canceled))
 	}()
 	return j, nil

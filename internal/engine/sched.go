@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"gameofcoins/internal/rng"
 )
@@ -34,10 +35,20 @@ type runJob struct {
 	base       *rng.Rand
 	results    []any
 	onProgress func(Progress)
+	sizer      Sizer  // spec's Sizer, if any; nil means uniform cost
+	costKey    string // observed-cost bucket: wire kind when known, else Kind()
+
+	// Remote identity — set once before enqueue, immutable after. wire and
+	// coder are both non-nil for distributable jobs (RemoteInfo supplied and
+	// the spec implements TaskCoder), both nil otherwise.
+	wire  *RemoteInfo
+	coder TaskCoder
+	runID uint64 // key into e.runs while the job is live
 
 	// Guarded by the engine mutex.
 	pending  []int // task indices, most expensive first; popped from the front
 	inFlight int   // tasks taken by workers and not yet returned
+	leased   int   // tasks out on remote leases, not yet reported or requeued
 	removed  bool  // off the active list; finished is closed exactly once
 
 	// Guarded by pmu, which serializes completion publication: firstErr is
@@ -49,6 +60,10 @@ type runJob struct {
 	halted   bool // failing or canceled: suppress results and progress
 	firstErr error
 	done     int
+	// doneTask marks indices already published, allocated lazily on the
+	// first remote publication. Local-only jobs never allocate it: without
+	// leases every index is taken exactly once, so the guard is free.
+	doneTask []bool
 
 	finished chan struct{}
 }
@@ -75,6 +90,85 @@ type SchedStats struct {
 	// job halts are excluded, so the counter always equals the sum of
 	// progress every job ever reported.
 	CompletedTasks uint64 `json:"completed_tasks"`
+	// LeasedTasks counts tasks currently out on remote leases — popped from
+	// their deques but neither running locally nor completed.
+	LeasedTasks int `json:"leased_tasks,omitempty"`
+	// LeasesGranted / RemoteCompleted / RemoteRequeued count the remote task
+	// source's lifetime activity: ranges handed to workers, task results
+	// published from remote reports, and leased tasks returned to their
+	// deques after expiry or abandonment.
+	LeasesGranted   uint64 `json:"leases_granted,omitempty"`
+	RemoteCompleted uint64 `json:"remote_completed,omitempty"`
+	RemoteRequeued  uint64 `json:"remote_requeued,omitempty"`
+	// Observed maps cost keys (wire kind when known) to the EWMA task
+	// latency model feeding fair-share weighting and lease sizing.
+	Observed map[string]ObservedCost `json:"observed,omitempty"`
+}
+
+// ObservedCost is the per-kind EWMA latency model built from completed local
+// tasks. It serves two schedulers: cross-job fair share weighs in-flight
+// counts by MsPerTask (so a job of 100ms tasks and a job of 1ms tasks split
+// wall-clock, not slots), and remote lease sizing converts a wall-clock
+// target into a task count via MsPerCost × TaskCost. Kinds publishing a flat
+// TaskCost — which LPT ordering can do nothing with — get their dispatch
+// weight entirely from here.
+type ObservedCost struct {
+	// MsPerTask is the EWMA of wall-clock milliseconds per completed task.
+	MsPerTask float64 `json:"ms_per_task"`
+	// MsPerCost is the EWMA of milliseconds per TaskCost unit (equal to
+	// MsPerTask for kinds without a Sizer, whose cost is uniformly 1).
+	MsPerCost float64 `json:"ms_per_cost"`
+	// Samples counts completions folded into the averages.
+	Samples uint64 `json:"samples"`
+}
+
+// obsCost is the mutable form of ObservedCost, guarded by the engine mutex.
+type obsCost struct {
+	msPerTask float64
+	msPerCost float64
+	n         uint64
+}
+
+// obsAlpha is the EWMA smoothing factor: each new sample moves the average a
+// quarter of the way, so the model tracks drift (a spec version whose tasks
+// got slower) within a few completions without thrashing on one outlier.
+const obsAlpha = 0.25
+
+// maxObsKinds bounds the observed-cost map; a pathological client minting
+// unique kinds cannot grow engine memory without bound.
+const maxObsKinds = 512
+
+// observeLocked folds one completed task into the cost model. Callers must
+// hold e.mu. Only cleanly published local completions are observed: errored
+// and post-halt tasks ran with canceled contexts and would poison the
+// averages with truncated durations.
+func (e *Engine) observeLocked(j *runJob, task int, d time.Duration) {
+	o := e.obs[j.costKey]
+	if o == nil {
+		if len(e.obs) >= maxObsKinds {
+			return
+		}
+		if e.obs == nil {
+			e.obs = make(map[string]*obsCost)
+		}
+		o = &obsCost{}
+		e.obs[j.costKey] = o
+	}
+	ms := float64(d) / float64(time.Millisecond)
+	cost := 1.0
+	if j.sizer != nil {
+		if c := j.sizer.TaskCost(task); c > 0 {
+			cost = c
+		}
+	}
+	if o.n == 0 {
+		o.msPerTask = ms
+		o.msPerCost = ms / cost
+	} else {
+		o.msPerTask += obsAlpha * (ms - o.msPerTask)
+		o.msPerCost += obsAlpha * (ms/cost - o.msPerCost)
+	}
+	o.n++
 }
 
 // Stats snapshots the dispatcher.
@@ -82,14 +176,24 @@ func (e *Engine) Stats() SchedStats {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	st := SchedStats{
-		Workers:        e.workers,
-		ActiveJobs:     len(e.active),
-		Steals:         e.steals,
-		CompletedTasks: e.completed,
+		Workers:         e.workers,
+		ActiveJobs:      len(e.active),
+		Steals:          e.steals,
+		CompletedTasks:  e.completed,
+		LeasesGranted:   e.leasesGranted,
+		RemoteCompleted: e.remoteDone,
+		RemoteRequeued:  e.remoteRequeued,
 	}
 	for _, j := range e.active {
 		st.QueuedTasks += len(j.pending)
 		st.RunningTasks += j.inFlight
+		st.LeasedTasks += j.leased
+	}
+	if len(e.obs) > 0 {
+		st.Observed = make(map[string]ObservedCost, len(e.obs))
+		for k, o := range e.obs {
+			st.Observed[k] = ObservedCost{MsPerTask: o.msPerTask, MsPerCost: o.msPerCost, Samples: o.n}
+		}
 	}
 	return st
 }
@@ -130,12 +234,28 @@ func orderTasks(spec Spec, n int) []int {
 // Engine holds no goroutines — construction stays free and nothing leaks.
 func (e *Engine) enqueue(j *runJob) {
 	e.mu.Lock()
+	e.nextRun++
+	j.runID = e.nextRun
+	if j.wire != nil {
+		if e.runs == nil {
+			e.runs = make(map[uint64]*runJob)
+		}
+		e.runs[j.runID] = j
+	}
 	e.active = append(e.active, j)
-	for spawn := len(j.pending); e.live < e.workers && spawn > 0; spawn-- {
+	e.topUpLocked(len(j.pending))
+	e.mu.Unlock()
+}
+
+// topUpLocked spawns workers until the pool is full or the given pending
+// count is covered. Callers must hold e.mu. Both enqueue and the remote
+// requeue path use it: a requeue can arrive after the pool fully retired,
+// and the returned tasks must not strand.
+func (e *Engine) topUpLocked(pending int) {
+	for ; e.live < e.workers && pending > 0; pending-- {
 		e.live++
 		go e.worker()
 	}
-	e.mu.Unlock()
 }
 
 // worker is one persistent scheduling loop: take a task under the fair-share
@@ -152,9 +272,13 @@ func (e *Engine) worker() {
 }
 
 // take picks the next (job, task) under the engine's fair-share policy:
-// among jobs with pending work, the one with the fewest tasks already in
-// flight wins, so concurrent jobs split the worker pool evenly instead of
-// the first-submitted job monopolizing it. Ties prefer the worker's previous
+// among jobs with pending work, the least-loaded one wins, so concurrent
+// jobs split the worker pool evenly instead of the first-submitted job
+// monopolizing it. Load is the in-flight count — weighted by the observed
+// per-task latency once *both* jobs being compared have cost samples, so a
+// job of 100ms tasks and a job of 1ms tasks split wall-clock rather than
+// worker slots; with either side unobserved the comparison stays the plain
+// count, preserving cold-start behavior. Ties prefer the worker's previous
 // job (cheap affinity), then round-robin from a rotating cursor so equal
 // jobs alternate. A take from a different still-live job counts as a steal.
 // Within the chosen job, tasks pop from the front of the LPT deque.
@@ -179,8 +303,8 @@ func (e *Engine) take(lastp **runJob) (*runJob, int, bool) {
 			}
 			switch {
 			case best == nil,
-				j.inFlight < best.inFlight,
-				j.inFlight == best.inFlight && j == last && best != last:
+				e.lessLoadedLocked(j, best),
+				!e.lessLoadedLocked(best, j) && j == last && best != last:
 				best, bestIdx = j, idx
 			}
 		}
@@ -200,12 +324,26 @@ func (e *Engine) take(lastp **runJob) (*runJob, int, bool) {
 	return best, task, true
 }
 
+// lessLoadedLocked reports whether a carries strictly less load than b.
+// When both jobs' kinds have observed latency, load is predicted in-flight
+// wall-clock (inFlight × EWMA ms/task); otherwise the plain in-flight count.
+// Callers must hold e.mu.
+func (e *Engine) lessLoadedLocked(a, b *runJob) bool {
+	oa, ob := e.obs[a.costKey], e.obs[b.costKey]
+	if oa != nil && ob != nil && oa.n > 0 && ob.n > 0 && oa.msPerTask > 0 && ob.msPerTask > 0 {
+		return float64(a.inFlight)*oa.msPerTask < float64(b.inFlight)*ob.msPerTask
+	}
+	return a.inFlight < b.inFlight
+}
+
 // execute runs one task and publishes its completion. Publication order is
 // load-bearing: the progress callback fires before this worker's in-flight
 // decrement, so a job can only be declared finished — and Run return — after
 // every completed task's progress has been delivered.
 func (e *Engine) execute(j *runJob, task int) {
+	start := time.Now()
 	out, err := runTask(j.ctx, j.spec, task, j.base.Fork(uint64(task)))
+	elapsed := time.Since(start)
 
 	published := false
 	j.pmu.Lock()
@@ -214,7 +352,14 @@ func (e *Engine) execute(j *runJob, task int) {
 		if j.firstErr == nil {
 			j.firstErr = fmt.Errorf("engine: %s task %d: %w", j.spec.Kind(), task, err)
 		}
-	} else if !j.halted {
+	} else if !j.halted && !(j.doneTask != nil && j.doneTask[task]) {
+		// The doneTask guard only bites on distributable jobs: a requeued
+		// copy of a task whose original remote report already landed loses
+		// the race here — first writer wins, and determinism makes both
+		// writers byte-identical anyway.
+		if j.doneTask != nil {
+			j.doneTask[task] = true
+		}
 		published = true
 		j.results[task] = out
 		j.done++
@@ -244,6 +389,7 @@ func (e *Engine) execute(j *runJob, task int) {
 	j.inFlight--
 	if published {
 		e.completed++
+		e.observeLocked(j, task, elapsed)
 	}
 	finished := e.finishIfIdleLocked(j)
 	e.mu.Unlock()
@@ -256,14 +402,18 @@ func (e *Engine) execute(j *runJob, task int) {
 }
 
 // haltJob is the cancellation path: suppress further publication, drop the
-// pending queue, and finish the job if no task is in flight (in-flight tasks
-// observe the canceled ctx and drain through execute as usual).
+// pending queue and any outstanding leases, and finish the job if no task is
+// in flight (in-flight tasks observe the canceled ctx and drain through
+// execute as usual). Zeroing the leased count means cancellation never waits
+// on a remote lease's deadline — late reports for a halted run find it gone
+// and are discarded.
 func (e *Engine) haltJob(j *runJob) {
 	j.pmu.Lock()
 	j.halted = true
 	j.pmu.Unlock()
 	e.mu.Lock()
 	j.pending = nil
+	j.leased = 0
 	finished := e.finishIfIdleLocked(j)
 	e.mu.Unlock()
 	if finished {
@@ -271,14 +421,15 @@ func (e *Engine) haltJob(j *runJob) {
 	}
 }
 
-// finishIfIdleLocked retires a drained job from the active list. It reports
-// true exactly once per job — the caller that got true closes j.finished.
-// Callers must hold e.mu.
+// finishIfIdleLocked retires a drained job from the active list and the run
+// table. It reports true exactly once per job — the caller that got true
+// closes j.finished. Callers must hold e.mu.
 func (e *Engine) finishIfIdleLocked(j *runJob) bool {
-	if j.removed || len(j.pending) > 0 || j.inFlight > 0 {
+	if j.removed || len(j.pending) > 0 || j.inFlight > 0 || j.leased > 0 {
 		return false
 	}
 	j.removed = true
+	delete(e.runs, j.runID)
 	for i, a := range e.active {
 		if a == j {
 			e.active = append(e.active[:i], e.active[i+1:]...)

@@ -316,7 +316,7 @@ func TestProgressSuppressedAfterFailure(t *testing.T) {
 			if i == 0 {
 				return nil, boom
 			}
-			<-ctx.Done() // wait for the failure's cancellation…
+			<-ctx.Done()  // wait for the failure's cancellation…
 			return i, nil // …then "complete" anyway
 		},
 	}

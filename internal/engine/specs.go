@@ -2,6 +2,7 @@ package engine
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"math"
@@ -126,9 +127,13 @@ func (s LearnSweep) Validate() error {
 	return nil
 }
 
+// learnTaskResult is LearnSweep's per-task wire value. Fields are exported
+// (with stable JSON names) because distributable task results cross the
+// gocworker wire through the TaskCoder round-trip; both int and bool
+// round-trip exactly, so a remote task is byte-identical to a local one.
 type learnTaskResult struct {
-	steps     int
-	converged bool
+	Steps     int  `json:"steps"`
+	Converged bool `json:"converged"`
 }
 
 // schedulerForTask resolves the (fresh, per-run) scheduler instance for
@@ -193,7 +198,7 @@ func (s LearnSweep) RunTask(ctx context.Context, i int, r *rng.Rand) (any, error
 	if err != nil {
 		return nil, err
 	}
-	return learnTaskResult{steps: res.Steps, converged: res.Converged && g.IsEquilibrium(res.Final)}, nil
+	return learnTaskResult{Steps: res.Steps, Converged: res.Converged && g.IsEquilibrium(res.Final)}, nil
 }
 
 // Aggregate implements Spec.
@@ -205,8 +210,8 @@ func (s LearnSweep) Aggregate(results []any) (any, error) {
 		var steps []float64
 		for run := 0; run < s.Runs; run++ {
 			tr := results[si*s.Runs+run].(learnTaskResult)
-			steps = append(steps, float64(tr.steps))
-			if tr.converged {
+			steps = append(steps, float64(tr.Steps))
+			if tr.Converged {
 				sum.Converged++
 			}
 		}
@@ -285,13 +290,17 @@ func (s DesignSweep) Validate() error {
 	return nil
 }
 
+// designTaskResult is DesignSweep's per-task wire value; exported fields for
+// the TaskCoder round-trip (see learnTaskResult). The float64 fields are
+// safe to distribute: Go's JSON encoder emits shortest-round-trip decimals,
+// so Unmarshal restores the identical bits.
 type designTaskResult struct {
-	skipped bool
-	reached bool
-	cost    float64
-	steps   float64
-	errs    int
-	lastErr string
+	Skipped bool    `json:"skipped,omitempty"`
+	Reached bool    `json:"reached,omitempty"`
+	Cost    float64 `json:"cost"`
+	Steps   float64 `json:"steps"`
+	Errs    int     `json:"errs,omitempty"`
+	LastErr string  `json:"last_err,omitempty"`
 }
 
 // RunTask implements Spec. Draw errors (generation, enumeration, designer
@@ -306,8 +315,8 @@ func (s DesignSweep) RunTask(ctx context.Context, _ int, r *rng.Rand) (any, erro
 	}
 	var tr designTaskResult
 	record := func(err error) {
-		tr.errs++
-		tr.lastErr = err.Error()
+		tr.Errs++
+		tr.LastErr = err.Error()
 	}
 	for try := 0; try < tries; try++ {
 		if err := ctx.Err(); err != nil {
@@ -344,12 +353,12 @@ func (s DesignSweep) RunTask(ctx context.Context, _ int, r *rng.Rand) (any, erro
 		if err != nil {
 			return nil, err
 		}
-		tr.reached = res.Final.Equal(sf)
-		tr.cost = res.TotalCost
-		tr.steps = float64(res.TotalSteps)
+		tr.Reached = res.Final.Equal(sf)
+		tr.Cost = res.TotalCost
+		tr.Steps = float64(res.TotalSteps)
 		return tr, nil
 	}
-	tr.skipped = true
+	tr.Skipped = true
 	return tr, nil
 }
 
@@ -359,19 +368,19 @@ func (s DesignSweep) Aggregate(results []any) (any, error) {
 	var costs, steps []float64
 	for _, raw := range results {
 		tr := raw.(designTaskResult)
-		out.Errors += tr.errs
-		if tr.lastErr != "" {
-			out.LastError = tr.lastErr
+		out.Errors += tr.Errs
+		if tr.LastErr != "" {
+			out.LastError = tr.LastErr
 		}
-		if tr.skipped {
+		if tr.Skipped {
 			out.Skipped++
 			continue
 		}
-		if tr.reached {
+		if tr.Reached {
 			out.Reached++
 		}
-		costs = append(costs, tr.cost)
-		steps = append(steps, tr.steps)
+		costs = append(costs, tr.Cost)
+		steps = append(steps, tr.Steps)
 	}
 	out.Cost = stats.Summarize(costs)
 	out.Steps = stats.Summarize(steps)
@@ -549,4 +558,43 @@ func (s EquilibriumSweep) Aggregate(results []any) (any, error) {
 	}
 	out.Count = stats.Summarize(counts)
 	return out, nil
+}
+
+// Task-result codecs: every built-in sweep is distributable. Decode must
+// revive the exact concrete type Aggregate asserts — learnTaskResult,
+// designTaskResult, replay.Outcome, int — because remotely computed results
+// flow into the same Aggregate call as local ones.
+
+// EncodeTaskResult implements TaskCoder.
+func (s LearnSweep) EncodeTaskResult(res any) (json.RawMessage, error) { return json.Marshal(res) }
+
+// DecodeTaskResult implements TaskCoder.
+func (s LearnSweep) DecodeTaskResult(raw json.RawMessage) (any, error) {
+	return decodeTaskAs[learnTaskResult](raw)
+}
+
+// EncodeTaskResult implements TaskCoder.
+func (s DesignSweep) EncodeTaskResult(res any) (json.RawMessage, error) { return json.Marshal(res) }
+
+// DecodeTaskResult implements TaskCoder.
+func (s DesignSweep) DecodeTaskResult(raw json.RawMessage) (any, error) {
+	return decodeTaskAs[designTaskResult](raw)
+}
+
+// EncodeTaskResult implements TaskCoder.
+func (s ReplaySweep) EncodeTaskResult(res any) (json.RawMessage, error) { return json.Marshal(res) }
+
+// DecodeTaskResult implements TaskCoder.
+func (s ReplaySweep) DecodeTaskResult(raw json.RawMessage) (any, error) {
+	return decodeTaskAs[replay.Outcome](raw)
+}
+
+// EncodeTaskResult implements TaskCoder.
+func (s EquilibriumSweep) EncodeTaskResult(res any) (json.RawMessage, error) {
+	return json.Marshal(res)
+}
+
+// DecodeTaskResult implements TaskCoder.
+func (s EquilibriumSweep) DecodeTaskResult(raw json.RawMessage) (any, error) {
+	return decodeTaskAs[int](raw)
 }

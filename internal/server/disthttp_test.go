@@ -1,0 +1,213 @@
+// Distributed-execution tests over the real HTTP surface: the /dist
+// endpoints' status-code mapping, the /v2 fingerprint gate, and a full
+// coordinator + remote-worker round trip through httptest.
+package server_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"gameofcoins/client"
+	"gameofcoins/internal/dist"
+	"gameofcoins/internal/engine"
+	"gameofcoins/internal/rng"
+	"gameofcoins/internal/server"
+)
+
+// wireSleepSpec is a slow, distributable test kind: tasks sleep ~2ms so a
+// remote worker reliably gets leases even on a fast machine, and each task
+// draws from its forked stream so any mis-forking on the remote side would
+// change the result bytes.
+type wireSleepSpec struct {
+	N int `json:"n"`
+}
+
+type wireSleepTask struct {
+	Index int     `json:"index"`
+	U     uint64  `json:"u"`
+	F     float64 `json:"f"`
+}
+
+func (s wireSleepSpec) Kind() string { return "dist_http_sleep" }
+func (s wireSleepSpec) Tasks() int   { return s.N }
+func (s wireSleepSpec) Validate() error {
+	if s.N <= 0 {
+		return fmt.Errorf("n must be positive")
+	}
+	return nil
+}
+
+func (s wireSleepSpec) RunTask(ctx context.Context, i int, r *rng.Rand) (any, error) {
+	t := time.NewTimer(2 * time.Millisecond)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	case <-t.C:
+	}
+	return wireSleepTask{Index: i, U: r.Uint64(), F: r.Float64()}, nil
+}
+
+func (s wireSleepSpec) Aggregate(results []any) (any, error) {
+	out := make([]wireSleepTask, len(results))
+	for i, r := range results {
+		t, ok := r.(wireSleepTask)
+		if !ok {
+			return nil, fmt.Errorf("task %d: unexpected type %T", i, r)
+		}
+		out[i] = t
+	}
+	return out, nil
+}
+
+func (s wireSleepSpec) EncodeTaskResult(res any) (json.RawMessage, error) { return json.Marshal(res) }
+
+func (s wireSleepSpec) DecodeTaskResult(raw json.RawMessage) (any, error) {
+	var v wireSleepTask
+	if err := json.Unmarshal(raw, &v); err != nil {
+		return nil, err
+	}
+	return v, nil
+}
+
+func init() {
+	engine.RegisterSpec("dist_http_sleep", 1, func(raw json.RawMessage) (engine.Spec, error) {
+		var s wireSleepSpec
+		if err := json.Unmarshal(raw, &s); err != nil {
+			return nil, err
+		}
+		return s, nil
+	}, nil)
+}
+
+// distServer starts a gocserve with few local workers and a fast-polling
+// coordinator, so remote workers see work quickly in tests.
+func distServer(t *testing.T, workers int) string {
+	t.Helper()
+	s, err := server.NewWithOptions(workers, server.Options{
+		Dist: dist.Config{LeaseTTL: time.Second, MaxLeaseTasks: 16, PollInterval: 2 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s)
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	return ts.URL
+}
+
+// TestV2FingerprintGate: a pinned submission against a matching catalog goes
+// through; a drifted pin is refused with 409 before any job is created.
+func TestV2FingerprintGate(t *testing.T) {
+	base := v2Server(t)
+	ctx := context.Background()
+
+	good := client.New(base, client.WithFingerprint(engine.CatalogFingerprint()))
+	h, err := good.Submit(ctx, "equilibrium_sweep", 5, map[string]any{
+		"gen": map[string]any{"Miners": 3, "Coins": 2}, "games": 4,
+	})
+	if err != nil {
+		t.Fatalf("pinned submit with matching fingerprint: %v", err)
+	}
+	if _, err := h.Wait(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	bad := client.New(base, client.WithFingerprint("catalog-of-another-binary"))
+	_, err = bad.Submit(ctx, "equilibrium_sweep", 5, map[string]any{
+		"gen": map[string]any{"Miners": 3, "Coins": 2}, "games": 4,
+	})
+	var apiErr *client.APIError
+	if !errors.As(err, &apiErr) || apiErr.StatusCode != http.StatusConflict {
+		t.Fatalf("drifted pin: got %v, want APIError 409", err)
+	}
+}
+
+// TestDistHTTPErrorMapping locks in the transport contract: 409/404/410 on
+// the wire come back as the dist sentinel errors workers switch on.
+func TestDistHTTPErrorMapping(t *testing.T) {
+	base := distServer(t, 2)
+	tr := dist.NewHTTP(base)
+
+	if _, err := tr.Join(dist.JoinRequest{Fingerprint: "drifted"}); !errors.Is(err, dist.ErrFingerprint) {
+		t.Fatalf("drifted join: got %v, want ErrFingerprint", err)
+	}
+	if _, err := tr.Lease(dist.LeaseRequest{WorkerID: "w-999"}); !errors.Is(err, dist.ErrUnknownWorker) {
+		t.Fatalf("unknown worker lease: got %v, want ErrUnknownWorker", err)
+	}
+
+	join, err := tr.Join(dist.JoinRequest{Name: "t", Fingerprint: engine.CatalogFingerprint()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lease, err := tr.Lease(dist.LeaseRequest{WorkerID: join.WorkerID})
+	if err != nil || lease != nil {
+		t.Fatalf("idle lease: got (%v, %v), want (nil, nil) — the 204 path", lease, err)
+	}
+	if _, err := tr.Report(dist.ReportRequest{WorkerID: join.WorkerID, LeaseID: "l-999", Done: true}); !errors.Is(err, dist.ErrUnknownLease) {
+		t.Fatalf("unknown lease report: got %v, want ErrUnknownLease", err)
+	}
+}
+
+// TestDistHTTPEndToEnd runs the real thing in-process: a one-local-worker
+// coordinator, a remote gocworker loop over the HTTP transport, and a job
+// whose result must be byte-identical to an undistributed server's.
+func TestDistHTTPEndToEnd(t *testing.T) {
+	spec := wireSleepSpec{N: 80}
+	const seed = 9
+
+	// Reference bytes from a server with no fleet attached.
+	refBase := v2Server(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	refClient := client.New(refBase)
+	rh, err := refClient.Submit(ctx, "dist_http_sleep", seed, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rh.Wait(ctx); err != nil {
+		t.Fatal(err)
+	}
+	want := rawGet(t, refBase+"/v2/jobs/"+rh.ID()+"/result")
+
+	// The distributed run: starve the coordinator locally (1 worker) and let
+	// a remote runner carry real load over HTTP.
+	base := distServer(t, 1)
+	rctx, rcancel := context.WithCancel(ctx)
+	defer rcancel()
+	runner := &dist.Runner{Transport: dist.NewHTTP(base), Name: "e2e", Workers: 2}
+	go runner.Run(rctx)
+
+	h, err := client.New(base).Submit(ctx, "dist_http_sleep", seed, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Wait(ctx); err != nil {
+		t.Fatal(err)
+	}
+	got := rawGet(t, base+"/v2/jobs/"+h.ID()+"/result")
+	if !bytes.Equal(got, want) {
+		t.Fatalf("distributed result differs from undistributed reference:\n%s\n%s", got, want)
+	}
+
+	// The fleet must actually have carried work (80 × 2ms on one local
+	// worker leaves the remote ~160ms of lease opportunity at a 2ms poll).
+	var health struct {
+		Dist dist.Stats `json:"dist"`
+	}
+	if err := json.Unmarshal(rawGet(t, base+"/healthz"), &health); err != nil {
+		t.Fatal(err)
+	}
+	if health.Dist.Granted == 0 || health.Dist.Completed == 0 {
+		t.Fatalf("fleet carried no work: %+v", health.Dist)
+	}
+}

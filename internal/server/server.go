@@ -106,6 +106,7 @@ import (
 	"sync"
 
 	"gameofcoins/internal/core"
+	"gameofcoins/internal/dist"
 	"gameofcoins/internal/engine"
 	"gameofcoins/internal/replay"
 	"gameofcoins/internal/store"
@@ -152,7 +153,8 @@ type JobHandle struct {
 type Server struct {
 	manager *engine.Manager
 	mux     *http.ServeMux
-	store   store.Store // nil: persistence disabled entirely
+	store   store.Store       // nil: persistence disabled entirely
+	fleet   *dist.Coordinator // lease-based remote worker coordinator (/dist/*)
 
 	// Store writes go through a single ordered queue drained by one
 	// background goroutine: ops are enqueued while s.mu is held — so the
@@ -204,6 +206,11 @@ type Options struct {
 	// identical result — while true marks them failed ("interrupted by
 	// server restart") so nothing recomputes without an explicit resubmit.
 	FailInterrupted bool
+	// Dist tunes the remote-worker coordinator (lease TTL, lease sizing).
+	// The zero value selects dist's defaults; the coordinator itself is
+	// always on — with no workers joined it grants nothing and costs one
+	// idle goroutine.
+	Dist dist.Config
 }
 
 // New returns a server running jobs on an engine with the given worker
@@ -240,6 +247,11 @@ func NewWithOptions(workers int, opts Options) (*Server, error) {
 		}
 		go s.persistLoop()
 	}
+	// The coordinator comes up after rehydration: interrupted jobs are
+	// already resubmitted with full pending queues by then, which is exactly
+	// how leases "rehydrate" — every previously leased task is simply
+	// pending again, and stale reports from surviving workers get 410.
+	s.fleet = dist.New(s.manager.Engine(), opts.Dist)
 	s.routes()
 	return s, nil
 }
@@ -421,7 +433,11 @@ func (s *Server) recomputeJob(rec store.JobRecord, failInterrupted bool, reason 
 		restoreFailed(fmt.Sprintf("%s; not recomputable: %v", reason, err))
 		return nil
 	}
-	job, err := s.manager.Resubmit(rec.ID, spec, rec.Seed)
+	job, err := s.manager.SubmitJob(rec.ID, spec, rec.Seed, &engine.RemoteInfo{
+		WireKind: pinnedKind(rec.Kind, rec.Version),
+		Spec:     rec.Spec,
+		Seed:     rec.Seed,
+	})
 	if err != nil {
 		restoreFailed(fmt.Sprintf("%s; not recomputable: %v", reason, err))
 		return nil
@@ -470,6 +486,9 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /v2/jobs/{handle}/events", s.handleHandleEvents)
 	s.mux.HandleFunc("DELETE /v2/jobs/{handle}", s.handleReleaseHandle)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("POST /dist/join", s.handleDistJoin)
+	s.mux.HandleFunc("POST /dist/lease", s.handleDistLease)
+	s.mux.HandleFunc("POST /dist/report", s.handleDistReport)
 }
 
 // ServeHTTP implements http.Handler.
@@ -485,6 +504,10 @@ func (s *Server) Close() {
 	s.mu.Lock()
 	s.closing = true
 	s.mu.Unlock()
+	// Stop the coordinator before the manager: outstanding leases requeue
+	// into their jobs first, so no report or expiry sweep races the mass
+	// cancellation below and workers' next reports find their leases gone.
+	s.fleet.Close()
 	s.manager.Close()
 	if s.store != nil {
 		// Stop the persistence drain and wait for its final flush, so
@@ -615,7 +638,14 @@ func (s *Server) submitEnvelope(env engine.JobEnvelope, mint bool) (*engine.Job,
 		}
 		delete(s.cache, key)
 	}
-	job, err := s.manager.Submit(spec, env.Seed)
+	// Every envelope submission is distributable: the canonical document and
+	// versioned wire kind are the job's wire identity, and remote workers
+	// resolve the pinned kind through their (fingerprint-verified) registry.
+	job, err := s.manager.SubmitJob("", spec, env.Seed, &engine.RemoteInfo{
+		WireKind: pinnedKind(rs.Kind, rs.Version),
+		Spec:     canonical,
+		Seed:     env.Seed,
+	})
 	if err != nil {
 		s.mu.Unlock()
 		return nil, false, jh, err
@@ -958,10 +988,14 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 		"catalog_fingerprint": engine.CatalogFingerprint(),
 		"kinds":               len(engine.SpecKinds()),
 		"engine":              s.manager.Engine().Stats(),
+		"dist":                s.fleet.Stats(),
 	})
 }
 
 func (s *Server) handleCreateJobV2(w http.ResponseWriter, r *http.Request) {
+	if !s.checkFingerprint(w, r) {
+		return
+	}
 	var env engine.JobEnvelope
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
@@ -1015,6 +1049,9 @@ type BatchResult struct {
 // typo'd field, the wrong JSON shape) errors its own slot exactly like an
 // unknown kind would, instead of failing the whole request's decode.
 func (s *Server) handleCreateBatch(w http.ResponseWriter, r *http.Request) {
+	if !s.checkFingerprint(w, r) {
+		return
+	}
 	var req struct {
 		Jobs []json.RawMessage `json:"jobs"`
 	}

@@ -1,15 +1,26 @@
 #!/usr/bin/env bash
-# bench.sh — record the engine scheduler's perf trajectory.
+# bench.sh — record the engine's perf trajectory.
 #
-# Runs the skewed-cost tail-latency benchmark (gocbench -sched, see
-# internal/schedbench) and writes BENCH_sched.json at the repo root:
-# makespan + p50/p99 task latency for FIFO vs size-aware (LPT) dispatch, the
-# FIFO/LPT speedup, and the fair-share phase's steal count. CI runs it
-# non-gating so every PR leaves a comparable datapoint.
+# Runs two benchmarks and writes their JSON reports at the repo root:
+#
+#   BENCH_sched.json — the skewed-cost tail-latency benchmark (gocbench
+#     -sched, see internal/schedbench): makespan + p50/p99 task latency for
+#     FIFO vs size-aware (LPT) dispatch, the FIFO/LPT speedup, and the
+#     fair-share phase's steal count.
+#   BENCH_dist.json — the distributed-execution benchmark (gocbench -dist,
+#     see internal/distbench): one sweep on a starved local pool vs the same
+#     pool plus a remote-worker fleet behind the lease coordinator, both
+#     makespans, the speedup, and the byte-identity check.
+#
+# CI runs it non-gating so every PR leaves comparable datapoints.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH_sched.json}"
-go run ./cmd/gocbench -sched "$OUT"
-echo "wrote $OUT:"
-cat "$OUT"
+SCHED_OUT="${1:-BENCH_sched.json}"
+DIST_OUT="${2:-BENCH_dist.json}"
+go run ./cmd/gocbench -sched "$SCHED_OUT"
+echo "wrote $SCHED_OUT:"
+cat "$SCHED_OUT"
+go run ./cmd/gocbench -dist "$DIST_OUT"
+echo "wrote $DIST_OUT:"
+cat "$DIST_OUT"
