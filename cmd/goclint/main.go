@@ -1,0 +1,57 @@
+// Command goclint is the repo's determinism multichecker: it loads the named
+// packages (./... by default), runs every analyzer in the goclint suite —
+// nodeterm, maporder, rngfork, errdrop — and exits nonzero if any finding
+// survives the //goclint:allow directives. CI gates on it via
+// scripts/lint.sh; see DESIGN.md "Determinism invariants and static
+// enforcement" for the rules and the directive grammar.
+//
+// Usage:
+//
+//	goclint [-list] [packages]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"gameofcoins/internal/analysis"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list the analyzers in the suite and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: goclint [-list] [packages]\n\nAnalyzers:\n")
+		for _, a := range analysis.All() {
+			fmt.Fprintf(os.Stderr, "  %-10s %s\n", a.Name, a.Doc)
+		}
+	}
+	flag.Parse()
+	if *list {
+		for _, a := range analysis.All() {
+			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := analysis.LoadPackages(".", patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "goclint:", err)
+		os.Exit(2)
+	}
+	diags, err := analysis.Lint(pkgs, analysis.All())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "goclint:", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "goclint: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))
+		os.Exit(1)
+	}
+}

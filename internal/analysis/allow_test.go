@@ -1,0 +1,33 @@
+package analysis
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestParseAllowDirective pins the directive grammar documented in DESIGN.md:
+// //goclint:allow rule[,rule...] [-- rationale].
+func TestParseAllowDirective(t *testing.T) {
+	cases := []struct {
+		text  string
+		rules []string
+	}{
+		{"//goclint:allow nodeterm", []string{"nodeterm"}},
+		{"//goclint:allow nodeterm -- scheduler EWMA timing", []string{"nodeterm"}},
+		{"//goclint:allow nodeterm, maporder", []string{"nodeterm", "maporder"}},
+		{"//goclint:allow nodeterm,maporder -- both apply", []string{"nodeterm", "maporder"}},
+		{"//goclint:allow\terrdrop", []string{"errdrop"}},
+		{"//goclint:allow", nil},                   // no rules named
+		{"//goclint:allow -- rationale only", nil}, // still no rules
+		{"//goclint:allowance nodeterm", nil},      // not the directive
+		{"// goclint:allow nodeterm", nil},         // directives have no space after //
+		{"//goclint:deny nodeterm", nil},
+		{"// plain comment", nil},
+	}
+	for _, c := range cases {
+		rules, ok := parseAllowDirective(c.text)
+		if ok != (c.rules != nil) || !reflect.DeepEqual(rules, c.rules) {
+			t.Errorf("parseAllowDirective(%q) = %v, %v; want %v", c.text, rules, ok, c.rules)
+		}
+	}
+}

@@ -1,0 +1,83 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"gameofcoins/internal/analysis"
+	"gameofcoins/internal/analysis/analysistest"
+)
+
+// The four golden suites: each exercises positive findings (the `// want`
+// lines), negative space (idiomatic code that must stay silent), and
+// //goclint:allow suppression in one package under testdata/src.
+
+func TestNodetermGolden(t *testing.T) {
+	analysistest.Run(t, "nodeterm", analysis.Nodeterm)
+}
+
+func TestMaporderGolden(t *testing.T) {
+	analysistest.Run(t, "maporder", analysis.Maporder)
+}
+
+func TestRngforkGolden(t *testing.T) {
+	analysistest.Run(t, "rngfork", analysis.Rngfork)
+}
+
+func TestErrdropGolden(t *testing.T) {
+	analysistest.Run(t, "errdrop", analysis.Errdrop)
+}
+
+// TestAppliesTo pins the package scoping: the determinism rules bind the
+// result-producing packages and stay out of the serving/scheduling layers
+// (whose wall-clock use is legitimate), while errdrop does the reverse.
+func TestAppliesTo(t *testing.T) {
+	cases := []struct {
+		analyzer *analysis.Analyzer
+		path     string
+		want     bool
+	}{
+		{analysis.Nodeterm, "gameofcoins/internal/core", true},
+		{analysis.Nodeterm, "gameofcoins/internal/engine", true},
+		{analysis.Nodeterm, "gameofcoins/internal/equilibria", true},
+		{analysis.Nodeterm, "gameofcoins/internal/server", false},
+		{analysis.Nodeterm, "gameofcoins/internal/dist", false},
+		{analysis.Nodeterm, "gameofcoins/internal/schedbench", false},
+		{analysis.Rngfork, "gameofcoins/internal/replay", true},
+		{analysis.Rngfork, "gameofcoins/internal/server", false},
+		{analysis.Errdrop, "gameofcoins/internal/server", true},
+		{analysis.Errdrop, "gameofcoins/internal/store", true},
+		{analysis.Errdrop, "gameofcoins/internal/core", false},
+	}
+	for _, c := range cases {
+		if got := c.analyzer.AppliesTo(c.path); got != c.want {
+			t.Errorf("%s.AppliesTo(%q) = %v, want %v", c.analyzer.Name, c.path, got, c.want)
+		}
+	}
+	if analysis.Maporder.AppliesTo != nil {
+		t.Error("maporder is a universal rule; AppliesTo should be nil")
+	}
+}
+
+// TestSelfClean gates the suite on its own codebase: goclint must pass over
+// the full module, so `go test ./...` fails the moment a determinism
+// violation lands anywhere — the same check scripts/lint.sh runs in CI, held
+// here too so the gate survives even where only the test step runs.
+func TestSelfClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	pkgs, err := analysis.LoadPackages("../..", "./...")
+	if err != nil {
+		t.Fatalf("load module: %v", err)
+	}
+	if len(pkgs) < 20 {
+		t.Fatalf("loaded only %d packages; loader lost most of the module", len(pkgs))
+	}
+	diags, err := analysis.Lint(pkgs, analysis.All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("goclint finding: %s", d)
+	}
+}

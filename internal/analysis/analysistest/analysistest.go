@@ -1,0 +1,145 @@
+// Package analysistest runs a goclint analyzer over a golden testdata
+// package and checks its findings against `// want` annotations, mirroring
+// golang.org/x/tools/go/analysis/analysistest on the standard library alone.
+//
+// A golden package lives in testdata/src/<name>/ and is ordinary Go source
+// (it may import the stdlib and this module's packages). Lines expected to
+// produce a finding carry a trailing comment:
+//
+//	r := rng.New(7) // want `constructs a fresh root generator`
+//
+// The backquoted string is a regexp matched against the diagnostic message.
+// Every want must be matched by a finding on its line, every finding must be
+// covered by a want, and findings suppressed by //goclint:allow directives
+// must not surface at all — so each golden suite exercises positive,
+// negative, and suppressed cases in one package.
+package analysistest
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"gameofcoins/internal/analysis"
+)
+
+// wantRe extracts the expectation from a `// want ...` comment. Both
+// backquoted and double-quoted patterns are accepted.
+var wantRe = regexp.MustCompile("//\\s*want\\s+(`([^`]*)`|\"([^\"]*)\")")
+
+// Run loads testdata/src/<dir> (relative to the calling test's directory),
+// type-checks it against the real module, runs the analyzer with its package
+// filter disabled (golden packages have synthetic import paths; the filter
+// has its own unit tests), applies //goclint:allow suppression, and diffs
+// the findings against the `// want` annotations.
+func Run(t *testing.T, dir string, a *analysis.Analyzer) {
+	t.Helper()
+	src := filepath.Join("testdata", "src", dir)
+	entries, err := os.ReadDir(src)
+	if err != nil {
+		t.Fatalf("read golden package: %v", err)
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	var paths []string
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		path := filepath.Join(src, e.Name())
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			t.Fatalf("parse %s: %v", path, err)
+		}
+		files = append(files, f)
+		paths = append(paths, path)
+	}
+	if len(files) == 0 {
+		t.Fatalf("golden package %s has no Go files", src)
+	}
+	pkg, err := analysis.CheckFiles(src, dir, fset, files)
+	if err != nil {
+		t.Fatalf("type-check golden package %s: %v", dir, err)
+	}
+	unfiltered := *a
+	unfiltered.AppliesTo = nil
+	diags, err := analysis.Lint([]*analysis.Package{pkg}, []*analysis.Analyzer{&unfiltered})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkDiags(t, diags, collectWants(t, paths))
+}
+
+// want is one expectation: a file/line plus the message pattern.
+type want struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+func collectWants(t *testing.T, paths []string) []*want {
+	t.Helper()
+	var wants []*want
+	for _, path := range paths {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			m := wantRe.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			pat := m[2]
+			if pat == "" {
+				pat = m[3]
+			}
+			re, err := regexp.Compile(pat)
+			if err != nil {
+				t.Fatalf("%s:%d: bad want pattern %q: %v", path, i+1, pat, err)
+			}
+			wants = append(wants, &want{file: path, line: i + 1, pattern: re})
+		}
+	}
+	return wants
+}
+
+func checkDiags(t *testing.T, diags []analysis.Diagnostic, wants []*want) {
+	t.Helper()
+	for _, d := range diags {
+		covered := false
+		for _, w := range wants {
+			if w.matched || !sameFile(w.file, d.Pos.Filename) || w.line != d.Pos.Line {
+				continue
+			}
+			if !w.pattern.MatchString(d.Message) {
+				t.Errorf("%s: message does not match want pattern %q", d, w.pattern)
+			}
+			w.matched = true
+			covered = true
+			break
+		}
+		if !covered {
+			t.Errorf("unexpected finding: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected a finding matching %q, got none", w.file, w.line, w.pattern)
+		}
+	}
+}
+
+// sameFile compares paths loosely: the parser records the relative testdata
+// path it was handed, but absolute paths are tolerated too.
+func sameFile(wantPath, gotPath string) bool {
+	return wantPath == gotPath ||
+		(filepath.Base(wantPath) == filepath.Base(gotPath) &&
+			strings.HasSuffix(filepath.Dir(gotPath), filepath.Dir(wantPath)))
+}

@@ -1,0 +1,122 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// watchedPkgFuncs are package-level functions whose error result, when
+// dropped on the persistence/serving path, loses durable state or serves a
+// silently-wrong document. PR 3's bugfix history is exactly this class.
+var watchedPkgFuncs = map[string]bool{
+	"encoding/json.Marshal":       true,
+	"encoding/json.MarshalIndent": true,
+	"encoding/json.Unmarshal":     true,
+	"os.WriteFile":                true,
+	"os.Rename":                   true,
+	"os.Remove":                   true,
+	"os.RemoveAll":                true,
+	"os.MkdirAll":                 true,
+}
+
+// watchedMethods are method names whose dropped errors hide I/O failures —
+// writers, encoders, and flush/sync on any receiver.
+var watchedMethods = map[string]bool{
+	"Write":       true,
+	"WriteString": true,
+	"Flush":       true,
+	"Sync":        true,
+	"Encode":      true,
+}
+
+// Errdrop flags discarded errors from marshaling, writes, and store
+// operations in the persistence and serving packages: a bare call statement
+// that drops an error result, or a `_` in the error position of an
+// assignment. Both forms hide disk-full, short-write, and encode failures —
+// the store then diverges from memory and the next restart rehydrates the
+// wrong world. Deliberate drops (response writes after headers are sent)
+// carry //goclint:allow errdrop with the rationale inline.
+var Errdrop = &Analyzer{
+	Name:      "errdrop",
+	Doc:       "flag discarded errors from marshal/write/store calls on the persistence path",
+	AppliesTo: func(path string) bool { return errdropPackages[path] },
+	Run:       runErrdrop,
+}
+
+func runErrdrop(pass *Pass) error {
+	info := pass.Pkg.Info
+	forEachFunc(pass.Pkg, func(decl *ast.FuncDecl) {
+		ast.Inspect(decl.Body, func(n ast.Node) bool {
+			switch stmt := n.(type) {
+			case *ast.ExprStmt:
+				call, ok := stmt.X.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if name, watched := watchedErrCall(info, call); watched {
+					pass.Reportf(call.Pos(), "error from %s discarded by bare call; handle it or //goclint:allow errdrop with a rationale", name)
+				}
+			case *ast.AssignStmt:
+				if len(stmt.Rhs) != 1 {
+					return true
+				}
+				call, ok := stmt.Rhs[0].(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				name, watched := watchedErrCall(info, call)
+				if !watched {
+					return true
+				}
+				// The error is the last result; flag a blank in that slot.
+				if last := stmt.Lhs[len(stmt.Lhs)-1]; isBlank(last) {
+					pass.Reportf(last.Pos(), "error from %s assigned to _; handle it or //goclint:allow errdrop with a rationale", name)
+				}
+			}
+			return true
+		})
+	})
+	return nil
+}
+
+func isBlank(expr ast.Expr) bool {
+	id, ok := expr.(*ast.Ident)
+	return ok && id.Name == "_"
+}
+
+// watchedErrCall reports whether call is a watched function or method whose
+// last result is an error, returning a printable name.
+func watchedErrCall(info *types.Info, call *ast.CallExpr) (string, bool) {
+	f := calleeFunc(info, call)
+	if f == nil {
+		return "", false
+	}
+	sig, ok := f.Type().(*types.Signature)
+	if !ok || sig.Results().Len() == 0 {
+		return "", false
+	}
+	last := sig.Results().At(sig.Results().Len() - 1).Type()
+	if !isErrorType(last) {
+		return "", false
+	}
+	if name := pkgFuncName(f); name != "" {
+		return name, watchedPkgFuncs[name]
+	}
+	// Methods: watched by name anywhere, and every error-returning method of
+	// the store package itself (PutJob, Append, Compact, …) — those are the
+	// durability writes.
+	if watchedMethods[f.Name()] {
+		return "(method) " + f.Name(), true
+	}
+	if f.Pkg() != nil && strings.HasSuffix(f.Pkg().Path(), "/internal/store") {
+		return "store." + f.Name(), true
+	}
+	return "", false
+}
+
+// isErrorType reports whether t is the built-in error interface.
+func isErrorType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Pkg() == nil && named.Obj().Name() == "error"
+}

@@ -1,0 +1,186 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Maporder flags `for range` over a map whose body leaks iteration order into
+// ordered output: appending to a slice that is never subsequently sorted,
+// writing bytes (io writes, fmt prints, encoder calls), marshaling JSON, or
+// accumulating floating-point sums (float addition is not associative, so the
+// low bits depend on visit order). Go randomizes map iteration per run, so
+// any of these silently breaks byte-identical results — the classic killer in
+// catalog, stats, and result assembly.
+//
+// The benign collect-then-sort idiom is recognized: an append target that is
+// passed to a sort.* or slices.Sort* call later in the same function does not
+// fire.
+var Maporder = &Analyzer{
+	Name: "maporder",
+	Doc:  "flag map iteration whose order leaks into slices, output, or float accumulation",
+	Run:  runMaporder,
+}
+
+func runMaporder(pass *Pass) error {
+	forEachFunc(pass.Pkg, func(decl *ast.FuncDecl) {
+		ast.Inspect(decl.Body, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			if t := pass.Pkg.Info.TypeOf(rs.X); t == nil || !isMap(t) {
+				return true
+			}
+			checkMapRangeBody(pass, decl, rs)
+			return true
+		})
+	})
+	return nil
+}
+
+func isMap(t types.Type) bool {
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// checkMapRangeBody looks for order-sensitive sinks inside one map-range body.
+func checkMapRangeBody(pass *Pass, decl *ast.FuncDecl, rs *ast.RangeStmt) {
+	info := pass.Pkg.Info
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch node := n.(type) {
+		case *ast.CallExpr:
+			if isBuiltinAppend(info, node) && len(node.Args) > 0 {
+				obj := rootObject(info, node.Args[0])
+				if obj != nil && !within(obj.Pos(), rs) && !sortedAfter(info, decl, rs, obj) {
+					pass.Reportf(node.Pos(),
+						"append to %s inside map iteration leaks map order; iterate sorted keys or sort %s before use",
+						obj.Name(), obj.Name())
+				}
+				return true
+			}
+			if name, sink := orderedSink(info, node); sink {
+				pass.Reportf(node.Pos(),
+					"%s inside map iteration emits output in map order; iterate sorted keys instead", name)
+			}
+		case *ast.AssignStmt:
+			if node.Tok != token.ADD_ASSIGN && node.Tok != token.SUB_ASSIGN {
+				return true
+			}
+			for _, lhs := range node.Lhs {
+				obj := rootObject(info, lhs)
+				if obj == nil || within(obj.Pos(), rs) {
+					continue
+				}
+				if t := info.TypeOf(lhs); t != nil && isFloat(t) {
+					pass.Reportf(node.Pos(),
+						"floating-point accumulation into %s inside map iteration is order-dependent in the low bits; sum over sorted keys",
+						obj.Name())
+				}
+			}
+		}
+		return true
+	})
+}
+
+func isFloat(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// isBuiltinAppend reports whether call is the append builtin.
+func isBuiltinAppend(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "append" {
+		return false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// orderedSink reports whether call writes ordered output: io/fmt writes,
+// streaming encoders, or per-iteration JSON marshaling.
+func orderedSink(info *types.Info, call *ast.CallExpr) (string, bool) {
+	f := calleeFunc(info, call)
+	if f == nil {
+		return "", false
+	}
+	switch pkgFuncName(f) {
+	case "fmt.Print", "fmt.Printf", "fmt.Println", "fmt.Fprint", "fmt.Fprintf", "fmt.Fprintln",
+		"encoding/json.Marshal", "encoding/json.MarshalIndent":
+		return pkgFuncName(f), true
+	}
+	if sig, ok := f.Type().(*types.Signature); ok && sig.Recv() != nil {
+		switch f.Name() {
+		case "Write", "WriteString", "WriteByte", "WriteRune", "Encode":
+			return "call of " + f.Name(), true
+		}
+	}
+	return "", false
+}
+
+// rootObject resolves the base identifier of an lvalue-ish expression
+// (x, x.f, x[i], *x) to its declaring object.
+func rootObject(info *types.Info, expr ast.Expr) types.Object {
+	for {
+		switch e := ast.Unparen(expr).(type) {
+		case *ast.Ident:
+			if obj := info.Uses[e]; obj != nil {
+				return obj
+			}
+			return info.Defs[e]
+		case *ast.SelectorExpr:
+			expr = e.X
+		case *ast.IndexExpr:
+			expr = e.X
+		case *ast.StarExpr:
+			expr = e.X
+		default:
+			return nil
+		}
+	}
+}
+
+// within reports whether pos falls inside the node's source extent.
+func within(pos token.Pos, n ast.Node) bool {
+	return n.Pos() <= pos && pos < n.End()
+}
+
+// sortedAfter reports whether obj is passed to a sort.* / slices.* call after
+// the range statement in the same function — the collect-then-sort idiom.
+func sortedAfter(info *types.Info, decl *ast.FuncDecl, rs *ast.RangeStmt, obj types.Object) bool {
+	found := false
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rs.End() {
+			return true
+		}
+		f := calleeFunc(info, call)
+		if f == nil || f.Pkg() == nil {
+			return true
+		}
+		if p := f.Pkg().Path(); p != "sort" && p != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			mentions := false
+			ast.Inspect(arg, func(an ast.Node) bool {
+				if id, ok := an.(*ast.Ident); ok && info.Uses[id] == obj {
+					mentions = true
+					return false
+				}
+				return true
+			})
+			if mentions {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,101 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ModulePath is the import-path root of this repository.
+const ModulePath = "gameofcoins"
+
+// determinismPackages are the result-producing packages bound by the full
+// determinism contract: everything a sweep result is computed from. A
+// nondeterministic value observed anywhere here can change marshaled result
+// bytes, which breaks the byte-identical guarantees PR 1 (worker-count
+// independence), PR 3 (restart recomputation), and PR 6 (distributed
+// first-writer-wins) are built on. Scheduler and serving code (internal/dist,
+// internal/server, the benches) are deliberately absent: wall-clock is
+// legitimate there, and the engine's own timing sites carry explicit
+// //goclint:allow directives instead.
+var determinismPackages = map[string]bool{
+	ModulePath + "/internal/core":        true,
+	ModulePath + "/internal/equilibria":  true,
+	ModulePath + "/internal/design":      true,
+	ModulePath + "/internal/learning":    true,
+	ModulePath + "/internal/replay":      true,
+	ModulePath + "/internal/market":      true,
+	ModulePath + "/internal/sim":         true,
+	ModulePath + "/internal/manip":       true,
+	ModulePath + "/internal/security":    true,
+	ModulePath + "/internal/exact":       true,
+	ModulePath + "/internal/engine":      true,
+	ModulePath + "/internal/rng":         true,
+	ModulePath + "/internal/stats":       true,
+	ModulePath + "/internal/chain":       true,
+	ModulePath + "/internal/mining":      true,
+	ModulePath + "/internal/potential":   true,
+	ModulePath + "/internal/numeric":     true,
+	ModulePath + "/internal/experiments": true,
+}
+
+// IsDeterminismPackage reports whether the import path is bound by the
+// determinism contract (see determinismPackages).
+func IsDeterminismPackage(path string) bool { return determinismPackages[path] }
+
+// errdropPackages are the persistence/serving packages where a silently
+// dropped error loses durable state — PR 3's bugfix history is exactly this
+// class (store writes and marshals whose failures vanished).
+var errdropPackages = map[string]bool{
+	ModulePath + "/internal/server": true,
+	ModulePath + "/internal/store":  true,
+}
+
+// usedPackage resolves expr as a reference to an imported package: for
+// `time.Now` it returns the *types.PkgName for `time`. Returns nil when expr
+// is not a package-qualified selector (e.g. a method call, or the name is
+// shadowed by a local variable).
+func usedPackage(info *types.Info, expr ast.Expr) *types.PkgName {
+	sel, ok := expr.(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	pkgName, _ := info.Uses[id].(*types.PkgName)
+	return pkgName
+}
+
+// calleeFunc resolves a call's callee to its *types.Func (package function or
+// method), or nil for builtins, conversions, and calls of function values.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		f, _ := info.Uses[fun].(*types.Func)
+		return f
+	case *ast.SelectorExpr:
+		f, _ := info.Uses[fun.Sel].(*types.Func)
+		return f
+	}
+	return nil
+}
+
+// pkgFuncName returns "path.Name" for a package-level function, or "" for
+// methods and nil funcs.
+func pkgFuncName(f *types.Func) string {
+	if f == nil || f.Pkg() == nil {
+		return ""
+	}
+	if sig, ok := f.Type().(*types.Signature); ok && sig.Recv() != nil {
+		return ""
+	}
+	return f.Pkg().Path() + "." + f.Name()
+}
+
+// isRngPath reports whether path is the deterministic rng package (matched by
+// suffix so analysistest fixtures exercising a vendored copy still resolve).
+func isRngPath(path string) bool {
+	return path == ModulePath+"/internal/rng" || strings.HasSuffix(path, "/internal/rng")
+}

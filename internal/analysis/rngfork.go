@@ -1,0 +1,79 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Rngfork requires task-level randomness to derive from the forked *rng.Rand
+// stream a task is handed. Constructing a fresh root generator (rng.New,
+// rng.NewStream) inside a function that already holds a forked stream
+// re-roots the randomness tree: the draws stop being a pure function of
+// (job seed, task index) and start depending on whatever ad-hoc seed the call
+// site picked — typically correlated across tasks, and invisible to the
+// engine's worker-count-independence guarantee. Root generators are
+// constructed exactly once per job, by the engine (rng.New(seed)); everything
+// below forks.
+var Rngfork = &Analyzer{
+	Name:      "rngfork",
+	Doc:       "require task randomness to derive from the forked *rng.Rand parameter, not fresh rng.New roots",
+	AppliesTo: IsDeterminismPackage,
+	Run:       runRngfork,
+}
+
+func runRngfork(pass *Pass) error {
+	if isRngPath(pass.Pkg.Path) {
+		// The rng package itself constructs generators: Split and Fork are
+		// exactly the sanctioned NewStream call sites.
+		return nil
+	}
+	forEachFunc(pass.Pkg, func(decl *ast.FuncDecl) {
+		if !hasRandParam(pass.Pkg.Info, decl) {
+			return
+		}
+		ast.Inspect(decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			f := calleeFunc(pass.Pkg.Info, call)
+			if f == nil || f.Pkg() == nil || !isRngPath(f.Pkg().Path()) {
+				return true
+			}
+			if f.Name() == "New" || f.Name() == "NewStream" {
+				pass.Reportf(call.Pos(),
+					"rng.%s constructs a fresh root generator in a function that already holds a forked *rng.Rand; derive from that stream (Fork/Split) instead",
+					f.Name())
+			}
+			return true
+		})
+	})
+	return nil
+}
+
+// hasRandParam reports whether the function signature includes a *rng.Rand
+// parameter — the marker of task-context code handed a forked stream.
+func hasRandParam(info *types.Info, decl *ast.FuncDecl) bool {
+	if decl.Type.Params == nil {
+		return false
+	}
+	for _, field := range decl.Type.Params.List {
+		if t := info.TypeOf(field.Type); t != nil && isRandType(t) {
+			return true
+		}
+	}
+	return false
+}
+
+// isRandType reports whether t is rng.Rand or *rng.Rand.
+func isRandType(t types.Type) bool {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Rand" && obj.Pkg() != nil && isRngPath(obj.Pkg().Path())
+}

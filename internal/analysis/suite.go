@@ -1,0 +1,7 @@
+package analysis
+
+// All returns the full goclint suite in reporting order. cmd/goclint runs
+// exactly this set; adding an analyzer here is all it takes to gate CI on it.
+func All() []*Analyzer {
+	return []*Analyzer{Nodeterm, Maporder, Rngfork, Errdrop}
+}

@@ -1,0 +1,110 @@
+// Package maporder is the golden suite for the maporder analyzer: map
+// iteration leaking order into slices, writes, or float sums is flagged; the
+// collect-then-sort idiom, map-to-map rebuilds, and integer counting are not.
+package maporder
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+func leakAppend(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want `append to keys inside map iteration leaks map order`
+	}
+	return keys
+}
+
+func collectThenSort(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func collectThenSortSlice(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+func leakPrint(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v) // want `fmt.Println inside map iteration emits output in map order`
+	}
+}
+
+func leakBuilder(m map[string]int, b *strings.Builder) {
+	for k := range m {
+		b.WriteString(k) // want `call of WriteString inside map iteration emits output in map order`
+	}
+}
+
+func leakMarshal(m map[string]int, sink func([]byte)) {
+	for k := range m {
+		raw, _ := json.Marshal(k) // want `encoding/json.Marshal inside map iteration emits output in map order`
+		sink(raw)
+	}
+}
+
+func leakFloatSum(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v // want `floating-point accumulation into sum inside map iteration`
+	}
+	return sum
+}
+
+// intCounting is order-insensitive: integer addition commutes exactly.
+func intCounting(m map[string]int) int {
+	var n int
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// mapToMap is order-insensitive: the destination has no order either.
+func mapToMap(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// localScratch appends to a slice born inside the iteration — no order
+// escapes the loop body.
+func localScratch(m map[string][]int) int {
+	total := 0
+	for _, vs := range m {
+		var local []int
+		local = append(local, vs...)
+		total += len(local)
+	}
+	return total
+}
+
+// sliceRange is not a map range at all.
+func sliceRange(xs []string) []string {
+	var out []string
+	for _, x := range xs {
+		out = append(out, x)
+	}
+	return out
+}
+
+func allowedEmit(m map[string]int) {
+	for k := range m {
+		//goclint:allow maporder -- golden: debug dump, order immaterial
+		fmt.Println(k)
+	}
+}

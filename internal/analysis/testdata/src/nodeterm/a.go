@@ -1,0 +1,56 @@
+// Package nodeterm is the golden suite for the nodeterm analyzer: ambient
+// nondeterminism (wall clock, global randomness, environment) is flagged,
+// pure time arithmetic is not, and //goclint:allow suppresses with rationale.
+package nodeterm
+
+import (
+	"math/rand" // want `import of math/rand in a result-producing package`
+	"os"
+	"time"
+)
+
+func clockReads() time.Duration {
+	t := time.Now()    // want `call of time.Now in a result-producing package`
+	d := time.Since(t) // want `call of time.Since in a result-producing package`
+	time.Sleep(d)      // want `call of time.Sleep in a result-producing package`
+	return d
+}
+
+func environment() string {
+	if _, ok := os.LookupEnv("GOC_DEBUG"); ok { // want `call of os.LookupEnv in a result-producing package`
+		return os.Getenv("GOC_DEBUG") // want `call of os.Getenv in a result-producing package`
+	}
+	return ""
+}
+
+func globalRandomness() int {
+	return rand.Intn(6) // the import is the finding; uses ride on it
+}
+
+// durationArithmetic shows the negative space: the time package itself is
+// fine — only ambient reads are banned.
+func durationArithmetic(d time.Duration) time.Duration {
+	deadline := time.Unix(0, 0).Add(d)
+	return deadline.Sub(time.Unix(0, 0)) * 2
+}
+
+// fileReads are deterministic inputs, not ambient state.
+func fileReads(path string) ([]byte, error) {
+	return os.ReadFile(path)
+}
+
+func allowedAbove() time.Time {
+	//goclint:allow nodeterm -- golden: legitimate scheduler-style timing
+	return time.Now()
+}
+
+func allowedSameLine() time.Time {
+	return time.Now() //goclint:allow nodeterm -- golden: same-line form
+}
+
+// allowedWrongRule shows that a directive naming a different rule does NOT
+// suppress; the finding must still surface.
+func allowedWrongRule() time.Time {
+	//goclint:allow maporder -- golden: names the wrong rule
+	return time.Now() // want `call of time.Now in a result-producing package`
+}

@@ -1,0 +1,55 @@
+// Package rngfork is the golden suite for the rngfork analyzer: constructing
+// a fresh root generator where a forked *rng.Rand stream is already in hand
+// is flagged; root construction at the job boundary is not.
+package rngfork
+
+import "gameofcoins/internal/rng"
+
+// runTask models a spec's per-task body: it is handed the forked stream.
+func runTask(i int, r *rng.Rand) float64 {
+	fresh := rng.New(uint64(i)) // want `rng.New constructs a fresh root generator`
+	_ = fresh
+	child := r.Fork(uint64(i))
+	return child.Float64()
+}
+
+func reStream(r *rng.Rand) *rng.Rand {
+	return rng.NewStream(1, 2) // want `rng.NewStream constructs a fresh root generator`
+}
+
+// nested function literals inside task context are still task context.
+func nested(r *rng.Rand) func() *rng.Rand {
+	return func() *rng.Rand {
+		return rng.New(3) // want `rng.New constructs a fresh root generator`
+	}
+}
+
+// root is the job boundary: no forked stream in scope, so constructing the
+// root generator is exactly right.
+func root(seed uint64) *rng.Rand {
+	return rng.New(seed)
+}
+
+// rootLoop seeds per-index roots without any parent stream — deterministic
+// and legal (the engine itself does rng.New(seed) once per job).
+func rootLoop(seeds []uint64) []*rng.Rand {
+	out := make([]*rng.Rand, 0, len(seeds))
+	for _, s := range seeds {
+		out = append(out, rng.New(s))
+	}
+	return out
+}
+
+// forkFanout is the sanctioned shape: children derive from the parent.
+func forkFanout(r *rng.Rand, n int) []*rng.Rand {
+	out := make([]*rng.Rand, n)
+	for i := range out {
+		out[i] = r.Fork(uint64(i))
+	}
+	return out
+}
+
+func allowedReroot(r *rng.Rand) *rng.Rand {
+	//goclint:allow rngfork -- golden: intentional reroot for a differential test
+	return rng.NewStream(1, 2)
+}

@@ -219,6 +219,9 @@ func (c *Coordinator) Report(rep ReportRequest) (ReportResponse, error) {
 			for i := range fresh {
 				idxs = append(idxs, i)
 			}
+			// Requeue in index order, not map order, so the engine re-pends
+			// the handed-back tasks identically on every run.
+			sort.Ints(idxs)
 			c.mu.Lock()
 			c.requeued += uint64(len(idxs))
 			c.mu.Unlock()
@@ -317,6 +320,9 @@ func (c *Coordinator) sweep() {
 				overdue = append(overdue, id)
 			}
 		}
+		// Expire in lease-ID order, not map order: requeue order is then a
+		// deterministic function of which leases lapsed, not of map hashing.
+		sort.Strings(overdue)
 		c.expired += uint64(len(overdue))
 		// Workers silent for 10 lease TTLs with no leases out are dropped
 		// from the fleet view; ones with leases are reaped by lease expiry
@@ -345,6 +351,7 @@ func (c *Coordinator) Close() {
 		for id := range c.leases {
 			ids = append(ids, id)
 		}
+		sort.Strings(ids)
 		c.mu.Unlock()
 		for _, id := range ids {
 			c.closeLease(id, true)

@@ -1,0 +1,130 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+)
+
+// The two hand-rolled parsers on the submission path — the JSON-Schema
+// subset validator and the kind@vN wire parser feeding envelope resolution —
+// see arbitrary client bytes before anything else does. These fuzz targets
+// hold them to "reject, never panic": a malformed document must come back as
+// an error (for the schema, always a *SchemaError), and verdicts must be
+// deterministic, because validation runs on every replica and a
+// replica-dependent verdict would split the cache. CI runs each briefly
+// (-fuzztime 30s, non-gating); the corpora grow under testdata/fuzz.
+
+// FuzzSchemaValidate feeds arbitrary documents to every built-in spec
+// schema.
+func FuzzSchemaValidate(f *testing.F) {
+	f.Add([]byte(`{"runs": 3, "gen": {"miners": 2, "coins": 2}}`))
+	f.Add([]byte(`{"pairs": 1}`))
+	f.Add([]byte(`{"runs": "three"}`))
+	f.Add([]byte(`{"unknown_field": true}`))
+	f.Add([]byte(`{"gen": {"miners": 1e2}}`))
+	f.Add([]byte(`[1, 2, 3]`))
+	f.Add([]byte(`nul`))
+	f.Add([]byte(`{"runs": 18446744073709551616}`))
+	f.Add([]byte(`{"game": {"miners": [{"power": 1.5}]}}`))
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		schemas := []*Schema{
+			learnSweepSchema(),
+			designSweepSchema(),
+			replaySweepSchema(),
+			equilibriumSweepSchema(),
+		}
+		for _, s := range schemas {
+			err := s.Validate(raw)
+			if err != nil {
+				var se *SchemaError
+				if !asSchemaError(err, &se) {
+					t.Fatalf("Validate returned a non-*SchemaError: %T %v", err, err)
+				}
+			}
+			// Validation is pure: the same document must get the same verdict
+			// on every replica, or identical submissions would 422 on one
+			// server and run on another.
+			again := s.Validate(raw)
+			if (err == nil) != (again == nil) {
+				t.Fatalf("Validate verdict not deterministic: %v then %v", err, again)
+			}
+		}
+	})
+}
+
+func asSchemaError(err error, target **SchemaError) bool {
+	se, ok := err.(*SchemaError)
+	if ok {
+		*target = se
+	}
+	return ok
+}
+
+// FuzzParseKindVersion holds the wire-kind parser to its canonical-spelling
+// contract: accepted kinds round-trip through VersionedKind, and no input
+// panics.
+func FuzzParseKindVersion(f *testing.F) {
+	f.Add("learn_sweep")
+	f.Add("learn_sweep@v2")
+	f.Add("@v1")
+	f.Add("k@v01")
+	f.Add("k@v+2")
+	f.Add("k@")
+	f.Add("k@v")
+	f.Add("k@v0")
+	f.Add("k@v1@v2")
+	f.Add("k@v18446744073709551616")
+	f.Fuzz(func(t *testing.T, wire string) {
+		kind, version, err := ParseKindVersion(wire)
+		if err != nil {
+			if kind != "" || version != 0 {
+				t.Fatalf("ParseKindVersion(%q) errored but returned (%q, %d)", wire, kind, version)
+			}
+			return
+		}
+		if strings.Contains(kind, "@") {
+			t.Fatalf("ParseKindVersion(%q) accepted a kind containing '@': %q", wire, kind)
+		}
+		if version < 0 {
+			t.Fatalf("ParseKindVersion(%q) returned negative version %d", wire, version)
+		}
+		// A pinned spelling must round-trip exactly: parse(render(kind, vN))
+		// == (kind, vN) for N >= 2 (v1 and "latest" both render bare).
+		if version >= 2 {
+			k2, v2, err2 := ParseKindVersion(VersionedKind(kind, version))
+			if err2 != nil || k2 != kind || v2 != version {
+				t.Fatalf("round-trip of (%q, %d) gave (%q, %d, %v)", kind, version, k2, v2, err2)
+			}
+		}
+	})
+}
+
+// FuzzResolveEnvelope drives the full envelope-resolution path — kind
+// parsing, registry lookup, schema validation, decode — with arbitrary kind
+// strings and spec documents. Every outcome must be an error or a valid
+// resolved spec; nothing may panic.
+func FuzzResolveEnvelope(f *testing.F) {
+	f.Add("learn_sweep", []byte(`{"runs": 2, "gen": {"miners": 2, "coins": 2}}`))
+	f.Add("learn_sweep@v1", []byte(`{"runs": 1}`))
+	f.Add("equilibrium_sweep", []byte(`{"games": 1, "gen": {"miners": 2, "coins": 2}}`))
+	f.Add("design_sweep", []byte(`{"pairs": -1}`))
+	f.Add("nope", []byte(`{}`))
+	f.Add("learn_sweep@v99", []byte(`{}`))
+	f.Add("replay_sweep", []byte(`{"params": {"miners": -5}}`))
+	f.Add("", []byte(``))
+	f.Fuzz(func(t *testing.T, wire string, raw []byte) {
+		rs, err := ResolveEnvelope(JobEnvelope{Kind: wire, Seed: 1, Spec: raw})
+		if err != nil {
+			return
+		}
+		if rs.Spec == nil {
+			t.Fatalf("ResolveEnvelope(%q) returned nil spec without error", wire)
+		}
+		// A resolved spec must re-encode canonically — that encoding is what
+		// cache keys hash, so a marshal failure here would be a job that runs
+		// but can never be cached or persisted.
+		if _, cerr := CanonicalSpecJSON(rs.Spec); cerr != nil {
+			t.Fatalf("resolved %q spec does not re-encode: %v", wire, cerr)
+		}
+	})
+}

@@ -481,13 +481,17 @@ func (m *Manager) Statuses() []Status {
 		jobs = append(jobs, j)
 	}
 	m.mu.Unlock()
+	// Sort the jobs themselves (not just the derived statuses) so the status
+	// snapshots are also TAKEN in ID order — map iteration order never
+	// reaches anything observable.
+	sort.Slice(jobs, func(i, k int) bool {
+		a, b := jobs[i].ID(), jobs[k].ID()
+		return len(a) < len(b) || (len(a) == len(b) && a < b)
+	})
 	out := make([]Status, 0, len(jobs))
 	for _, j := range jobs {
 		out = append(out, j.Status())
 	}
-	sort.Slice(out, func(i, k int) bool {
-		return len(out[i].ID) < len(out[k].ID) || (len(out[i].ID) == len(out[k].ID) && out[i].ID < out[k].ID)
-	})
 	return out
 }
 

@@ -104,6 +104,7 @@ import (
 	"sort"
 	"strconv"
 	"sync"
+	"sync/atomic"
 
 	"gameofcoins/internal/core"
 	"gameofcoins/internal/dist"
@@ -167,6 +168,12 @@ type Server struct {
 	pstop     chan struct{}
 	pdone     chan struct{}
 	pstopOnce sync.Once
+
+	// Persist failures are recorded, not dropped: a store write that errors
+	// leaves the on-disk log behind memory, which the next restart silently
+	// recomputes — invisible unless counted. /healthz surfaces both fields.
+	persistFails   atomic.Uint64
+	persistLastErr atomic.Value // string: most recent store-write error
 
 	mu      sync.Mutex
 	closing bool // set by Close: suppress terminal records for shutdown-canceled jobs
@@ -267,6 +274,19 @@ func NewWithOptions(workers int, opts Options) (*Server, error) {
 // the remaining hairline race is only ever a terminal record, and losing
 // one is benign: the record stays "submitted" and the next life recomputes
 // the identical result.
+// recordPersist tallies a store-write failure instead of dropping it: the
+// persist queue has no request to fail, so the error surfaces as a counter
+// and last-error string in /healthz. The in-memory tables stay authoritative
+// for this life; the on-disk log is behind, which the next restart resolves
+// by recomputing — the counter is what makes that drift observable.
+func (s *Server) recordPersist(err error) {
+	if err == nil {
+		return
+	}
+	s.persistFails.Add(1)
+	s.persistLastErr.Store(err.Error())
+}
+
 func (s *Server) enqueuePersist(op func()) {
 	if s.store == nil {
 		return
@@ -418,7 +438,7 @@ func (s *Server) recomputeJob(rec store.JobRecord, failInterrupted bool, reason 
 			rec.State = store.JobFailed
 			rec.Error = msg
 			rec.Result = nil
-			_ = s.store.PutJob(rec)
+			s.recordPersist(s.store.PutJob(rec))
 		}
 	}
 	if failInterrupted {
@@ -447,7 +467,7 @@ func (s *Server) recomputeJob(rec store.JobRecord, failInterrupted bool, reason 
 	rec.State = store.JobSubmitted
 	rec.Result = nil
 	rec.Error = ""
-	_ = s.store.PutJob(rec)
+	s.recordPersist(s.store.PutJob(rec))
 	s.cache[rec.Key] = rec.ID
 	return []watchStart{{job: job, rec: rec}}
 }
@@ -665,7 +685,7 @@ func (s *Server) submitEnvelope(env engine.JobEnvelope, mint bool) (*engine.Job,
 	// Enqueued before the mint/pin below so the log always carries a job
 	// record ahead of the handle/pin ops that reference it — what the
 	// store's garbage collection keys on.
-	s.enqueuePersist(func() { _ = s.store.PutJob(rec) })
+	s.enqueuePersist(func() { s.recordPersist(s.store.PutJob(rec)) })
 	// Publish the key before releasing the lock so no identical submission
 	// can slip between submit and publish; retract it if the job fails or
 	// is canceled.
@@ -697,7 +717,7 @@ func (s *Server) watchJob(job *engine.Job, rec store.JobRecord) {
 				rec.State = store.JobDone
 				rec.Result = b
 				rec.Error = ""
-				s.enqueuePersist(func() { _ = s.store.PutJob(rec) })
+				s.enqueuePersist(func() { s.recordPersist(s.store.PutJob(rec)) })
 			}
 			// A result that cannot be marshalled also cannot be served; the
 			// record stays "submitted" and a restart recomputes it.
@@ -719,7 +739,7 @@ func (s *Server) watchJob(job *engine.Job, rec store.JobRecord) {
 		}
 		rec.Error = st.Error
 		rec.Result = nil
-		s.enqueuePersist(func() { _ = s.store.PutJob(rec) })
+		s.enqueuePersist(func() { s.recordPersist(s.store.PutJob(rec)) })
 	}()
 }
 
@@ -730,7 +750,7 @@ func (s *Server) pinV1Locked(jobID string) {
 		return
 	}
 	s.v1pin[jobID] = struct{}{}
-	s.enqueuePersist(func() { _ = s.store.PutPin(jobID) })
+	s.enqueuePersist(func() { s.recordPersist(s.store.PutPin(jobID)) })
 }
 
 // mintHandleLocked creates a fresh handle claiming jobID and enqueues its
@@ -744,7 +764,7 @@ func (s *Server) mintHandleLocked(jobID string) JobHandle {
 	s.handles[handle] = jobID
 	s.handleOrder = append(s.handleOrder, handle)
 	s.refs[jobID]++
-	s.enqueuePersist(func() { _ = s.store.PutHandle(handle, jobID) })
+	s.enqueuePersist(func() { s.recordPersist(s.store.PutHandle(handle, jobID)) })
 	s.pruneHandlesLocked()
 	return JobHandle{Handle: handle, Clients: s.refs[jobID]}
 }
@@ -981,7 +1001,7 @@ func (s *Server) handleSpecEntry(w http.ResponseWriter, r *http.Request) {
 // cumulative steals), so queue pressure is observable without enumerating
 // jobs.
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{
+	body := map[string]any{
 		"status":              "ok",
 		"version":             Version,
 		"go":                  runtime.Version(),
@@ -989,7 +1009,14 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 		"kinds":               len(engine.SpecKinds()),
 		"engine":              s.manager.Engine().Stats(),
 		"dist":                s.fleet.Stats(),
-	})
+	}
+	if n := s.persistFails.Load(); n > 0 {
+		body["persist_failures"] = n
+		if msg, _ := s.persistLastErr.Load().(string); msg != "" {
+			body["persist_last_error"] = msg
+		}
+	}
+	writeJSON(w, http.StatusOK, body)
 }
 
 func (s *Server) handleCreateJobV2(w http.ResponseWriter, r *http.Request) {
@@ -1229,7 +1256,7 @@ func (s *Server) handleReleaseHandle(w http.ResponseWriter, r *http.Request) {
 // order of a handle's PutHandle and DeleteHandle always matches the
 // in-memory order — a removed handle can never "resurrect" in the store.
 func (s *Server) persistHandleRemovalLocked(handle string) {
-	s.enqueuePersist(func() { _ = s.store.DeleteHandle(handle) })
+	s.enqueuePersist(func() { s.recordPersist(s.store.DeleteHandle(handle)) })
 }
 
 // pruneHandlesLocked bounds the v2 handle bookkeeping. Handles are minted
@@ -1337,10 +1364,12 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 		code = http.StatusInternalServerError
 		enc = json.NewEncoder(&buf)
 		enc.SetIndent("", "  ")
+		//goclint:allow errdrop -- encoding a flat map[string]string cannot fail
 		_ = enc.Encode(map[string]string{"error": "encode response: " + err.Error()})
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
+	//goclint:allow errdrop -- headers are sent; a failed body write is the client hanging up
 	_, _ = w.Write(buf.Bytes())
 }
 

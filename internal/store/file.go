@@ -248,6 +248,7 @@ func (s *File) compactLocked() error {
 		}
 		if err != nil {
 			tmp.Close()
+			//goclint:allow errdrop -- best-effort tmp cleanup; the write error is what callers see
 			os.Remove(tmpPath)
 		}
 		return err == nil
@@ -256,6 +257,7 @@ func (s *File) compactLocked() error {
 		raw, err := json.Marshal(s.snap.Games[id])
 		if err != nil {
 			tmp.Close()
+			//goclint:allow errdrop -- best-effort tmp cleanup; the marshal error below is the failure
 			os.Remove(tmpPath)
 			return fmt.Errorf("store: compact game %s: %w", id, err)
 		}
@@ -286,14 +288,17 @@ func (s *File) compactLocked() error {
 	}
 	if err := tmp.Sync(); err != nil {
 		tmp.Close()
+		//goclint:allow errdrop -- best-effort tmp cleanup; the sync error below is the failure
 		os.Remove(tmpPath)
 		return fmt.Errorf("store: compact sync: %w", err)
 	}
 	if err := tmp.Close(); err != nil {
+		//goclint:allow errdrop -- best-effort tmp cleanup; the close error below is the failure
 		os.Remove(tmpPath)
 		return fmt.Errorf("store: compact close: %w", err)
 	}
 	if err := os.Rename(tmpPath, s.logPath()); err != nil {
+		//goclint:allow errdrop -- best-effort tmp cleanup; the rename error below is the failure
 		os.Remove(tmpPath)
 		return fmt.Errorf("store: compact rename: %w", err)
 	}
