@@ -26,6 +26,17 @@
 // wire surface; SubmitBatch sends up to server.MaxBatchJobs envelopes in one
 // round-trip and returns per-item handles or per-item errors.
 //
+// Results are also reachable before the aggregate exists: ResultRange
+// fetches any fully-computed span of per-task result documents mid-run, and
+// StreamResult delivers every per-task document in order as it completes —
+// validated against the "task" $def of the kind's result schema from the
+// catalog — then returns the terminal status:
+//
+//	st, err := h.StreamResult(ctx, func(task int, doc json.RawMessage) error {
+//		fmt.Printf("task %d: %s\n", task, doc)
+//		return nil
+//	})
+//
 // The fingerprint is also a submission guard: client.WithFingerprint(fp)
 // pins every request to a captured catalog, and a server whose spec surface
 // has drifted refuses pinned submissions with 409. Nothing else changes
@@ -476,18 +487,23 @@ func (h *Handle) connectEvents(ctx context.Context, lastEventID string) (*http.R
 }
 
 // streamEvents consumes one SSE connection, forwarding status snapshots to
-// ch and recording the last seen event ID for reconnects. It returns
-// whether the terminal status was delivered (the stream is complete) and
-// whether anything was delivered at all (the connection was healthy).
+// ch and recording the last seen event ID for reconnects. Only "progress"
+// and "end" events carry status documents; other event types — the server's
+// "result-range" notifications — advance the event ID (so a reconnect
+// resumes ranges correctly) but are not statuses and are never delivered
+// here. It returns whether the terminal status was delivered (the stream is
+// complete) and whether anything was delivered at all (the connection was
+// healthy).
 func streamEvents(ctx context.Context, body io.Reader, ch chan<- engine.Status, lastEventID *string) (terminal, delivered bool) {
 	sc := bufio.NewScanner(body)
 	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
-	var data string
+	var data, event string
 	for sc.Scan() {
 		line := sc.Text()
 		switch {
 		case line == "": // blank line terminates one SSE event
-			if data == "" {
+			if data == "" || (event != "progress" && event != "end") {
+				data, event = "", ""
 				continue
 			}
 			var st engine.Status
@@ -502,9 +518,11 @@ func streamEvents(ctx context.Context, body io.Reader, ch chan<- engine.Status, 
 					return true, true
 				}
 			}
-			data = ""
+			data, event = "", ""
 		case strings.HasPrefix(line, "id:"):
 			*lastEventID = strings.TrimSpace(strings.TrimPrefix(line, "id:"))
+		case strings.HasPrefix(line, "event:"):
+			event = strings.TrimSpace(strings.TrimPrefix(line, "event:"))
 		case strings.HasPrefix(line, "data:"):
 			data = strings.TrimSpace(strings.TrimPrefix(line, "data:"))
 		}
@@ -552,6 +570,92 @@ func (h *Handle) Result(ctx context.Context, out any) error {
 		return fmt.Errorf("client: decode result: %w", err)
 	}
 	return nil
+}
+
+// ResultRange fetches the per-task result documents of tasks [lo, hi) from
+// the job's result ledger (GET ?range=lo-hi). It works mid-run: any span the
+// server has fully computed is served before the job finishes. The returned
+// *APIError carries 400 for an out-of-bounds span, 409 while some task in
+// the span is still computing (retry once the watermark passes hi), and 410
+// for jobs without per-task documents (non-streamable kinds, or a job
+// restored already-finished from a previous server life).
+func (h *Handle) ResultRange(ctx context.Context, lo, hi int) ([]json.RawMessage, error) {
+	var out struct {
+		Results []json.RawMessage `json:"results"`
+	}
+	path := fmt.Sprintf("/v2/jobs/%s/result?range=%d-%d", h.id, lo, hi)
+	if err := h.c.do(ctx, http.MethodGet, path, nil, &out); err != nil {
+		return nil, err
+	}
+	return out.Results, nil
+}
+
+// StreamResult streams the job's per-task result documents in task order as
+// they complete, calling fn for each, and returns the job's terminal status
+// once every task has been delivered. It rides the SSE stream's watermark:
+// each time the contiguous completed prefix advances, the newly completed
+// span is fetched with ResultRange and handed to fn task by task — so a
+// consumer sees every result exactly once, in order, long before the
+// aggregate exists, and a stream cut by a server restart resumes where it
+// left off (persisted ranges survive the restart; nothing is re-delivered).
+//
+// Every document is validated against the "task" $def of the kind's result
+// schema from the server's catalog before fn sees it; a kind that publishes
+// no result schema (or no "task" def) streams unvalidated. fn returning an
+// error aborts the stream and returns that error.
+func (h *Handle) StreamResult(ctx context.Context, fn func(task int, doc json.RawMessage) error) (engine.Status, error) {
+	entry, err := h.c.Spec(ctx, h.Submitted.Kind)
+	if err != nil {
+		return engine.Status{}, fmt.Errorf("client: fetch result schema: %w", err)
+	}
+	schema := entry.ResultSchema
+	// Watch on a derived context so an early return (fn error, validation
+	// failure) releases the stream goroutine instead of stranding it.
+	wctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	ch, err := h.Watch(wctx)
+	if err != nil {
+		return engine.Status{}, err
+	}
+	next := 0
+	var last engine.Status
+	for st := range ch {
+		last = st
+		wm := st.Progress.Watermark
+		if wm <= next {
+			continue
+		}
+		docs, err := h.ResultRange(ctx, next, wm)
+		if err != nil {
+			// A restart can briefly rewind the servable prefix below an
+			// already-announced watermark (409); the next snapshots catch it
+			// back up. Anything else is fatal for the stream.
+			var apiErr *APIError
+			if errors.As(err, &apiErr) && apiErr.StatusCode == http.StatusConflict {
+				continue
+			}
+			return last, err
+		}
+		for k, doc := range docs {
+			if err := schema.ValidateDef("task", doc); err != nil {
+				return last, fmt.Errorf("client: task %d result: %w", next+k, err)
+			}
+			if err := fn(next+k, doc); err != nil {
+				return last, err
+			}
+		}
+		next = wm
+	}
+	if !last.State.Terminal() {
+		if err := ctx.Err(); err != nil {
+			return last, err
+		}
+		return last, fmt.Errorf("client: event stream ended before job %s finished", last.ID)
+	}
+	if last.State == engine.StateDone && next < last.Progress.Total {
+		return last, fmt.Errorf("client: job %s finished but only tasks [0,%d) of %d streamed", last.ID, next, last.Progress.Total)
+	}
+	return last, nil
 }
 
 // Release drops this client's claim on the job. The server cancels the

@@ -145,6 +145,10 @@ type (
 	SpecSchema = engine.Schema
 	// SpecCatalogEntry is one (kind, version) of the spec catalog.
 	SpecCatalogEntry = engine.CatalogEntry
+	// TaskRange is a half-open span [Lo, Hi) of task indices — the one
+	// range representation the result data plane uses end to end: lease
+	// spans, completed-result ranges, ?range=lo-hi queries, store records.
+	TaskRange = engine.TaskRange
 	// JobHandle is the v2 wire form of a per-client job handle: one client's
 	// reference-counted claim on a deduplicated server-side job.
 	JobHandle = server.JobHandle
@@ -216,13 +220,18 @@ func NewMemStore() Store { return store.NewMem() }
 func NewFileStore(dir string) (Store, error) { return store.OpenFile(dir) }
 
 // RegisterResultCodec registers a decoder reviving stored results of a
-// custom spec kind and version into their typed form after a restart.
-// Optional — versions without a codec still round-trip byte-identically as
-// raw JSON — but a registered codec means in-process consumers (Job.Result)
-// see the same types before and after rehydration. The (kind, version) must
-// already be registered via RegisterSpec.
-func RegisterResultCodec(kind string, version int, decode func(json.RawMessage) (any, error)) {
-	engine.RegisterResultCodec(kind, version, decode)
+// custom spec kind and version into their typed form after a restart, plus
+// an optional result schema describing the aggregate result document (served
+// from GET /v2/specs as result_schema). By convention the schema's $defs
+// carry "task" — the per-task document the result data plane streams, which
+// the client SDK validates during Handle.StreamResult — and "summary" for
+// shared stats blocks. The codec itself is optional — versions without one
+// still round-trip byte-identically as raw JSON — but a registered codec
+// means in-process consumers (Job.Result) see the same types before and
+// after rehydration. The (kind, version) must already be registered via
+// RegisterSpec.
+func RegisterResultCodec(kind string, version int, decode func(json.RawMessage) (any, error), schema *SpecSchema) {
+	engine.RegisterResultCodec(kind, version, decode, schema)
 }
 
 // RegisterSpec registers a decoder for one version of a job-spec kind

@@ -53,6 +53,18 @@ func storePropagated(s store.Store, rec store.JobRecord) error {
 	return s.PutJob(rec)
 }
 
+func storeRangeBlank(s store.Store, jobID string, docs []json.RawMessage) {
+	_ = s.PutJobRange(jobID, 0, docs) // want `error from store.PutJobRange assigned to _`
+}
+
+func storeRangeBare(s store.Store, jobID string, docs []json.RawMessage) {
+	s.PutJobRange(jobID, 0, docs) // want `error from store.PutJobRange discarded by bare call`
+}
+
+func storeRangeHandled(s store.Store, jobID string, docs []json.RawMessage) error {
+	return s.PutJobRange(jobID, 0, docs)
+}
+
 type sink struct{}
 
 func (sink) Write(p []byte) (int, error) { return len(p), nil }

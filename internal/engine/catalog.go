@@ -27,6 +27,11 @@ type CatalogEntry struct {
 	// Schema is the version's wire-document schema (draft 2020-12 subset),
 	// nil when the registration carried none.
 	Schema *Schema `json:"schema,omitempty"`
+	// ResultSchema describes the aggregate result document GET /result
+	// serves for this version; its $defs "task" entry is the per-task
+	// document the result data plane streams. nil when the version's
+	// RegisterResultCodec carried none (or there is no codec at all).
+	ResultSchema *Schema `json:"result_schema,omitempty"`
 }
 
 // Catalog returns every registered (kind, version), sorted by kind then
@@ -40,12 +45,13 @@ func Catalog() []CatalogEntry {
 	for kind, versions := range registry.kinds {
 		for v, e := range versions {
 			out = append(out, CatalogEntry{
-				Kind:       kind,
-				Version:    v,
-				Wire:       VersionedKind(kind, v),
-				Latest:     v == registry.latest[kind],
-				Deprecated: e.deprecated,
-				Schema:     e.schema,
+				Kind:         kind,
+				Version:      v,
+				Wire:         VersionedKind(kind, v),
+				Latest:       v == registry.latest[kind],
+				Deprecated:   e.deprecated,
+				Schema:       e.schema,
+				ResultSchema: e.resultSchema,
 			})
 		}
 	}
@@ -65,12 +71,18 @@ func Catalog() []CatalogEntry {
 // registering a kind the other lacks) apart from transport trouble.
 // Schema *content* is deliberately not hashed: the fingerprint tracks what
 // the registry accepts, and a doc-comment edit should not read as drift.
+// Whether a version serves a result schema IS hashed (the "+r" marker):
+// a replica without one cannot stream validated partial results, which is
+// exactly the capability drift the fingerprint exists to expose.
 func CatalogFingerprint() string {
 	var lines []string
 	for _, e := range Catalog() {
 		line := fmt.Sprintf("%s@v%d", e.Kind, e.Version)
 		if e.Deprecated {
 			line += "!"
+		}
+		if e.ResultSchema != nil {
+			line += "+r"
 		}
 		lines = append(lines, line)
 	}

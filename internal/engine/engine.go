@@ -28,6 +28,7 @@ package engine
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"runtime"
@@ -73,6 +74,10 @@ type Progress struct {
 	Total   int `json:"total"`
 	Running int `json:"running,omitempty"`
 	Queued  int `json:"queued,omitempty"`
+	// Watermark is the contiguous completed prefix of the job's result
+	// ledger: every task below it has its encoded result recorded. Zero for
+	// jobs without a ledger (specs that are not TaskCoders, restored jobs).
+	Watermark int `json:"watermark,omitempty"`
 }
 
 // Engine runs Specs over a shared work-stealing dispatcher (sched.go): up to
@@ -126,14 +131,36 @@ func (e *Engine) Workers() int { return e.workers }
 // the failure, otherwise the cancellation wrapped as "engine: <kind>: …"
 // (errors.Is(err, context.Canceled) still holds).
 func (e *Engine) Run(ctx context.Context, spec Spec, seed uint64, onProgress func(Progress)) (any, error) {
-	return e.run(ctx, spec, seed, onProgress, nil)
+	return e.run(ctx, spec, seed, runOpts{onProgress: onProgress})
 }
 
-// run is Run plus the optional remote wire identity. When remote is non-nil
-// and the spec implements TaskCoder, the job is published to the remote task
-// source (remote.go) so a coordinator can lease chunks of it to workers;
-// otherwise the job runs purely on the local pool.
-func (e *Engine) run(ctx context.Context, spec Spec, seed uint64, onProgress func(Progress), remote *RemoteInfo) (any, error) {
+// runOpts carries Run's optional hooks — the full-control surface the
+// Manager wires for serving-layer jobs.
+type runOpts struct {
+	// onProgress is invoked after each completed task (see Run).
+	onProgress func(Progress)
+	// remote, when non-nil and the spec implements TaskCoder, publishes the
+	// job to the remote task source (remote.go) so a coordinator can lease
+	// chunks of it to workers.
+	remote *RemoteInfo
+	// prefill seeds already-computed task results by index (TaskCoder wire
+	// form) — the restart path, where the store replayed the completed
+	// prefix of an interrupted job. Valid entries are published before the
+	// first task runs and their indices never enter the pending deque, so
+	// only the missing suffix recomputes; entries that fail to decode are
+	// recomputed instead. Ignored unless the spec implements TaskCoder.
+	prefill map[int]json.RawMessage
+	// onTask, when non-nil and the spec implements TaskCoder, receives every
+	// published task result in its encoded wire form — the feed the result
+	// ledger is built from. Invocations are serialized (the publication
+	// locks) but arrive in completion order, not index order. A result whose
+	// encoding fails is published to the job but not delivered here.
+	onTask func(task int, raw json.RawMessage)
+}
+
+// run is Run plus the optional remote wire identity, result prefill, and
+// per-task ledger hook (see runOpts).
+func (e *Engine) run(ctx context.Context, spec Spec, seed uint64, ro runOpts) (any, error) {
 	if v, ok := spec.(Validator); ok {
 		if err := v.Validate(); err != nil {
 			return nil, fmt.Errorf("engine: invalid %s spec: %w", spec.Kind(), err)
@@ -170,19 +197,36 @@ func (e *Engine) run(ctx context.Context, spec Spec, seed uint64, onProgress fun
 		// reads of immutable state, no per-task pre-allocation.
 		base:       rng.New(seed),
 		results:    make([]any, n),
-		onProgress: onProgress,
+		onProgress: ro.onProgress,
 		pending:    orderTasks(spec, n),
 		finished:   make(chan struct{}),
 	}
 	j.sizer, _ = spec.(Sizer)
 	j.costKey = spec.Kind()
-	if remote != nil {
-		j.costKey = remote.WireKind
-		if coder, ok := spec.(TaskCoder); ok {
-			j.wire, j.coder = remote, coder
+	if coder, ok := spec.(TaskCoder); ok {
+		j.coder = coder
+		j.onTask = ro.onTask
+	}
+	if ro.remote != nil {
+		j.costKey = ro.remote.WireKind
+		if j.coder != nil {
+			j.wire = ro.remote
 		}
 	}
+	e.prefill(j, ro.prefill)
 	e.enqueue(j)
+	// An entirely prefilled job has an empty deque and nothing in flight:
+	// no worker will ever pull from it, so retire it here. (finishIfIdle
+	// reports true exactly once, so racing a worker that drained a partial
+	// prefill in the meantime is safe.)
+	if len(ro.prefill) > 0 {
+		e.mu.Lock()
+		finished := e.finishIfIdleLocked(j)
+		e.mu.Unlock()
+		if finished {
+			close(j.finished)
+		}
+	}
 	go func() {
 		select {
 		case <-cctx.Done():
@@ -208,6 +252,50 @@ func (e *Engine) run(ctx context.Context, spec Spec, seed uint64, onProgress fun
 		return nil, firstErr
 	}
 	return aggregate(spec, j.results)
+}
+
+// prefill publishes already-computed task results before the job is
+// enqueued: valid entries land in the results slice and the done bitmap, and
+// their indices are filtered out of the pending deque, so the dispatcher
+// only ever runs the missing tasks. Entries that fail to decode — or any
+// prefill on a spec without a TaskCoder — are dropped and recomputed, which
+// is always correct (determinism makes the recomputed value identical).
+// The job is not yet published, so no locks are needed.
+func (e *Engine) prefill(j *runJob, fill map[int]json.RawMessage) {
+	if len(fill) == 0 || j.coder == nil {
+		return
+	}
+	filled := 0
+	for i := 0; i < j.n; i++ {
+		raw, ok := fill[i]
+		if !ok {
+			continue
+		}
+		out, err := j.coder.DecodeTaskResult(raw)
+		if err != nil {
+			continue
+		}
+		if j.doneTask == nil {
+			j.doneTask = make([]bool, j.n)
+		}
+		j.doneTask[i] = true
+		j.results[i] = out
+		j.done++
+		filled++
+		if j.onTask != nil {
+			j.onTask(i, raw)
+		}
+	}
+	if filled == 0 {
+		return
+	}
+	kept := j.pending[:0]
+	for _, i := range j.pending {
+		if !j.doneTask[i] {
+			kept = append(kept, i)
+		}
+	}
+	j.pending = kept
 }
 
 // runTask and aggregate convert spec panics into job errors: a bad spec

@@ -2,6 +2,7 @@ package engine
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"sort"
@@ -63,6 +64,11 @@ type Job struct {
 	// status to each and closes it, then nils the map.
 	watchers map[chan Status]struct{}
 
+	// ledger records every published task result in wire form (ledger.go).
+	// Set once at submission for TaskCoder specs, nil otherwise; retained
+	// after completion so range GETs keep working on terminal jobs.
+	ledger *resultLedger
+
 	finished chan struct{}
 }
 
@@ -86,6 +92,9 @@ func (j *Job) statusLocked() Status {
 	if !j.state.Terminal() {
 		st.Progress.Running = int(j.running.Load())
 		st.Progress.Queued = int(j.queued.Load())
+	}
+	if j.ledger != nil {
+		st.Progress.Watermark = int(j.ledger.watermark.Load())
 	}
 	if j.err != nil {
 		st.Error = j.err.Error()
@@ -206,6 +215,10 @@ func (j *Job) finish(res any, err error, canceled bool) {
 	default:
 		j.state = StateDone
 		j.result = res
+		// A job finished from a prefilled deque never ran its prefilled
+		// tasks through progress callbacks; pin the terminal count so Done
+		// always reads total for done jobs.
+		j.done.Store(int64(j.total))
 	}
 	// Deliver the terminal status to every watcher and retire them. The
 	// coalescing offer may displace a pending progress snapshot — terminal
@@ -255,17 +268,35 @@ func NewManager(eng *Engine) *Manager {
 // Submit starts spec asynchronously under the manager's lifetime (not the
 // caller's request context) and returns the tracking job.
 func (m *Manager) Submit(spec Spec, seed uint64) (*Job, error) {
-	return m.submit("", spec, seed, nil)
+	return m.submit("", spec, seed, SubmitOptions{})
 }
 
-// SubmitJob is the full-control submission: a caller-chosen ID (empty mints
-// one, non-empty reruns under that identity like Resubmit) plus an optional
-// wire identity. When remote is non-nil and the spec implements TaskCoder,
-// the job becomes distributable — the coordinator may lease ranges of its
-// tasks to remote workers. The serving layer uses this for every envelope
-// submission; distribution changes where tasks run, never their results.
+// SubmitOptions is the optional surface of a full-control submission.
+type SubmitOptions struct {
+	// Remote, when non-nil and the spec implements TaskCoder, makes the job
+	// distributable — the coordinator may lease ranges of its tasks to
+	// remote workers. Distribution changes where tasks run, never results.
+	Remote *RemoteInfo
+	// Prefill seeds already-computed task results by index in TaskCoder
+	// wire form — the restart path. Valid entries are published before any
+	// task runs, so only the missing suffix recomputes; invalid entries are
+	// recomputed. Ignored unless the spec implements TaskCoder.
+	Prefill map[int]json.RawMessage
+}
+
+// SubmitJob is the full-control submission with a caller-chosen ID (empty
+// mints one, non-empty reruns under that identity like Resubmit) plus an
+// optional wire identity. The serving layer uses this for every envelope
+// submission.
 func (m *Manager) SubmitJob(id string, spec Spec, seed uint64, remote *RemoteInfo) (*Job, error) {
-	return m.submit(id, spec, seed, remote)
+	return m.submit(id, spec, seed, SubmitOptions{Remote: remote})
+}
+
+// SubmitJobOpts is SubmitJob plus result prefill (SubmitOptions) — the
+// persistence layer's restart path, which replays the stored completed
+// prefix of an interrupted job so only its missing suffix recomputes.
+func (m *Manager) SubmitJobOpts(id string, spec Spec, seed uint64, opts SubmitOptions) (*Job, error) {
+	return m.submit(id, spec, seed, opts)
 }
 
 // Resubmit is Submit with a caller-chosen job ID: the persistence layer uses
@@ -276,10 +307,10 @@ func (m *Manager) Resubmit(id string, spec Spec, seed uint64) (*Job, error) {
 	if id == "" {
 		return nil, errors.New("engine: Resubmit needs a job ID")
 	}
-	return m.submit(id, spec, seed, nil)
+	return m.submit(id, spec, seed, SubmitOptions{})
 }
 
-func (m *Manager) submit(id string, spec Spec, seed uint64, remote *RemoteInfo) (*Job, error) {
+func (m *Manager) submit(id string, spec Spec, seed uint64, opts SubmitOptions) (*Job, error) {
 	if v, ok := spec.(Validator); ok {
 		if err := v.Validate(); err != nil {
 			return nil, fmt.Errorf("engine: invalid %s spec: %w", spec.Kind(), err)
@@ -301,6 +332,9 @@ func (m *Manager) submit(id string, spec Spec, seed uint64, remote *RemoteInfo) 
 		cancel()
 		return nil, err
 	}
+	if _, ok := spec.(TaskCoder); ok && n > 0 {
+		j.ledger = newResultLedger(n)
+	}
 	// Until the first task completes, the whole job is queue: the scheduler
 	// snapshot starts at (running 0, queued n).
 	j.queued.Store(int64(n))
@@ -309,23 +343,31 @@ func (m *Manager) submit(id string, spec Spec, seed uint64, remote *RemoteInfo) 
 	j.mu.Unlock()
 	go func() {
 		defer cancel()
-		res, err := m.eng.run(jctx, spec, seed, func(p Progress) {
-			// CAS-max: the dispatcher serializes callbacks with strictly
-			// increasing Done, but the guard keeps a hypothetical stale
-			// publisher from making progress go backwards.
-			for {
-				old := j.done.Load()
-				if int64(p.Done) <= old {
-					return // stale update: nothing new to publish
+		ro := runOpts{
+			remote:  opts.Remote,
+			prefill: opts.Prefill,
+			onProgress: func(p Progress) {
+				// CAS-max: the dispatcher serializes callbacks with strictly
+				// increasing Done, but the guard keeps a hypothetical stale
+				// publisher from making progress go backwards.
+				for {
+					old := j.done.Load()
+					if int64(p.Done) <= old {
+						return // stale update: nothing new to publish
+					}
+					if j.done.CompareAndSwap(old, int64(p.Done)) {
+						break
+					}
 				}
-				if j.done.CompareAndSwap(old, int64(p.Done)) {
-					break
-				}
-			}
-			j.running.Store(int64(p.Running))
-			j.queued.Store(int64(p.Queued))
-			j.notifyWatchers()
-		}, remote)
+				j.running.Store(int64(p.Running))
+				j.queued.Store(int64(p.Queued))
+				j.notifyWatchers()
+			},
+		}
+		if j.ledger != nil {
+			ro.onTask = j.recordTask
+		}
+		res, err := m.eng.run(jctx, spec, seed, ro)
 		j.finish(res, err, jctx.Err() != nil && errors.Is(err, context.Canceled))
 	}()
 	return j, nil

@@ -61,10 +61,11 @@ type ResultDecodeFunc func(json.RawMessage) (any, error)
 
 // specEntry is one registered (kind, version).
 type specEntry struct {
-	decode     DecodeFunc
-	schema     *Schema
-	result     ResultDecodeFunc
-	deprecated bool
+	decode       DecodeFunc
+	schema       *Schema
+	result       ResultDecodeFunc
+	resultSchema *Schema
+	deprecated   bool
 }
 
 var registry = struct {
@@ -162,11 +163,12 @@ func VersionedKind(kind string, version int) string {
 // the registry lock is held — callers read its fields lock-free, so handing
 // out the *specEntry itself would race DeprecateSpec's locked write.
 type resolvedEntry struct {
-	kind       string
-	version    int
-	decode     DecodeFunc
-	schema     *Schema
-	deprecated bool
+	kind         string
+	version      int
+	decode       DecodeFunc
+	schema       *Schema
+	resultSchema *Schema
+	deprecated   bool
 }
 
 // lookupSpec resolves a wire kind to a snapshot of its registry entry.
@@ -189,7 +191,7 @@ func lookupSpec(wire string) (resolvedEntry, error) {
 	if e == nil {
 		return resolvedEntry{}, fmt.Errorf("engine: unknown version %d of spec kind %q (registered: %v)", version, kind, specVersionsLocked(kind))
 	}
-	return resolvedEntry{kind: kind, version: version, decode: e.decode, schema: e.schema, deprecated: e.deprecated}, nil
+	return resolvedEntry{kind: kind, version: version, decode: e.decode, schema: e.schema, resultSchema: e.resultSchema, deprecated: e.deprecated}, nil
 }
 
 // ResolvedSpec is a decoded spec bound to the registry entry that produced
@@ -275,12 +277,16 @@ func SpecSchema(wire string) (*Schema, error) {
 }
 
 // RegisterResultCodec registers a decoder reviving a stored result document
-// of the given kind and version into the typed value its Aggregate produced.
-// The codec is optional: versions without one round-trip results as raw
-// JSON — served byte-identically over HTTP, but typed json.RawMessage
-// in-process. The (kind, version) must already be registered via
-// RegisterSpec; like it, duplicates panic.
-func RegisterResultCodec(kind string, version int, decode ResultDecodeFunc) {
+// of the given kind and version into the typed value its Aggregate produced,
+// and the optional result schema describing the aggregate document GET
+// /result serves. By convention the schema's $defs carry "task" (the
+// per-task document the result data plane streams) and "summary" (the
+// stats block) — the client SDK validates streamed task documents against
+// Defs["task"] when present. The codec is optional: versions without one
+// round-trip results as raw JSON — served byte-identically over HTTP, but
+// typed json.RawMessage in-process. The (kind, version) must already be
+// registered via RegisterSpec; like it, duplicates panic.
+func RegisterResultCodec(kind string, version int, decode ResultDecodeFunc, schema *Schema) {
 	if decode == nil {
 		panic("engine: RegisterResultCodec with nil decoder for " + kind)
 	}
@@ -294,6 +300,17 @@ func RegisterResultCodec(kind string, version int, decode ResultDecodeFunc) {
 		panic(fmt.Sprintf("engine: RegisterResultCodec duplicate kind %s version %d", kind, version))
 	}
 	e.result = decode
+	e.resultSchema = schema
+}
+
+// ResultSchema returns the registered result schema of a wire kind (nil if
+// the version has none), resolving a bare kind to its latest version.
+func ResultSchema(wire string) (*Schema, error) {
+	e, err := lookupSpec(wire)
+	if err != nil {
+		return nil, err
+	}
+	return e.resultSchema, nil
 }
 
 // DecodeResult revives a stored result document of the given kind and
@@ -384,10 +401,10 @@ func init() {
 	RegisterSpec(DesignSweep{}.Kind(), 1, DecodeJSON[DesignSweep](), designSweepSchema())
 	RegisterSpec(ReplaySweep{}.Kind(), 1, DecodeJSON[ReplaySweep](), replaySweepSchema())
 	RegisterSpec(EquilibriumSweep{}.Kind(), 1, DecodeJSON[EquilibriumSweep](), equilibriumSweepSchema())
-	RegisterResultCodec(LearnSweep{}.Kind(), 1, ResultJSON[LearnSweepResult]())
-	RegisterResultCodec(DesignSweep{}.Kind(), 1, ResultJSON[DesignSweepResult]())
-	RegisterResultCodec(ReplaySweep{}.Kind(), 1, ResultJSON[ReplaySweepResult]())
-	RegisterResultCodec(EquilibriumSweep{}.Kind(), 1, ResultJSON[EquilibriumSweepResult]())
+	RegisterResultCodec(LearnSweep{}.Kind(), 1, ResultJSON[LearnSweepResult](), learnSweepResultSchema())
+	RegisterResultCodec(DesignSweep{}.Kind(), 1, ResultJSON[DesignSweepResult](), designSweepResultSchema())
+	RegisterResultCodec(ReplaySweep{}.Kind(), 1, ResultJSON[ReplaySweepResult](), replaySweepResultSchema())
+	RegisterResultCodec(EquilibriumSweep{}.Kind(), 1, ResultJSON[EquilibriumSweepResult](), equilibriumSweepResultSchema())
 }
 
 // GameResolver resolves a registered-game reference (e.g. gocserve's

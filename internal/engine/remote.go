@@ -76,12 +76,17 @@ func decodeTaskAs[T any](raw json.RawMessage) (any, error) {
 
 // RemoteLease is a chunk of one job's pending tasks granted to a remote
 // worker: the run token identifying the job inside the engine, the task
-// indices, and the job's wire identity.
+// spans (in lease order — the shared TaskRange representation), and the
+// job's wire identity.
 type RemoteLease struct {
-	Run   uint64
-	Tasks []int
-	Wire  RemoteInfo
+	Run    uint64
+	Ranges []TaskRange
+	Wire   RemoteInfo
 }
+
+// TaskList expands the lease's ranges into the flat task-index list —
+// the form the dist wire protocol carries.
+func (l RemoteLease) TaskList() []int { return ExpandTaskRanges(l.Ranges) }
 
 // ErrRunGone reports a lease operation against a run the engine no longer
 // tracks — the job finished, failed, or was canceled while the lease was
@@ -139,11 +144,11 @@ func (e *Engine) LeaseRemote(maxTasks int, targetMs float64) (lease RemoteLease,
 		n = 1
 	}
 	cut := len(best.pending) - n
-	tasks := append([]int(nil), best.pending[cut:]...)
+	ranges := CompressTaskRanges(best.pending[cut:])
 	best.pending = best.pending[:cut]
 	best.leased += n
 	e.leasesGranted++
-	return RemoteLease{Run: best.runID, Tasks: tasks, Wire: *best.wire}, true
+	return RemoteLease{Run: best.runID, Ranges: ranges, Wire: *best.wire}, true
 }
 
 // ReportRemote publishes remotely computed results for a leased run. results
@@ -186,7 +191,7 @@ func (e *Engine) ReportRemote(run uint64, results map[int]json.RawMessage) (acce
 		decoded[k] = out
 	}
 	for k, i := range idxs {
-		if e.publishRemote(j, i, decoded[k]) {
+		if e.publishRemote(j, i, decoded[k], results[i]) {
 			accepted++
 		}
 	}
@@ -206,8 +211,11 @@ func (e *Engine) ReportRemote(run uint64, results map[int]json.RawMessage) (acce
 // publishRemote lands one remotely computed task result, mirroring execute's
 // publication path: under pmu so progress callbacks stay serialized and
 // monotone, guarded by the per-task done bitmap so a duplicate (or a local
-// racer) publishes nothing.
-func (e *Engine) publishRemote(j *runJob, task int, out any) bool {
+// racer) publishes nothing. raw is the wire form the worker reported — it
+// feeds the ledger directly, so a remotely computed ledger entry is the
+// exact bytes the TaskCoder round-trip already proved byte-identical to a
+// local encode.
+func (e *Engine) publishRemote(j *runJob, task int, out any, raw json.RawMessage) bool {
 	published := false
 	j.pmu.Lock()
 	if !j.halted && !(j.doneTask != nil && j.doneTask[task]) {
@@ -218,6 +226,9 @@ func (e *Engine) publishRemote(j *runJob, task int, out any) bool {
 		j.results[task] = out
 		j.done++
 		published = true
+		if j.onTask != nil && raw != nil {
+			j.onTask(task, raw)
+		}
 		if j.onProgress != nil {
 			e.mu.Lock()
 			queued := len(j.pending)

@@ -2,6 +2,7 @@ package engine
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"sort"
 	"sync"
@@ -38,12 +39,17 @@ type runJob struct {
 	sizer      Sizer  // spec's Sizer, if any; nil means uniform cost
 	costKey    string // observed-cost bucket: wire kind when known, else Kind()
 
-	// Remote identity — set once before enqueue, immutable after. wire and
-	// coder are both non-nil for distributable jobs (RemoteInfo supplied and
-	// the spec implements TaskCoder), both nil otherwise.
+	// Wire identity and codec — set once before enqueue, immutable after.
+	// coder is non-nil whenever the spec implements TaskCoder; wire is
+	// additionally non-nil for distributable jobs (RemoteInfo supplied), and
+	// only those are published to the remote task source.
 	wire  *RemoteInfo
 	coder TaskCoder
 	runID uint64 // key into e.runs while the job is live
+	// onTask feeds the result ledger (runOpts.onTask): every published task
+	// result in wire form, invoked under pmu so deliveries are serialized
+	// with progress. nil unless the spec implements TaskCoder.
+	onTask func(task int, raw json.RawMessage)
 
 	// Guarded by the engine mutex.
 	pending  []int // task indices, most expensive first; popped from the front
@@ -346,6 +352,17 @@ func (e *Engine) execute(j *runJob, task int) {
 	out, err := runTask(j.ctx, j.spec, task, j.base.Fork(uint64(task)))
 	elapsed := time.Since(start) //goclint:allow nodeterm -- same EWMA measurement
 
+	// Encode for the ledger outside the locks — encoding is per-task work.
+	// An encode failure only skips the ledger entry (the watermark stalls
+	// and the range stays unpersisted/unstreamed); the job itself still
+	// publishes and aggregates the in-memory value.
+	var raw json.RawMessage
+	if err == nil && j.onTask != nil {
+		if b, encErr := j.coder.EncodeTaskResult(out); encErr == nil {
+			raw = b
+		}
+	}
+
 	published := false
 	j.pmu.Lock()
 	if err != nil {
@@ -364,6 +381,9 @@ func (e *Engine) execute(j *runJob, task int) {
 		published = true
 		j.results[task] = out
 		j.done++
+		if j.onTask != nil && raw != nil {
+			j.onTask(task, raw)
+		}
 		if j.onProgress != nil {
 			// Snapshot queue depth inside the publication critical section,
 			// so serialized callbacks carry consistent triples: Done only

@@ -40,6 +40,15 @@ type Schema struct {
 	// on.
 	Enum    []any    `json:"enum,omitempty"`
 	Minimum *float64 `json:"minimum,omitempty"`
+	// Defs holds shared sub-schemas referenced by Ref ("#/$defs/name").
+	// Only the root schema's Defs are consulted during validation; nested
+	// Defs render but do not resolve, matching how the built-in result
+	// schemas share their gen/game/task sub-documents from the root.
+	Defs map[string]*Schema `json:"$defs,omitempty"`
+	// Ref, when set, delegates validation to the named root $def; all
+	// sibling keywords on the referencing schema are ignored (the pre-2019
+	// $ref semantics, which is all the hand-written schemas need).
+	Ref string `json:"$ref,omitempty"`
 }
 
 // SchemaError reports where a document diverges from its schema. Path is a
@@ -73,12 +82,52 @@ func (s *Schema) Validate(raw json.RawMessage) error {
 	if err := dec.Decode(&v); err != nil {
 		return &SchemaError{Msg: "malformed JSON: " + err.Error()}
 	}
-	return s.validate(v, "")
+	return s.validate(s, v, "", 0)
 }
 
-func (s *Schema) validate(v any, path string) error {
+// ValidateDef checks raw against the named root $def — how the client SDK
+// validates each streamed per-task result document against the result
+// schema's "task" def without re-deriving the aggregate shape. A nil schema
+// or a missing def accepts everything: a registration that carries no
+// per-task shape simply opts out of streaming validation.
+func (s *Schema) ValidateDef(name string, raw json.RawMessage) error {
+	if s == nil || len(raw) == 0 {
+		return nil
+	}
+	def, ok := s.Defs[name]
+	if !ok {
+		return nil
+	}
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.UseNumber()
+	var v any
+	if err := dec.Decode(&v); err != nil {
+		return &SchemaError{Msg: "malformed JSON: " + err.Error()}
+	}
+	return def.validate(s, v, "", 0)
+}
+
+// maxRefDepth bounds $ref chains so a cyclic hand-written schema fails a
+// validation loudly instead of hanging it.
+const maxRefDepth = 32
+
+func (s *Schema) validate(root *Schema, v any, path string, depth int) error {
 	if s == nil {
 		return nil
+	}
+	if s.Ref != "" {
+		if depth >= maxRefDepth {
+			return &SchemaError{Path: path, Msg: fmt.Sprintf("$ref chain deeper than %d (cycle?)", maxRefDepth)}
+		}
+		name, ok := strings.CutPrefix(s.Ref, "#/$defs/")
+		if !ok {
+			return &SchemaError{Path: path, Msg: fmt.Sprintf("unsupported $ref %q (want \"#/$defs/name\")", s.Ref)}
+		}
+		def, found := root.Defs[name]
+		if !found {
+			return &SchemaError{Path: path, Msg: fmt.Sprintf("$ref to undefined $def %q", name)}
+		}
+		return def.validate(root, v, path, depth+1)
 	}
 	// JSON null is valid against every schema: encoding/json treats null as
 	// "leave the field at its zero value" for any Go type, and the schema
@@ -109,13 +158,13 @@ func (s *Schema) validate(v any, path string) error {
 				}
 				continue
 			}
-			if err := sub.validate(elem, path+"/"+escapePointer(key)); err != nil {
+			if err := sub.validate(root, elem, path+"/"+escapePointer(key), depth); err != nil {
 				return err
 			}
 		}
 	case []any:
 		for i, elem := range val {
-			if err := s.Items.validate(elem, path+"/"+strconv.Itoa(i)); err != nil {
+			if err := s.Items.validate(root, elem, path+"/"+strconv.Itoa(i), depth); err != nil {
 				return err
 			}
 		}
@@ -236,3 +285,6 @@ func SchemaString(desc string) *Schema { return &Schema{Type: "string", Descript
 
 // SchemaBool returns a boolean schema with the given description.
 func SchemaBool(desc string) *Schema { return &Schema{Type: "boolean", Description: desc} }
+
+// SchemaRef returns a schema that delegates to the named root $def.
+func SchemaRef(name string) *Schema { return &Schema{Ref: "#/$defs/" + name} }

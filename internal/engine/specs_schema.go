@@ -57,26 +57,28 @@ func scenarioParamsSchema() *Schema {
 
 func learnSweepSchema() *Schema {
 	s := SchemaObject(map[string]*Schema{
-		"game":       gameSchema(),
+		"game":       SchemaRef("game"),
 		"game_id":    SchemaString("reference to a game registered via POST /v1/games"),
-		"gen":        genSpecSchema(),
+		"gen":        SchemaRef("gen"),
 		"schedulers": SchemaArray(SchemaString("scheduler name")),
 		"runs":       SchemaInt("learning runs per scheduler"),
 		"max_steps":  SchemaInt("per-run step cap (0 = learning default)"),
 	})
 	s.Title = "learn_sweep"
 	s.Description = "Better-response learning sweep: Runs runs per scheduler on a fixed or generated game, aggregating steps-to-equilibrium statistics."
+	s.Defs = map[string]*Schema{"gen": genSpecSchema(), "game": gameSchema()}
 	return s
 }
 
 func designSweepSchema() *Schema {
 	s := SchemaObject(map[string]*Schema{
-		"gen":       genSpecSchema(),
+		"gen":       SchemaRef("gen"),
 		"pairs":     SchemaInt("number of design runs"),
 		"max_tries": SchemaInt("game-search bound per task (default 500)"),
 	})
 	s.Title = "design_sweep"
 	s.Description = "Section-5 reward-design sweep: Algorithm 2 between random equilibrium pairs on random games."
+	s.Defs = map[string]*Schema{"gen": genSpecSchema()}
 	return s
 }
 
@@ -92,10 +94,119 @@ func replaySweepSchema() *Schema {
 
 func equilibriumSweepSchema() *Schema {
 	s := SchemaObject(map[string]*Schema{
-		"gen":   genSpecSchema(),
+		"gen":   SchemaRef("gen"),
 		"games": SchemaInt("number of random games to enumerate"),
 	})
 	s.Title = "equilibrium_sweep"
 	s.Description = "Equilibrium census: enumerate pure equilibria of random games, aggregating the count distribution."
+	s.Defs = map[string]*Schema{"gen": genSpecSchema()}
+	return s
+}
+
+// Result schemas, carried by RegisterResultCodec and served from the catalog
+// as CatalogEntry.ResultSchema. Each describes the AGGREGATE result document
+// GET /result serves; its $defs carry two shared sub-documents by
+// convention: "task" is the per-task document the result data plane streams
+// (range GET bodies, StreamResult items, store range records), and "summary"
+// is the stats.Summary block the sweeps aggregate into. Aggregate objects
+// are closed — json.Marshal of a known struct emits exactly these fields —
+// while task documents are open, because decodeTaskAs uses plain Unmarshal
+// (tolerant of unknown keys) and a schema must never be stricter than its
+// decoder.
+
+// summarySchema describes stats.Summary (no json tags: Go field names).
+func summarySchema() *Schema {
+	return SchemaObject(map[string]*Schema{
+		"N":      SchemaInt("sample count"),
+		"Mean":   SchemaNumber("mean"),
+		"Std":    SchemaNumber("sample standard deviation (n-1 denominator)"),
+		"Min":    SchemaNumber("minimum"),
+		"Max":    SchemaNumber("maximum"),
+		"Median": SchemaNumber("median"),
+		"P25":    SchemaNumber("25th percentile"),
+		"P75":    SchemaNumber("75th percentile"),
+		"P95":    SchemaNumber("95th percentile"),
+		"P99":    SchemaNumber("99th percentile"),
+	})
+}
+
+func learnSweepResultSchema() *Schema {
+	s := SchemaObject(map[string]*Schema{
+		"schedulers": SchemaArray(SchemaObject(map[string]*Schema{
+			"scheduler": SchemaString("scheduler name"),
+			"runs":      SchemaInt("learning runs for this scheduler"),
+			"converged": SchemaInt("runs that reached a verified equilibrium"),
+			"steps":     SchemaRef("summary"),
+		})),
+		"total_runs": SchemaInt("total learning runs across schedulers"),
+	})
+	s.Title = "learn_sweep result"
+	s.Defs = map[string]*Schema{
+		"summary": summarySchema(),
+		"task": SchemaOpenObject(map[string]*Schema{
+			"steps":     SchemaInt("better-response steps taken"),
+			"converged": SchemaBool("run reached a verified equilibrium"),
+		}),
+	}
+	return s
+}
+
+func designSweepResultSchema() *Schema {
+	s := SchemaObject(map[string]*Schema{
+		"pairs":      SchemaInt("design runs attempted"),
+		"reached":    SchemaInt("runs whose final config equals the target equilibrium"),
+		"skipped":    SchemaInt("tasks that found no usable game"),
+		"cost":       SchemaRef("summary"),
+		"steps":      SchemaRef("summary"),
+		"errors":     SchemaInt("game draws discarded due to errors"),
+		"last_error": SchemaString("sample of one discarded draw's error"),
+	})
+	s.Title = "design_sweep result"
+	s.Defs = map[string]*Schema{
+		"summary": summarySchema(),
+		"task": SchemaOpenObject(map[string]*Schema{
+			"skipped":  SchemaBool("no usable game within max_tries"),
+			"reached":  SchemaBool("target equilibrium reached"),
+			"cost":     SchemaNumber("total subsidy spent"),
+			"steps":    SchemaNumber("total better-response steps"),
+			"errs":     SchemaInt("discarded draws"),
+			"last_err": SchemaString("sample error from a discarded draw"),
+		}),
+	}
+	return s
+}
+
+func replaySweepResultSchema() *Schema {
+	s := SchemaObject(map[string]*Schema{
+		"runs":            SchemaInt("scenario replays"),
+		"pre_spike_share": SchemaRef("summary"),
+		"peak_share":      SchemaRef("summary"),
+		"final_share":     SchemaRef("summary"),
+		"migrated":        SchemaInt("runs whose peak share exceeded twice the pre-spike share"),
+	})
+	s.Title = "replay_sweep result"
+	s.Defs = map[string]*Schema{
+		"summary": summarySchema(),
+		// replay.Outcome has no json tags: Go field names on the wire.
+		"task": SchemaOpenObject(map[string]*Schema{
+			"PreSpikeBCHShare": SchemaNumber("mean BCH hashrate share before the spike"),
+			"PeakBCHShare":     SchemaNumber("max share during/after the spike"),
+			"FinalBCHShare":    SchemaNumber("share at the end of the run"),
+		}),
+	}
+	return s
+}
+
+func equilibriumSweepResultSchema() *Schema {
+	s := SchemaObject(map[string]*Schema{
+		"games":               SchemaInt("random games enumerated"),
+		"multiple":            SchemaInt("games with at least two pure equilibria"),
+		"equilibria_per_game": SchemaRef("summary"),
+	})
+	s.Title = "equilibrium_sweep result"
+	s.Defs = map[string]*Schema{
+		"summary": summarySchema(),
+		"task":    SchemaInt("pure equilibria found in this task's game"),
+	}
 	return s
 }

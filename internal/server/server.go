@@ -58,12 +58,21 @@
 //	                                  in request order, sharing the dedupe/
 //	                                  refcount path
 //	GET    /v2/jobs/{handle}          poll the handle's job status
-//	GET    /v2/jobs/{handle}/result   fetch the finished job's result
+//	GET    /v2/jobs/{handle}/result   fetch the finished job's result;
+//	                                  ?range=lo-hi serves the per-task result
+//	                                  documents of [lo,hi) from the job's
+//	                                  result ledger — mid-run, as soon as the
+//	                                  span is computed (400 malformed/out of
+//	                                  bounds, 409 not yet complete, 410 no
+//	                                  ledger); oversized spans stream chunked
 //	GET    /v2/jobs/{handle}/events   stream progress + terminal status (SSE:
-//	                                  "progress" events, then one "end"; "id:"
-//	                                  carries the progress counter and a
-//	                                  reconnect's Last-Event-ID suppresses
-//	                                  already-seen progress)
+//	                                  "progress" events, "result-range" events
+//	                                  as the result ledger's watermark
+//	                                  advances, then one "end"; "id:" carries
+//	                                  "done.watermark" and a reconnect's
+//	                                  Last-Event-ID suppresses already-seen
+//	                                  progress and resumes ranges without a
+//	                                  skip or duplicate)
 //	DELETE /v2/jobs/{handle}          release the handle; cancels the job
 //	                                  only if no other handle remains
 //
@@ -94,6 +103,7 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
@@ -103,6 +113,7 @@ import (
 	"runtime"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -360,7 +371,7 @@ func (s *Server) rehydrate(failInterrupted bool) error {
 	// them and attach last.
 	var watch []watchStart
 	for _, rec := range jobs {
-		watch = append(watch, s.rehydrateJob(rec, failInterrupted)...)
+		watch = append(watch, s.rehydrateJob(rec, failInterrupted, snap.Ranges[rec.ID])...)
 	}
 	handles := make([]string, 0, len(snap.Handles))
 	for h := range snap.Handles {
@@ -405,13 +416,13 @@ type watchStart struct {
 // destroyed. Nothing here is fatal: a record that cannot be revived at all
 // (kind no longer registered, corrupt spec) becomes a failed job that says
 // why, not a startup abort.
-func (s *Server) rehydrateJob(rec store.JobRecord, failInterrupted bool) []watchStart {
+func (s *Server) rehydrateJob(rec store.JobRecord, failInterrupted bool, ranges []store.RangeRecord) []watchStart {
 	switch rec.State {
 	case store.JobDone:
 		res, err := engine.DecodeResult(rec.Kind, rec.Version, rec.Result)
 		if err != nil {
 			return s.recomputeJob(rec, failInterrupted,
-				fmt.Sprintf("stored result unreadable after restart: %v", err))
+				fmt.Sprintf("stored result unreadable after restart: %v", err), nil)
 		}
 		if _, err := s.manager.Restore(rec.ID, rec.Kind, rec.Tasks, res, engine.StateDone, ""); err == nil {
 			s.cache[rec.Key] = rec.ID
@@ -421,18 +432,21 @@ func (s *Server) rehydrateJob(rec store.JobRecord, failInterrupted bool) []watch
 	case store.JobCanceled:
 		_, _ = s.manager.Restore(rec.ID, rec.Kind, rec.Tasks, nil, engine.StateCanceled, rec.Error)
 	case store.JobSubmitted:
-		return s.recomputeJob(rec, failInterrupted, "interrupted by server restart")
+		return s.recomputeJob(rec, failInterrupted, "interrupted by server restart", ranges)
 	}
 	return nil
 }
 
 // recomputeJob reruns a job record under its original ID, spec, and seed —
 // the recovery path for interrupted jobs and for done records whose stored
-// result can no longer be decoded. With failInterrupted set (or when the
-// spec itself cannot be revived) the job is restored as failed instead,
+// result can no longer be decoded. Persisted result ranges from the previous
+// life prefill the engine's result ledger, so only the missing suffix of
+// tasks actually recomputes — and determinism makes the reassembled result
+// byte-identical to an uninterrupted run. With failInterrupted set (or when
+// the spec itself cannot be revived) the job is restored as failed instead,
 // with reason explaining why. The returned watchStart (if any) must be
 // attached by the caller once rehydration has finished building the tables.
-func (s *Server) recomputeJob(rec store.JobRecord, failInterrupted bool, reason string) []watchStart {
+func (s *Server) recomputeJob(rec store.JobRecord, failInterrupted bool, reason string, ranges []store.RangeRecord) []watchStart {
 	restoreFailed := func(msg string) {
 		if _, err := s.manager.Restore(rec.ID, rec.Kind, rec.Tasks, nil, engine.StateFailed, msg); err == nil {
 			rec.State = store.JobFailed
@@ -453,10 +467,33 @@ func (s *Server) recomputeJob(rec store.JobRecord, failInterrupted bool, reason 
 		restoreFailed(fmt.Sprintf("%s; not recomputable: %v", reason, err))
 		return nil
 	}
-	job, err := s.manager.SubmitJob(rec.ID, spec, rec.Seed, &engine.RemoteInfo{
-		WireKind: pinnedKind(rec.Kind, rec.Version),
-		Spec:     rec.Spec,
-		Seed:     rec.Seed,
+	// Persisted ranges become the engine's prefill: the decoded documents
+	// land in the new job's results and ledger before any task runs, so the
+	// scheduler only executes the uncovered suffix. from is the store's
+	// contiguous coverage — the watcher resumes persisting above it instead
+	// of rewriting spans the log already holds.
+	var prefill map[int]json.RawMessage
+	from := 0
+	for _, rr := range ranges {
+		for k, doc := range rr.Results {
+			if i := rr.Lo + k; i >= 0 && i < rec.Tasks {
+				if prefill == nil {
+					prefill = make(map[int]json.RawMessage, len(rr.Results))
+				}
+				prefill[i] = doc
+			}
+		}
+		if rr.Lo <= from && rr.End() > from {
+			from = rr.End()
+		}
+	}
+	job, err := s.manager.SubmitJobOpts(rec.ID, spec, rec.Seed, engine.SubmitOptions{
+		Remote: &engine.RemoteInfo{
+			WireKind: pinnedKind(rec.Kind, rec.Version),
+			Spec:     rec.Spec,
+			Seed:     rec.Seed,
+		},
+		Prefill: prefill,
 	})
 	if err != nil {
 		restoreFailed(fmt.Sprintf("%s; not recomputable: %v", reason, err))
@@ -469,6 +506,7 @@ func (s *Server) recomputeJob(rec store.JobRecord, failInterrupted bool, reason 
 	rec.Error = ""
 	s.recordPersist(s.store.PutJob(rec))
 	s.cache[rec.Key] = rec.ID
+	s.watchRanges(job, rec.ID, from, spec)
 	return []watchStart{{job: job, rec: rec}}
 }
 
@@ -698,6 +736,7 @@ func (s *Server) submitEnvelope(env engine.JobEnvelope, mint bool) (*engine.Job,
 	s.pruneCacheLocked()
 	s.mu.Unlock()
 	s.watchJob(job, rec)
+	s.watchRanges(job, job.ID(), 0, spec)
 	return job, false, jh, nil
 }
 
@@ -740,6 +779,46 @@ func (s *Server) watchJob(job *engine.Job, rec store.JobRecord) {
 		rec.Error = st.Error
 		rec.Result = nil
 		s.enqueuePersist(func() { s.recordPersist(s.store.PutJob(rec)) })
+	}()
+}
+
+// watchRanges incrementally persists a running job's result ledger: it
+// follows the job's status stream and, each time the contiguous-prefix
+// watermark advances, appends the new span [last, watermark) to the store as
+// a range record. from is where persistence resumes (the store's existing
+// coverage after a restart; 0 for fresh jobs). The goroutine exits with the
+// status stream — the job's terminal record then either subsumes the spans
+// (done: the aggregate persists and clears them) or leaves them as the next
+// life's prefill (shutdown-canceled jobs keep their "submitted" record). A
+// no-op without a store or for specs without per-task wire codecs.
+func (s *Server) watchRanges(job *engine.Job, jobID string, from int, spec engine.Spec) {
+	if s.store == nil {
+		return
+	}
+	if _, ok := spec.(engine.TaskCoder); !ok {
+		return
+	}
+	go func() {
+		last := from
+		persist := func(wm int) {
+			if wm <= last {
+				return
+			}
+			docs, err := job.ResultRange(last, wm)
+			if err != nil {
+				return
+			}
+			lo := last
+			last = wm
+			s.enqueuePersist(func() { s.recordPersist(s.store.PutJobRange(jobID, lo, docs)) })
+		}
+		for st := range job.Watch(context.Background()) {
+			persist(st.Progress.Watermark)
+		}
+		// The final status snapshot can predate the last few recorded tasks
+		// (Watch coalesces); catch the tail so a shutdown-canceled job's
+		// record covers everything that actually computed.
+		persist(job.Watermark())
 	}()
 }
 
@@ -1156,19 +1235,112 @@ func (s *Server) handleHandleResult(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, err)
 		return
 	}
+	if rng := r.URL.Query().Get("range"); rng != "" {
+		writeResultRange(w, job, rng)
+		return
+	}
 	writeJobResult(w, job)
+}
+
+// maxBufferedResultBody is the largest range-GET payload served through the
+// buffering writeJSON path; bigger bodies stream document-by-document over
+// chunked transfer instead of being assembled in one allocation.
+const maxBufferedResultBody = 256 << 10
+
+// writeResultRange serves ?range=lo-hi from the job's result ledger: the
+// TaskCoder documents of tasks [lo, hi), servable mid-run as soon as the
+// span is fully computed. Error mapping: a malformed or out-of-bounds range
+// is 400, a span not yet fully computed is 409 (retry after the watermark
+// passes hi), and a job without a ledger — non-TaskCoder spec, or restored
+// terminal from a previous life — is 410 (no per-task documents will ever
+// exist for it).
+func writeResultRange(w http.ResponseWriter, job *engine.Job, rng string) {
+	tr, err := engine.ParseTaskRange(rng)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	docs, err := job.ResultRange(tr.Lo, tr.Hi)
+	if err != nil {
+		switch {
+		case errors.Is(err, engine.ErrBadRange):
+			writeError(w, http.StatusBadRequest, err)
+		case errors.Is(err, engine.ErrRangeIncomplete):
+			writeError(w, http.StatusConflict, err)
+		case errors.Is(err, engine.ErrNoLedger):
+			writeError(w, http.StatusGone, err)
+		default:
+			writeError(w, http.StatusInternalServerError, err)
+		}
+		return
+	}
+	st := job.Status()
+	size := 0
+	for _, d := range docs {
+		size += len(d) + 1
+	}
+	if size <= maxBufferedResultBody {
+		writeJSON(w, http.StatusOK, map[string]any{
+			"id":      st.ID,
+			"kind":    st.Kind,
+			"lo":      tr.Lo,
+			"hi":      tr.Hi,
+			"total":   st.Progress.Total,
+			"results": docs,
+		})
+		return
+	}
+	// Oversized body: stream it. No Content-Length is set, so net/http
+	// switches to chunked transfer; flushing per batch bounds the server-side
+	// buffer regardless of how large the span is. The documents are
+	// pre-encoded canonical JSON, so the body is assembled by concatenation —
+	// no re-marshalling of a huge intermediate value.
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	fl, _ := w.(http.Flusher)
+	var buf bytes.Buffer
+	fmt.Fprintf(&buf, `{"id":%q,"kind":%q,"lo":%d,"hi":%d,"total":%d,"results":[`,
+		st.ID, st.Kind, tr.Lo, tr.Hi, st.Progress.Total)
+	for i, d := range docs {
+		if i > 0 {
+			buf.WriteByte(',')
+		}
+		//goclint:allow errdrop -- bytes.Buffer writes cannot fail
+		buf.Write(d)
+		if buf.Len() >= maxBufferedResultBody {
+			if _, err := w.Write(buf.Bytes()); err != nil {
+				return // client hung up; nothing recoverable
+			}
+			buf.Reset()
+			if fl != nil {
+				fl.Flush()
+			}
+		}
+	}
+	//goclint:allow errdrop -- bytes.Buffer writes cannot fail
+	buf.WriteString("]}")
+	//goclint:allow errdrop -- headers are sent; a failed body write is the client hanging up
+	_, _ = w.Write(buf.Bytes())
 }
 
 // handleHandleEvents streams the job's status as server-sent events: a
 // "progress" event per observed snapshot (coalesced to the latest for slow
-// consumers) and a final "end" event carrying the terminal status, after
-// which the stream closes. Backed by engine.Manager.Watch.
+// consumers), a "result-range" event each time the result ledger's
+// contiguous-prefix watermark advances — its data is {"id","lo","hi"}, the
+// newly completed task span, fetchable immediately via ?range=lo-hi — and a
+// final "end" event carrying the terminal status, after which the stream
+// closes. Backed by engine.Manager.Watch.
 //
-// Each event carries an "id:" line holding the snapshot's progress counter,
-// so a client that reconnects after a dropped stream can send the standard
-// Last-Event-ID header and have progress it already saw suppressed; the
-// terminal event is never suppressed (progress counters reset if a restart
-// recomputes the job, so a stale ID must not swallow the ending).
+// Each event carries an "id:" line holding "done.watermark" — the snapshot's
+// progress counter and the ledger watermark it reflects — so a client that
+// reconnects after a dropped stream can send the standard Last-Event-ID
+// header and have both progress it already saw suppressed AND the watermark
+// resumed exactly where it left off: the first result-range event after a
+// reconnect starts at the acknowledged watermark, never skipping or
+// duplicating a span. A bare integer Last-Event-ID (pre-watermark clients)
+// still suppresses progress and replays ranges from 0 — duplicates, never
+// gaps. The terminal event is never suppressed (progress counters reset if a
+// restart recomputes the job, so a stale ID must not swallow the ending).
 func (s *Server) handleHandleEvents(w http.ResponseWriter, r *http.Request) {
 	job, _, err := s.jobForHandle(r.PathValue("handle"))
 	if err != nil {
@@ -1180,10 +1352,16 @@ func (s *Server) handleHandleEvents(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusInternalServerError, errors.New("response writer cannot stream"))
 		return
 	}
-	lastSeen := -1
+	lastSeen, lastWM := -1, 0
 	if lev := r.Header.Get("Last-Event-ID"); lev != "" {
-		if n, err := strconv.Atoi(lev); err == nil {
+		donePart, wmPart, composite := strings.Cut(lev, ".")
+		if n, err := strconv.Atoi(donePart); err == nil {
 			lastSeen = n
+			if composite {
+				if wm, err := strconv.Atoi(wmPart); err == nil && wm > 0 {
+					lastWM = wm
+				}
+			}
 		}
 	}
 	w.Header().Set("Content-Type", "text/event-stream")
@@ -1192,6 +1370,15 @@ func (s *Server) handleHandleEvents(w http.ResponseWriter, r *http.Request) {
 	fl.Flush()
 	// Watch unsubscribes itself when the client disconnects (r.Context()).
 	for st := range job.Watch(r.Context()) {
+		// Watermark advances surface before the status event that carries
+		// them, each as one span [lastWM, wm) — coalesced snapshots coalesce
+		// the spans too, so a slow consumer sees fewer, wider ranges.
+		if wm := st.Progress.Watermark; wm > lastWM {
+			fmt.Fprintf(w, "id: %d.%d\nevent: result-range\ndata: {\"id\":%q,\"lo\":%d,\"hi\":%d}\n\n",
+				st.Progress.Done, wm, st.ID, lastWM, wm)
+			lastWM = wm
+			fl.Flush()
+		}
 		event := "progress"
 		if st.State.Terminal() {
 			event = "end"
@@ -1202,7 +1389,7 @@ func (s *Server) handleHandleEvents(w http.ResponseWriter, r *http.Request) {
 		if err != nil {
 			return
 		}
-		fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", st.Progress.Done, event, b)
+		fmt.Fprintf(w, "id: %d.%d\nevent: %s\ndata: %s\n\n", st.Progress.Done, lastWM, event, b)
 		fl.Flush()
 	}
 }

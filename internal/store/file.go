@@ -96,16 +96,19 @@ func OpenFile(dir string) (*File, error) {
 func (s *File) logPath() string { return filepath.Join(s.dir, logName) }
 
 // op is one log line. Exactly one payload group is set, selected by Op:
-// "game" (ID+Game), "job" (Job), "handle" (ID+JobID), "release" (ID),
+// "game" (ID+Game), "job" (Job), "range" (JobID+Lo+Results — one span of a
+// running job's per-task results), "handle" (ID+JobID), "release" (ID),
 // "pin" (JobID), "seq" (Seq — preserves the handle mint counter across
 // compactions, which drop the released handle ops it derives from).
 type op struct {
-	Op    string          `json:"op"`
-	ID    string          `json:"id,omitempty"`
-	Game  json.RawMessage `json:"game,omitempty"`
-	Job   *JobRecord      `json:"job,omitempty"`
-	JobID string          `json:"job_id,omitempty"`
-	Seq   uint64          `json:"seq,omitempty"`
+	Op      string            `json:"op"`
+	ID      string            `json:"id,omitempty"`
+	Game    json.RawMessage   `json:"game,omitempty"`
+	Job     *JobRecord        `json:"job,omitempty"`
+	JobID   string            `json:"job_id,omitempty"`
+	Lo      int               `json:"lo,omitempty"`
+	Results []json.RawMessage `json:"results,omitempty"`
+	Seq     uint64            `json:"seq,omitempty"`
 }
 
 // replay rebuilds the snapshot from the log and returns the byte offset of
@@ -157,6 +160,12 @@ func (s *File) apply(o op) error {
 			return fmt.Errorf("job op without a record")
 		}
 		s.snap.Jobs[o.Job.ID] = *o.Job
+		if o.Job.State != JobSubmitted {
+			// Terminal record: the aggregate subsumes the per-task spans.
+			delete(s.snap.Ranges, o.Job.ID)
+		}
+	case "range":
+		s.snap.addRange(o.JobID, o.Lo, o.Results)
 	case "handle":
 		s.snap.Handles[o.ID] = o.JobID
 		if n := handleSeq(o.ID); n > s.snap.NextHandle {
@@ -224,6 +233,9 @@ func (s *File) maybeCompactLocked() error {
 	}
 	overCap := len(s.snap.Jobs) > limit+limit/4
 	live := len(s.snap.Games) + len(s.snap.Jobs) + len(s.snap.Handles) + len(s.snap.Pins)
+	for _, recs := range s.snap.Ranges {
+		live += len(recs)
+	}
 	if !overCap && (s.ops < floor || s.ops < 4*live) {
 		return nil
 	}
@@ -269,6 +281,16 @@ func (s *File) compactLocked() error {
 		rec := s.snap.Jobs[id]
 		if !w(op{Op: "job", Job: &rec}) {
 			return fmt.Errorf("store: compact: write failed")
+		}
+	}
+	// Range spans land after the job records so replay's addRange sees the
+	// owning submitted record. The live map is already folded (addRange
+	// merges adjacent spans on apply), so each job emits its spans as-is.
+	for _, id := range sortedKeys(s.snap.Ranges) {
+		for _, rr := range s.snap.Ranges[id] {
+			if !w(op{Op: "range", JobID: id, Lo: rr.Lo, Results: rr.Results}) {
+				return fmt.Errorf("store: compact: write failed")
+			}
 		}
 	}
 	for _, h := range sortedKeys(s.snap.Handles) {
@@ -364,6 +386,17 @@ func (s *File) PutJob(rec JobRecord) error {
 		return fmt.Errorf("store: job record without an ID")
 	}
 	return s.append(op{Op: "job", Job: &rec})
+}
+
+// PutJobRange implements Store.
+func (s *File) PutJobRange(jobID string, lo int, results []json.RawMessage) error {
+	if jobID == "" {
+		return fmt.Errorf("store: range without a job ID")
+	}
+	if len(results) == 0 {
+		return nil // nothing to record; don't burn a log line
+	}
+	return s.append(op{Op: "range", JobID: jobID, Lo: lo, Results: results})
 }
 
 // PutHandle implements Store.

@@ -66,12 +66,30 @@ type JobRecord struct {
 	Error string `json:"error,omitempty"`
 }
 
+// RangeRecord is one persisted span of a running job's result ledger: the
+// TaskCoder-encoded documents of tasks [Lo, Lo+len(Results)). The server
+// appends one per watermark advance; the store folds adjacent spans on
+// apply (first-writer-wins, exactly like the engine's publication), so a
+// job's folded records always cover the contiguous prefix [0, watermark).
+type RangeRecord struct {
+	Lo      int               `json:"lo"`
+	Results []json.RawMessage `json:"results"`
+}
+
+// End returns the exclusive upper bound of the record's span.
+func (r RangeRecord) End() int { return r.Lo + len(r.Results) }
+
 // Snapshot is the full durable state, as Load returns it.
 type Snapshot struct {
 	// Games maps content-addressed game IDs to registered games.
 	Games map[string]*core.Game
 	// Jobs maps job IDs to their latest records.
 	Jobs map[string]JobRecord
+	// Ranges maps *submitted* (interrupted) job IDs to their persisted
+	// result spans — the completed prefix a restart prefills so only the
+	// missing suffix recomputes. Terminal job records clear their ranges:
+	// the aggregate result subsumes them.
+	Ranges map[string][]RangeRecord
 	// Handles maps live v2 handle IDs to job IDs.
 	Handles map[string]string
 	// Pins is the set of job IDs a v1 client submitted or attached to.
@@ -80,6 +98,37 @@ type Snapshot struct {
 	// just the highest live one, so a restart never re-mints a released
 	// handle ID (a stale client could otherwise control a stranger's job).
 	NextHandle uint64
+}
+
+// addRange folds one range record into the snapshot. Spans are appended in
+// watermark order, so the common case extends the previous record in place;
+// an overlap keeps the bytes already recorded (first-writer-wins) and only
+// the genuinely new suffix lands. Records for jobs that are not live
+// "submitted" ones are dropped — their aggregate already persisted (or the
+// job was evicted), so the spans are dead weight.
+func (s *Snapshot) addRange(jobID string, lo int, results []json.RawMessage) {
+	if rec, ok := s.Jobs[jobID]; !ok || rec.State != JobSubmitted {
+		return
+	}
+	if lo < 0 || len(results) == 0 {
+		return
+	}
+	recs := s.Ranges[jobID]
+	if n := len(recs); n > 0 {
+		last := &recs[n-1]
+		if end := last.End(); lo <= end {
+			if lo+len(results) <= end {
+				return // fully covered: first writer already won
+			}
+			last.Results = append(last.Results, results[end-lo:]...)
+			s.Ranges[jobID] = recs
+			return
+		}
+	}
+	if s.Ranges == nil {
+		s.Ranges = map[string][]RangeRecord{}
+	}
+	s.Ranges[jobID] = append(recs, RangeRecord{Lo: lo, Results: results})
 }
 
 // Store persists the server's durable state. Implementations must be safe
@@ -92,8 +141,15 @@ type Store interface {
 	Load() (Snapshot, error)
 	// PutGame upserts a registered game.
 	PutGame(id string, g *core.Game) error
-	// PutJob upserts a job record keyed by rec.ID.
+	// PutJob upserts a job record keyed by rec.ID. Writing a terminal
+	// state clears the job's persisted ranges: the aggregate result (or
+	// the error) subsumes them.
 	PutJob(rec JobRecord) error
+	// PutJobRange appends one span of a running job's per-task results:
+	// the encoded documents of tasks [lo, lo+len(results)). Only jobs in
+	// the submitted state accumulate ranges; overlapping spans resolve
+	// first-writer-wins.
+	PutJobRange(jobID string, lo int, results []json.RawMessage) error
 	// PutHandle records a live handle claiming a job.
 	PutHandle(handle, jobID string) error
 	// DeleteHandle removes a released (or evicted) handle.
@@ -138,6 +194,11 @@ func (s *Snapshot) dropExcessJobs(limit int) {
 			delete(s.Handles, h)
 		}
 	}
+	for id := range s.Ranges {
+		if rec, ok := s.Jobs[id]; !ok || rec.State != JobSubmitted {
+			delete(s.Ranges, id)
+		}
+	}
 	for id := range s.Pins {
 		if _, ok := s.Jobs[id]; !ok {
 			delete(s.Pins, id)
@@ -174,6 +235,7 @@ func emptySnapshot() Snapshot {
 	return Snapshot{
 		Games:   map[string]*core.Game{},
 		Jobs:    map[string]JobRecord{},
+		Ranges:  map[string][]RangeRecord{},
 		Handles: map[string]string{},
 		Pins:    map[string]struct{}{},
 	}
@@ -189,6 +251,13 @@ func (s Snapshot) clone() Snapshot {
 	}
 	for id, rec := range s.Jobs {
 		out.Jobs[id] = rec
+	}
+	for id, recs := range s.Ranges {
+		// Fresh record slice per job; the document bytes are shared
+		// read-only, like Result in the job records.
+		cp := make([]RangeRecord, len(recs))
+		copy(cp, recs)
+		out.Ranges[id] = cp
 	}
 	for h, id := range s.Handles {
 		out.Handles[h] = id
@@ -220,6 +289,9 @@ func (m *Mem) PutJob(rec JobRecord) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.snap.Jobs[rec.ID] = rec
+	if rec.State != JobSubmitted {
+		delete(m.snap.Ranges, rec.ID)
+	}
 	limit := m.MaxJobs
 	if limit <= 0 {
 		limit = DefaultMaxJobRecords
@@ -229,6 +301,14 @@ func (m *Mem) PutJob(rec JobRecord) error {
 	if len(m.snap.Jobs) > limit+limit/4 {
 		m.snap.dropExcessJobs(limit)
 	}
+	return nil
+}
+
+// PutJobRange implements Store.
+func (m *Mem) PutJobRange(jobID string, lo int, results []json.RawMessage) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.snap.addRange(jobID, lo, results)
 	return nil
 }
 

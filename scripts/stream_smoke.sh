@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Result-data-plane smoke test: a real gocserve process, driven by
+# gocstreamcheck through the public SDK — submit an equilibrium sweep, stream
+# every per-task document over SSE (schema-validated against the catalog),
+# then re-fetch the full span with ?range= and require byte-identical
+# documents. CI runs this; also handy locally: ./scripts/stream_smoke.sh
+set -euo pipefail
+
+addr=127.0.0.1:8390
+base="http://$addr"
+bindir=$(mktemp -d)
+pids=()
+cleanup() { for p in "${pids[@]:-}"; do kill -9 "$p" 2>/dev/null || true; done; }
+trap cleanup EXIT
+
+go build -o "$bindir/gocserve" ./cmd/gocserve
+go build -o "$bindir/gocstreamcheck" ./cmd/gocstreamcheck
+
+"$bindir/gocserve" -addr "$addr" &
+pids+=($!)
+
+for _ in $(seq 1 100); do
+  curl -sf "$base/healthz" >/dev/null 2>&1 && break
+  sleep 0.1
+done
+curl -sf "$base/healthz" >/dev/null || { echo "gocserve never became healthy" >&2; exit 1; }
+
+"$bindir/gocstreamcheck" -server "$base" -games 200
+
+echo "stream smoke OK"
