@@ -1,6 +1,6 @@
 package gameofcoins_test
 
-// One benchmark per reproduced table/figure (DESIGN.md §4, EXPERIMENTS.md).
+// One benchmark per reproduced table/figure (DESIGN.md §6, EXPERIMENTS.md).
 // Each bench regenerates its experiment end to end, so `go test -bench=.`
 // doubles as the reproduction harness; per-iteration workloads are the same
 // fixed-seed workloads the experiment suite validates.

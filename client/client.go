@@ -69,6 +69,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 
@@ -79,9 +80,11 @@ import (
 
 // Client talks to one gocserve instance.
 type Client struct {
-	base string
-	hc   *http.Client
-	fp   string
+	base    string
+	hc      *http.Client
+	fp      string
+	key     string
+	retries int
 }
 
 // Option configures a Client.
@@ -104,10 +107,37 @@ func WithFingerprint(fp string) Option {
 	return func(c *Client) { c.fp = fp }
 }
 
+// WithAPIKey authenticates every request with an API key ("Authorization:
+// Bearer <key>"). Required against a gocserve running with -keys; a server
+// without a keyring ignores it.
+func WithAPIKey(key string) Option {
+	return func(c *Client) { c.key = key }
+}
+
+// WithRetryLimit caps how many times a rate-limited (429) request is retried
+// before the APIError surfaces to the caller. The default is
+// DefaultRetryLimit; 0 disables retries entirely, so every 429 is returned
+// immediately — what a load generator probing the limiter wants.
+func WithRetryLimit(n int) Option {
+	return func(c *Client) { c.retries = n }
+}
+
+// DefaultRetryLimit is how many times a 429-rejected request is retried
+// (waiting out the server's Retry-After each time) before giving up.
+const DefaultRetryLimit = 4
+
+// Rate-limit retry pacing: the wait is the server's Retry-After when given,
+// otherwise an exponential backoff from retryBackoffMin, capped at
+// retryWaitMax so a misconfigured server cannot park a client forever.
+const (
+	retryBackoffMin = 250 * time.Millisecond
+	retryWaitMax    = 5 * time.Second
+)
+
 // New returns a client for the gocserve instance at baseURL
 // (e.g. "http://localhost:8372").
 func New(baseURL string, opts ...Option) *Client {
-	c := &Client{base: strings.TrimRight(baseURL, "/"), hc: http.DefaultClient}
+	c := &Client{base: strings.TrimRight(baseURL, "/"), hc: http.DefaultClient, retries: DefaultRetryLimit}
 	for _, opt := range opts {
 		opt(c)
 	}
@@ -118,6 +148,10 @@ func New(baseURL string, opts ...Option) *Client {
 type APIError struct {
 	StatusCode int
 	Message    string
+	// RetryAfter is the server's Retry-After hint on 429 responses (zero
+	// when absent): how long until the rate limiter will admit the client's
+	// next submission.
+	RetryAfter time.Duration
 }
 
 // Error implements error.
@@ -126,36 +160,71 @@ func (e *APIError) Error() string {
 }
 
 // do runs one JSON request. in (if non-nil) is the request body; out (if
-// non-nil) receives the decoded response.
+// non-nil) receives the decoded response. A 429 is retried up to the
+// client's retry limit, waiting out the server's Retry-After (or a capped
+// exponential backoff when the hint is missing) between attempts — a 429
+// means the submission was never admitted, so retrying any method is safe.
 func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
-	var body bytes.Buffer
+	var body []byte
 	if in != nil {
-		if err := json.NewEncoder(&body).Encode(in); err != nil {
+		b, err := json.Marshal(in)
+		if err != nil {
 			return fmt.Errorf("client: encode request: %w", err)
 		}
+		body = b
 	}
-	req, err := http.NewRequestWithContext(ctx, method, c.base+path, &body)
-	if err != nil {
-		return err
-	}
-	req.Header.Set("Content-Type", "application/json")
-	if c.fp != "" {
-		req.Header.Set(server.FingerprintHeader, c.fp)
-	}
-	resp, err := c.hc.Do(req)
-	if err != nil {
-		return err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode < 200 || resp.StatusCode > 299 {
-		return decodeAPIError(resp)
-	}
-	if out != nil {
-		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
-			return fmt.Errorf("client: decode response: %w", err)
+	backoff := retryBackoffMin
+	for attempt := 0; ; attempt++ {
+		req, err := http.NewRequestWithContext(ctx, method, c.base+path, bytes.NewReader(body))
+		if err != nil {
+			return err
 		}
+		req.Header.Set("Content-Type", "application/json")
+		if c.fp != "" {
+			req.Header.Set(server.FingerprintHeader, c.fp)
+		}
+		if c.key != "" {
+			req.Header.Set("Authorization", "Bearer "+c.key)
+		}
+		resp, err := c.hc.Do(req)
+		if err != nil {
+			return err
+		}
+		if resp.StatusCode == http.StatusTooManyRequests && attempt < c.retries {
+			apiErr := decodeAPIError(resp)
+			resp.Body.Close()
+			wait := backoff
+			var ae *APIError
+			if errors.As(apiErr, &ae) && ae.RetryAfter > wait {
+				wait = ae.RetryAfter
+			}
+			if wait > retryWaitMax {
+				wait = retryWaitMax
+			}
+			select {
+			case <-time.After(wait):
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+			if backoff *= 2; backoff > retryWaitMax {
+				backoff = retryWaitMax
+			}
+			continue
+		}
+		if resp.StatusCode < 200 || resp.StatusCode > 299 {
+			err := decodeAPIError(resp)
+			resp.Body.Close()
+			return err
+		}
+		if out != nil {
+			if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+				resp.Body.Close()
+				return fmt.Errorf("client: decode response: %w", err)
+			}
+		}
+		resp.Body.Close()
+		return nil
 	}
-	return nil
 }
 
 func decodeAPIError(resp *http.Response) error {
@@ -165,7 +234,13 @@ func decodeAPIError(resp *http.Response) error {
 	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil || e.Error == "" {
 		e.Error = resp.Status
 	}
-	return &APIError{StatusCode: resp.StatusCode, Message: e.Error}
+	apiErr := &APIError{StatusCode: resp.StatusCode, Message: e.Error}
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		if secs, err := strconv.Atoi(ra); err == nil && secs > 0 {
+			apiErr.RetryAfter = time.Duration(secs) * time.Second
+		}
+	}
+	return apiErr
 }
 
 // SpecKinds lists the bare spec kinds the server's registry accepts.
@@ -231,7 +306,10 @@ type Handle struct {
 // helpers, and batch items via BatchItem.Version).
 type SubmitOption func(*submitOptions)
 
-type submitOptions struct{ version int }
+type submitOptions struct {
+	version  int
+	priority string
+}
 
 // AtVersion pins the submission to an exact registered spec version: the
 // envelope goes out as "kind@vN" instead of the bare kind, so the job runs
@@ -240,6 +318,15 @@ type submitOptions struct{ version int }
 // v1 is the bare wire format.
 func AtVersion(version int) SubmitOption {
 	return func(o *submitOptions) { o.version = version }
+}
+
+// WithPriority sets the submission's admission-control priority class:
+// "low", "normal", or "high". Priority biases how fast the job's tasks are
+// scheduled under contention — never what they compute or whether they cache
+// — and an unknown class is rejected server-side with 422. Unset means
+// "normal".
+func WithPriority(priority string) SubmitOption {
+	return func(o *submitOptions) { o.priority = priority }
 }
 
 // versionedWire renders the wire name for a (kind, pinned version): the
@@ -252,13 +339,13 @@ func versionedWire(kind string, version int) string {
 	return fmt.Sprintf("%s@v%d", kind, version)
 }
 
-// wireKind applies submit options to a bare kind.
-func wireKind(kind string, opts []SubmitOption) string {
+// applyOpts folds submit options into their struct form.
+func applyOpts(opts []SubmitOption) submitOptions {
 	var o submitOptions
 	for _, opt := range opts {
 		opt(&o)
 	}
-	return versionedWire(kind, o.version)
+	return o
 }
 
 // Submit sends a raw envelope: kind names a registered spec kind — the
@@ -274,7 +361,8 @@ func (c *Client) Submit(ctx context.Context, kind string, seed uint64, spec any,
 	if err != nil {
 		return nil, fmt.Errorf("client: encode %s spec: %w", kind, err)
 	}
-	env := engine.JobEnvelope{Kind: wireKind(kind, opts), Seed: seed, Spec: raw}
+	o := applyOpts(opts)
+	env := engine.JobEnvelope{Kind: versionedWire(kind, o.version), Seed: seed, Spec: raw, Priority: o.priority}
 	var jh server.JobHandle
 	if err := c.do(ctx, http.MethodPost, "/v2/jobs", env, &jh); err != nil {
 		return nil, err
@@ -317,6 +405,9 @@ type BatchItem struct {
 	Spec any
 	// Version pins an exact registered spec version (0 = latest).
 	Version int
+	// Priority is the item's admission-control class ("low", "normal",
+	// "high"; empty = normal), exactly like WithPriority on Submit.
+	Priority string
 }
 
 // BatchError is one item's failure inside an otherwise delivered batch: the
@@ -359,7 +450,7 @@ func (c *Client) SubmitBatch(ctx context.Context, items []BatchItem) ([]BatchRes
 		if err != nil {
 			return nil, fmt.Errorf("client: encode %s spec (item %d): %w", it.Kind, i, err)
 		}
-		envs[i] = engine.JobEnvelope{Kind: versionedWire(it.Kind, it.Version), Seed: it.Seed, Spec: raw}
+		envs[i] = engine.JobEnvelope{Kind: versionedWire(it.Kind, it.Version), Seed: it.Seed, Spec: raw, Priority: it.Priority}
 	}
 	var out struct {
 		Results []server.BatchResult `json:"results"`
@@ -435,9 +526,21 @@ func (h *Handle) Watch(ctx context.Context) (<-chan engine.Status, error) {
 				// backoff clock instead of compounding across reconnects.
 				backoff = watchBackoffMin
 			}
+			var retryAfter time.Duration
 			for {
+				// A 429 from the previous attempt overrides the backoff with
+				// the server's own Retry-After, so a rate-limited reconnect
+				// waits the limiter out instead of burning attempts.
+				wait := backoff
+				if retryAfter > wait {
+					wait = retryAfter
+				}
+				if wait > retryWaitMax {
+					wait = retryWaitMax
+				}
+				retryAfter = 0
 				select {
-				case <-time.After(backoff):
+				case <-time.After(wait):
 				case <-ctx.Done():
 					return
 				}
@@ -447,15 +550,17 @@ func (h *Handle) Watch(ctx context.Context) (<-chan engine.Status, error) {
 				next, err := h.connectEvents(ctx, lastEventID)
 				if err != nil {
 					var apiErr *APIError
-					if errors.As(err, &apiErr) &&
-						(apiErr.StatusCode == http.StatusNotFound || apiErr.StatusCode == http.StatusGone) {
-						// The handle is gone server-side; no retry revives it.
-						return
+					if errors.As(err, &apiErr) {
+						if apiErr.StatusCode == http.StatusNotFound || apiErr.StatusCode == http.StatusGone {
+							// The handle is gone server-side; no retry revives it.
+							return
+						}
+						retryAfter = apiErr.RetryAfter
 					}
 					if ctx.Err() != nil {
 						return
 					}
-					continue // transport error or 5xx: the server may be mid-restart
+					continue // transport error, 5xx, or 429: retry with the wait above
 				}
 				body = next.Body
 				break
@@ -472,6 +577,9 @@ func (h *Handle) connectEvents(ctx context.Context, lastEventID string) (*http.R
 		return nil, err
 	}
 	req.Header.Set("Accept", "text/event-stream")
+	if h.c.key != "" {
+		req.Header.Set("Authorization", "Bearer "+h.c.key)
+	}
 	if lastEventID != "" {
 		req.Header.Set("Last-Event-ID", lastEventID)
 	}
@@ -604,6 +712,17 @@ func (h *Handle) ResultRange(ctx context.Context, lo, hi int) ([]json.RawMessage
 // no result schema (or no "task" def) streams unvalidated. fn returning an
 // error aborts the stream and returns that error.
 func (h *Handle) StreamResult(ctx context.Context, fn func(task int, doc json.RawMessage) error) (engine.Status, error) {
+	return h.StreamResultFrom(ctx, 0, fn)
+}
+
+// StreamResultFrom is StreamResult resuming at task index `from`: tasks
+// below it are assumed already delivered (a previous stream the caller
+// persisted before being cut) and are never re-fetched or re-delivered — fn
+// sees exactly the tasks [from, total), in order. The resume point composes
+// with the server's own persistence: after a restart the persisted prefix
+// prefills the new job's ledger, so the watermark passes `from` as soon as
+// the uncovered suffix computes.
+func (h *Handle) StreamResultFrom(ctx context.Context, from int, fn func(task int, doc json.RawMessage) error) (engine.Status, error) {
 	entry, err := h.c.Spec(ctx, h.Submitted.Kind)
 	if err != nil {
 		return engine.Status{}, fmt.Errorf("client: fetch result schema: %w", err)
@@ -617,7 +736,7 @@ func (h *Handle) StreamResult(ctx context.Context, fn func(task int, doc json.Ra
 	if err != nil {
 		return engine.Status{}, err
 	}
-	next := 0
+	next := from
 	var last engine.Status
 	for st := range ch {
 		last = st

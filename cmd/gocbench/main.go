@@ -1,5 +1,5 @@
 // Command gocbench regenerates the paper-reproduction experiments (E1–E13,
-// see DESIGN.md §4 and EXPERIMENTS.md) and prints their tables and ASCII
+// see DESIGN.md §6 and EXPERIMENTS.md) and prints their tables and ASCII
 // figures.
 //
 // With -parallel N the suite is fanned across N workers through the
@@ -20,11 +20,20 @@
 // distributed result stayed byte-identical. scripts/bench.sh uses it to emit
 // BENCH_dist.json.
 //
+// With -traffic FILE it runs the multi-tenant admission-control load harness
+// (internal/trafficbench): four keyed tenants at mixed priorities and job
+// sizes drive an in-process rate-limited server, reporting each tenant's
+// measured capacity share against its priority-weighted fair share, the
+// 401/429 edges (with Retry-After), and whether every tenant's result stayed
+// byte-identical to a single-client rerun. scripts/bench.sh uses it to emit
+// BENCH_traffic.json.
+//
 // Usage:
 //
 //	gocbench [-seed N] [-run E1,E4,...] [-parallel N]
 //	gocbench -sched BENCH_sched.json [-sched-scale F]
 //	gocbench -dist BENCH_dist.json [-dist-scale F]
+//	gocbench -traffic BENCH_traffic.json [-traffic-scale F]
 package main
 
 import (
@@ -40,6 +49,7 @@ import (
 	"gameofcoins/internal/distbench"
 	"gameofcoins/internal/experiments"
 	"gameofcoins/internal/schedbench"
+	"gameofcoins/internal/trafficbench"
 )
 
 func main() {
@@ -59,6 +69,8 @@ func run(w io.Writer, args []string) error {
 	schedScale := fs.Float64("sched-scale", 1, "scale factor for the scheduler benchmark's task durations")
 	distOut := fs.String("dist", "", "run the distributed-execution benchmark and write its JSON report to this file ('-' = stdout) instead of the experiment suite")
 	distScale := fs.Float64("dist-scale", 1, "scale factor for the distributed benchmark's task durations")
+	trafficOut := fs.String("traffic", "", "run the multi-tenant admission-control load harness and write its JSON report to this file ('-' = stdout) instead of the experiment suite")
+	trafficScale := fs.Float64("traffic-scale", 1, "scale factor for the traffic harness's task durations")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -67,6 +79,9 @@ func run(w io.Writer, args []string) error {
 	}
 	if *distOut != "" {
 		return runDist(w, *distOut, *distScale)
+	}
+	if *trafficOut != "" {
+		return runTraffic(w, *trafficOut, *trafficScale)
 	}
 	want := map[string]bool{}
 	if *only != "" {
@@ -115,6 +130,16 @@ func runDist(w io.Writer, path string, scale float64) error {
 	rep, err := distbench.Run(distbench.Options{Scale: scale})
 	if err != nil {
 		return fmt.Errorf("dist benchmark: %w", err)
+	}
+	return writeReport(w, path, rep, rep.String())
+}
+
+// runTraffic runs the multi-tenant admission-control harness, same output
+// contract.
+func runTraffic(w io.Writer, path string, scale float64) error {
+	rep, err := trafficbench.Run(trafficbench.Options{Scale: scale})
+	if err != nil {
+		return fmt.Errorf("traffic harness: %w", err)
 	}
 	return writeReport(w, path, rep, rep.String())
 }

@@ -5,6 +5,7 @@
 // Usage:
 //
 //	gocserve [-addr :8372] [-workers N] [-data DIR] [-fail-interrupted]
+//	         [-keys FILE] [-rate N] [-burst N] [-max-share F]
 //	gocserve -version
 //
 // The preferred API is v2, the self-describing envelope form: POST a
@@ -41,6 +42,17 @@
 // two. On SIGINT/SIGTERM the listener drains in-flight requests, then
 // running jobs are canceled.
 //
+// With -keys FILE the server runs multi-tenant: every job endpoint requires
+// an API key ("Authorization: Bearer" or "X-API-Key") resolving to a client
+// identity from the keyring file, submissions are attributed and rate
+// limited per client (-rate/-burst, over-rate answered 429 + Retry-After),
+// -max-share caps any one client's slice of in-flight work cost while
+// others wait, and an envelope's optional "priority" ("low"/"normal"/
+// "high") weights the fair-share scheduler without preemption. Admission
+// control changes WHO runs WHEN, never results: results stay a pure
+// function of (canonical spec, seed), cached and deduplicated across
+// clients. /healthz and GET /v2/specs stay open.
+//
 // With -data DIR the cache is durable: games, job records, results, and v2
 // handles are written to an append-only log under DIR and rehydrated on the
 // next start — a result computed before a restart is served from cache
@@ -67,6 +79,7 @@ import (
 	"gameofcoins/internal/engine"
 	"gameofcoins/internal/server"
 	"gameofcoins/internal/store"
+	"gameofcoins/internal/traffic"
 )
 
 func main() {
@@ -88,6 +101,11 @@ func run(ctx context.Context, args []string) error {
 	leaseTTL := fs.Duration("lease-ttl", dist.DefaultLeaseTTL, "how long a remote worker may go silent before its leased tasks are requeued")
 	leaseTasks := fs.Int("lease-tasks", dist.DefaultMaxLeaseTasks, "max tasks per remote worker lease")
 	leaseTarget := fs.Float64("lease-target-ms", dist.DefaultTargetLeaseMillis, "target predicted wall-clock per lease once task latency is observed")
+	keysFile := fs.String("keys", "", "API keyring file (\"client:key\" per line); when set, job endpoints require a key and submissions are attributed per client")
+	rate := fs.Float64("rate", 0, "per-client submission rate limit in jobs/sec (0 = unlimited; needs -keys)")
+	burst := fs.Int("burst", 0, "submission burst allowance per client (defaults to max(2*rate, 1))")
+	maxShare := fs.Float64("max-share", 0, "per-client cap on the share of in-flight work cost, in (0,1); enforced only while other clients are waiting (0 = uncapped)")
+	compactRanges := fs.Int("compact-ranges", 0, fmt.Sprintf("per-job cap on persisted streamed-result documents (0 = default %d, negative = unbounded)", store.DefaultMaxRangeDocs))
 	version := fs.Bool("version", false, "print the server version and catalog fingerprint, then exit")
 	fs.Usage = func() {
 		out := fs.Output()
@@ -126,6 +144,13 @@ Persistence:
                                       # so results are byte-identical) unless
                                       # -fail-interrupted is set
 
+Admission control (multi-tenant):
+  gocserve -keys keys.txt -rate 5 -burst 10 -max-share 0.5
+  keys.txt holds one "client:key" per line; submissions then require the key
+  ("Authorization: Bearer <key>" or "X-API-Key: <key>"), are rate limited per
+  client (429 + Retry-After), and fair-share scheduling weighs the envelope's
+  "priority" ("low"/"normal"/"high"). /healthz reports per-client counters.
+
 Distributed execution:
   Remote gocworker processes join over /dist/join (refused with 409 unless
   their catalog fingerprint matches), lease task ranges of running jobs, and
@@ -155,11 +180,33 @@ Distributed execution:
 			TargetLeaseMillis: *leaseTarget,
 		},
 	}
+	if *keysFile != "" || *rate > 0 || *maxShare > 0 {
+		tc := traffic.Config{Rate: *rate, Burst: *burst, MaxShare: *maxShare}
+		if tc.Burst == 0 && tc.Rate > 0 {
+			// Default burst: a couple of seconds of headroom at the
+			// configured rate, so well-behaved clients never see a 429 for
+			// an isolated back-to-back pair of submissions.
+			tc.Burst = max(int(2*tc.Rate), 1)
+		}
+		if *keysFile != "" {
+			kr, err := traffic.LoadKeyring(*keysFile)
+			if err != nil {
+				return err
+			}
+			tc.Keyring = kr
+			fmt.Fprintf(os.Stderr, "gocserve: admission control on for %d clients (rate=%g/s burst=%d max-share=%g)\n",
+				kr.Len(), tc.Rate, tc.Burst, tc.MaxShare)
+		} else {
+			fmt.Fprintf(os.Stderr, "gocserve: rate limiting without -keys applies one shared anonymous bucket\n")
+		}
+		opts.Traffic = traffic.New(tc)
+	}
 	if *dataDir != "" {
 		st, err := store.OpenFile(*dataDir)
 		if err != nil {
 			return err
 		}
+		st.MaxRangeDocs = *compactRanges
 		// Closed after shutdown below, so terminal records from the last
 		// finishing jobs can still land in the log.
 		defer st.Close()

@@ -4,85 +4,206 @@
 // the catalog's task schema), then re-fetches the whole span with ?range=
 // and requires the streamed bytes to match task for task. Exit status is the
 // verdict; scripts/stream_smoke.sh gates CI on it.
+//
+// With -resume FILE the streamed documents are persisted to a JSONL ledger
+// as they arrive, and a rerun picks up after the last persisted task instead
+// of starting over — even against a different server instance, as long as it
+// shares the first one's store. -pause-after N cuts the stream after N newly
+// delivered tasks, which is how the smoke test (and main_test.go) exercise a
+// download surviving a server restart mid-stream.
 package main
 
 import (
+	"bufio"
+	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"os"
 	"time"
 
 	"gameofcoins/client"
 	"gameofcoins/internal/engine"
 )
 
+// errPaused is the sentinel a -pause-after cut propagates out of the stream
+// callback; run translates it into a clean exit so the caller can resume.
+var errPaused = errors.New("paused")
+
 func main() {
-	server := flag.String("server", "http://127.0.0.1:8390", "gocserve base URL")
-	games := flag.Int("games", 200, "equilibrium_sweep size (one task per game)")
-	seed := flag.Uint64("seed", 7, "job seed")
-	timeout := flag.Duration("timeout", 2*time.Minute, "overall deadline")
-	flag.Parse()
 	log.SetFlags(0)
 	log.SetPrefix("gocstreamcheck: ")
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("gocstreamcheck", flag.ContinueOnError)
+	server := fs.String("server", "http://127.0.0.1:8390", "gocserve base URL")
+	games := fs.Int("games", 200, "equilibrium_sweep size (one task per game)")
+	seed := fs.Uint64("seed", 7, "job seed")
+	timeout := fs.Duration("timeout", 2*time.Minute, "overall deadline")
+	resume := fs.String("resume", "", "JSONL ledger: streamed documents append here, and a rerun resumes after the last persisted task")
+	pauseAfter := fs.Int("pause-after", 0, "cut the stream after this many newly delivered tasks (0 = run to completion; requires -resume)")
+	key := fs.String("key", "", "API key, for servers running with -keys")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *pauseAfter > 0 && *resume == "" {
+		return errors.New("-pause-after without -resume would discard the delivered prefix")
+	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
 	defer cancel()
-	c := client.New(*server)
+	var copts []client.Option
+	if *key != "" {
+		copts = append(copts, client.WithAPIKey(*key))
+	}
+	c := client.New(*server, copts...)
 
 	// The kind must publish a result schema with the per-task $def the SDK
 	// validates streamed documents against — that is the catalog contract.
 	entry, err := c.Spec(ctx, "equilibrium_sweep")
 	if err != nil {
-		log.Fatalf("catalog: %v", err)
+		return fmt.Errorf("catalog: %w", err)
 	}
 	if entry.ResultSchema == nil || entry.ResultSchema.Defs["task"] == nil {
-		log.Fatal("catalog: equilibrium_sweep has no per-task result schema")
+		return errors.New("catalog: equilibrium_sweep has no per-task result schema")
 	}
 
+	// The ledger's line count is the resume point: tasks [0, from) were
+	// delivered (and verified well-formed) by a previous run.
+	docs, err := loadLedger(*resume)
+	if err != nil {
+		return err
+	}
+	from := len(docs)
+	if from > *games {
+		return fmt.Errorf("ledger holds %d documents but the sweep has only %d tasks (wrong -games or wrong ledger?)", from, *games)
+	}
+	var ledger *os.File
+	if *resume != "" {
+		ledger, err = os.OpenFile(*resume, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return err
+		}
+		defer ledger.Close()
+	}
+
+	// Resubmission is idempotent: the same spec and seed lands on the same
+	// cache line, so a resume run attaches to the original computation (or,
+	// after a restart, to its persisted prefix plus a recomputed suffix).
 	spec := map[string]any{"gen": map[string]any{"Miners": 9, "Coins": 3}, "games": *games}
 	h, err := c.Submit(ctx, "equilibrium_sweep", *seed, spec)
 	if err != nil {
-		log.Fatalf("submit: %v", err)
+		return fmt.Errorf("submit: %w", err)
 	}
 
-	var streamed []json.RawMessage
-	st, err := h.StreamResult(ctx, func(task int, doc json.RawMessage) error {
-		if task != len(streamed) {
-			return fmt.Errorf("task %d delivered out of order (have %d)", task, len(streamed))
+	delivered := 0
+	st, err := h.StreamResultFrom(ctx, from, func(task int, doc json.RawMessage) error {
+		if task != len(docs) {
+			return fmt.Errorf("task %d delivered out of order (have %d)", task, len(docs))
 		}
-		streamed = append(streamed, doc)
+		docs = append(docs, doc)
+		if ledger != nil {
+			if err := appendLedger(ledger, doc); err != nil {
+				return err
+			}
+		}
+		delivered++
+		if *pauseAfter > 0 && delivered >= *pauseAfter {
+			return errPaused
+		}
 		return nil
 	})
+	if errors.Is(err, errPaused) {
+		fmt.Fprintf(stdout, "stream paused after %d new tasks (%d of %d persisted); rerun with -resume to continue\n", delivered, len(docs), *games)
+		return nil
+	}
 	if err != nil {
-		log.Fatalf("stream: %v", err)
+		return fmt.Errorf("stream: %w", err)
 	}
 	if st.State != engine.StateDone {
-		log.Fatalf("job ended %s: %s", st.State, st.Error)
+		return fmt.Errorf("job ended %s: %s", st.State, st.Error)
 	}
-	if len(streamed) != *games {
-		log.Fatalf("streamed %d documents, want %d", len(streamed), *games)
+	if len(docs) != *games {
+		return fmt.Errorf("streamed %d documents, want %d", len(docs), *games)
 	}
 
-	docs, err := h.ResultRange(ctx, 0, *games)
+	// The full span — resumed prefix plus freshly streamed suffix — must be
+	// byte-identical to a cold ?range fetch of the whole result.
+	ranged, err := h.ResultRange(ctx, 0, *games)
 	if err != nil {
-		log.Fatalf("range fetch: %v", err)
+		return fmt.Errorf("range fetch: %w", err)
 	}
-	if len(docs) != len(streamed) {
-		log.Fatalf("?range served %d documents, streamed %d", len(docs), len(streamed))
+	if len(ranged) != len(docs) {
+		return fmt.Errorf("?range served %d documents, streamed %d", len(ranged), len(docs))
 	}
-	for i := range docs {
-		if string(docs[i]) != string(streamed[i]) {
-			log.Fatalf("task %d: streamed %s, ?range %s", i, streamed[i], docs[i])
+	for i := range ranged {
+		if string(ranged[i]) != string(docs[i]) {
+			return fmt.Errorf("task %d: streamed %s, ?range %s", i, docs[i], ranged[i])
 		}
 	}
 	var agg json.RawMessage
 	if err := h.Result(ctx, &agg); err != nil {
-		log.Fatalf("aggregate fetch: %v", err)
+		return fmt.Errorf("aggregate fetch: %w", err)
 	}
 	if err := entry.ResultSchema.Validate(agg); err != nil {
-		log.Fatalf("aggregate does not match the catalog result schema: %v", err)
+		return fmt.Errorf("aggregate does not match the catalog result schema: %w", err)
 	}
-	fmt.Printf("stream check OK: %d tasks streamed in order, schema-validated, bytes match ?range fetch; aggregate validates\n", len(streamed))
+	fmt.Fprintf(stdout, "stream check OK: %d tasks (%d resumed + %d streamed) in order, schema-validated, bytes match ?range fetch; aggregate validates\n", len(docs), from, delivered)
+	return nil
+}
+
+// loadLedger reads a resume ledger written by a previous run: one compact
+// JSON document per line, in task order. A missing file (or no -resume at
+// all) is an empty ledger.
+func loadLedger(path string) ([]json.RawMessage, error) {
+	if path == "" {
+		return nil, nil
+	}
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var docs []json.RawMessage
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		if !json.Valid(line) {
+			return nil, fmt.Errorf("ledger %s line %d is not valid JSON (truncated write? delete the file to restart)", path, len(docs)+1)
+		}
+		docs = append(docs, json.RawMessage(append([]byte(nil), line...)))
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("ledger %s: %w", path, err)
+	}
+	return docs, nil
+}
+
+// appendLedger persists one streamed document as a ledger line, compacted so
+// the document can never span lines.
+func appendLedger(f *os.File, doc json.RawMessage) error {
+	var buf bytes.Buffer
+	if err := json.Compact(&buf, doc); err != nil {
+		return err
+	}
+	buf.WriteByte('\n')
+	if _, err := f.Write(buf.Bytes()); err != nil {
+		return fmt.Errorf("ledger append: %w", err)
+	}
+	return nil
 }

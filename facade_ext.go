@@ -16,6 +16,7 @@ import (
 	"gameofcoins/internal/security"
 	"gameofcoins/internal/server"
 	"gameofcoins/internal/store"
+	"gameofcoins/internal/traffic"
 )
 
 // Extended facade: ablations, verification, and security analysis.
@@ -123,8 +124,25 @@ type (
 	// Server is the gocserve HTTP handler (games, jobs, results, cache).
 	Server = server.Server
 	// ServerOptions configure a Server beyond the worker count: the
-	// persistence Store and the interrupted-job recovery policy.
+	// persistence Store, the interrupted-job recovery policy, and the
+	// admission controller (Traffic).
 	ServerOptions = server.Options
+
+	// TrafficConfig configures admission control for a multi-tenant
+	// Server: the API keyring, the per-client submission token bucket
+	// (Rate/Burst → 429 + Retry-After), and the per-client cap on the
+	// share of in-flight work cost (MaxShare).
+	TrafficConfig = traffic.Config
+	// TrafficController enforces a TrafficConfig; set it as
+	// ServerOptions.Traffic. Admission control changes who runs when,
+	// never result bytes.
+	TrafficController = traffic.Controller
+	// TrafficKeyring maps API keys to client identities (constant-time
+	// lookup). See ParseKeyring / LoadKeyring.
+	TrafficKeyring = traffic.Keyring
+	// TrafficStats is the controller's per-client admitted/throttled/
+	// unauthorized counters, served from /healthz under "traffic".
+	TrafficStats = traffic.Stats
 	// JobRequest is the legacy (v1) flat wire form of a job submission.
 	JobRequest = server.JobRequest
 
@@ -267,6 +285,14 @@ func CatalogFingerprint() string { return engine.CatalogFingerprint() }
 // Options pin behavior per client — e.g. client.WithFingerprint(fp) asserts
 // every submission against a captured catalog fingerprint (409 on drift).
 func NewClient(url string, opts ...ClientOption) *Client { return client.New(url, opts...) }
+
+// NewTrafficController returns the admission controller for cfg; set it as
+// ServerOptions.Traffic to run a Server multi-tenant (what `gocserve -keys
+// -rate -burst -max-share` does).
+func NewTrafficController(cfg TrafficConfig) *TrafficController { return traffic.New(cfg) }
+
+// LoadKeyring reads a "client:key"-per-line API keyring file.
+func LoadKeyring(path string) (*TrafficKeyring, error) { return traffic.LoadKeyring(path) }
 
 // NewWorkerTransport returns the HTTP transport a WorkerRunner uses to reach
 // the coordinator embedded in a gocserve instance at url — the same wire

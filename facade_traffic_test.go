@@ -1,0 +1,62 @@
+package gameofcoins_test
+
+import (
+	"context"
+	"errors"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"gameofcoins"
+	"gameofcoins/client"
+)
+
+// TestFacadeTrafficControl drives the admission-control surface purely
+// through the root facade: a keyring loaded from disk, a controller on
+// ServerOptions.Traffic, an unkeyed submission bounced with 401, and a keyed
+// one completing normally.
+func TestFacadeTrafficControl(t *testing.T) {
+	keys := filepath.Join(t.TempDir(), "keys.txt")
+	if err := os.WriteFile(keys, []byte("ada:ada-secret-000001\n"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	kr, err := gameofcoins.LoadKeyring(keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := gameofcoins.NewServerWithOptions(2, gameofcoins.ServerOptions{
+		Traffic: gameofcoins.NewTrafficController(gameofcoins.TrafficConfig{Keyring: kr}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	ctx := context.Background()
+	spec := gameofcoins.EquilibriumSweep{Gen: gameofcoins.GenSpec{Miners: 4, Coins: 2}, Games: 5}
+
+	_, err = gameofcoins.NewClient(ts.URL).SubmitEquilibriumSweep(ctx, spec, 1)
+	var apiErr *client.APIError
+	if !errors.As(err, &apiErr) || apiErr.StatusCode != 401 {
+		t.Fatalf("unkeyed submission: got %v, want HTTP 401", err)
+	}
+
+	keyed := gameofcoins.NewClient(ts.URL, client.WithAPIKey("ada-secret-000001"))
+	h, err := keyed.SubmitEquilibriumSweep(ctx, spec, 1)
+	if err != nil {
+		t.Fatalf("keyed submission: %v", err)
+	}
+	if _, err := h.Wait(ctx); err != nil {
+		t.Fatal(err)
+	}
+	var res gameofcoins.EquilibriumSweepResult
+	if err := h.Result(ctx, &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Games != 5 {
+		t.Fatalf("result covers %d games, want 5", res.Games)
+	}
+}

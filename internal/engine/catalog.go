@@ -73,7 +73,11 @@ func Catalog() []CatalogEntry {
 // the registry accepts, and a doc-comment edit should not read as drift.
 // Whether a version serves a result schema IS hashed (the "+r" marker):
 // a replica without one cannot stream validated partial results, which is
-// exactly the capability drift the fingerprint exists to expose.
+// exactly the capability drift the fingerprint exists to expose. The NAMES
+// of a version's $defs are hashed too ("[game,gen,...]"): defs are
+// addressable wire surface — clients resolve "#/$defs/gen" against the
+// served catalog — so renaming or dropping one is drift, while the def
+// bodies stay unhashed like all other schema content.
 func CatalogFingerprint() string {
 	var lines []string
 	for _, e := range Catalog() {
@@ -84,8 +88,35 @@ func CatalogFingerprint() string {
 		if e.ResultSchema != nil {
 			line += "+r"
 		}
+		if names := defNames(e.Schema, e.ResultSchema); len(names) > 0 {
+			line += "[" + strings.Join(names, ",") + "]"
+		}
 		lines = append(lines, line)
 	}
 	sum := sha256.Sum256([]byte(strings.Join(lines, "\n")))
 	return hex.EncodeToString(sum[:8])
+}
+
+// defNames collects the $def names the given schemas expose, sorted and
+// deduplicated across them (a spec schema and its result schema may both
+// carry "summary"-style defs).
+func defNames(schemas ...*Schema) []string {
+	seen := map[string]bool{}
+	for _, s := range schemas {
+		if s == nil {
+			continue
+		}
+		for name := range s.Defs {
+			seen[name] = true
+		}
+	}
+	if len(seen) == 0 {
+		return nil
+	}
+	names := make([]string, 0, len(seen))
+	for name := range seen {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
 }

@@ -106,6 +106,11 @@ type Engine struct {
 	leasesGranted  uint64
 	remoteDone     uint64
 	remoteRequeued uint64
+
+	// Admission-control quota (SetClientShares): the default cap on any one
+	// client's share of total in-flight cost, plus per-client overrides.
+	shareDefault  float64
+	shareOverride map[string]float64
 }
 
 // New returns an engine with the given worker count; workers <= 0 selects
@@ -156,6 +161,12 @@ type runOpts struct {
 	// locks) but arrive in completion order, not index order. A result whose
 	// encoding fails is published to the job but not delivered here.
 	onTask func(task int, raw json.RawMessage)
+	// client names the submitting tenant for per-client quota accounting
+	// ("" = anonymous); weight scales the job's urgency in fair-share
+	// comparisons (<= 0 means the default 1.0). Both bias scheduling order
+	// only and can never reach results.
+	client string
+	weight float64
 }
 
 // run is Run plus the optional remote wire identity, result prefill, and
@@ -203,6 +214,8 @@ func (e *Engine) run(ctx context.Context, spec Spec, seed uint64, ro runOpts) (a
 	}
 	j.sizer, _ = spec.(Sizer)
 	j.costKey = spec.Kind()
+	j.client = ro.client
+	j.weight = ro.weight
 	if coder, ok := spec.(TaskCoder); ok {
 		j.coder = coder
 		j.onTask = ro.onTask

@@ -282,6 +282,13 @@ type SubmitOptions struct {
 	// task runs, so only the missing suffix recomputes; invalid entries are
 	// recomputed. Ignored unless the spec implements TaskCoder.
 	Prefill map[int]json.RawMessage
+	// Client names the submitting tenant for per-client quota accounting
+	// and scheduler stats; empty means anonymous. Weight scales the job's
+	// urgency in fair-share comparisons — the priority-class weight on
+	// served jobs (<= 0 means the default 1.0). Both bias scheduling order
+	// only: results are a pure function of (spec, seed) regardless.
+	Client string
+	Weight float64
 }
 
 // SubmitJob is the full-control submission with a caller-chosen ID (empty
@@ -346,6 +353,8 @@ func (m *Manager) submit(id string, spec Spec, seed uint64, opts SubmitOptions) 
 		ro := runOpts{
 			remote:  opts.Remote,
 			prefill: opts.Prefill,
+			client:  opts.Client,
+			weight:  opts.Weight,
 			onProgress: func(p Progress) {
 				// CAS-max: the dispatcher serializes callbacks with strictly
 				// increasing Done, but the guard keeps a hypothetical stale

@@ -15,9 +15,9 @@ import (
 // source for everything downstream of "a task finished": the contiguous-
 // prefix watermark in Progress, partial-result range GETs served mid-run,
 // SSE result-range events, the store's incremental range records, and the
-// client's streaming iterator. Restored (already-terminal) jobs have no
-// ledger — their per-task documents died with the previous process life and
-// only the aggregate survives.
+// client's streaming iterator. Restored (already-terminal) jobs start with
+// no ledger; PrefillResults rebuilds one from the store's persisted range
+// records so range GETs and resumed result streams survive a restart.
 
 // ErrNoLedger reports a range query against a job without a result ledger:
 // the spec is not a TaskCoder, or the job was restored already-terminal.
@@ -108,6 +108,25 @@ func (j *Job) recordTask(task int, raw json.RawMessage) {
 	if j.ledger != nil {
 		j.ledger.record(task, raw)
 	}
+}
+
+// PrefillResults installs a result ledger over persisted per-task documents
+// for a job restored already-terminal, so ?range fetches and resumed result
+// streams keep working across a restart. No-op when the job already has a
+// ledger or there is nothing to prefill. Callers must invoke it during
+// rehydration, before the job is exposed to request traffic — the ledger
+// field itself is written unsynchronized.
+func (j *Job) PrefillResults(docs map[int]json.RawMessage) {
+	if j.ledger != nil || len(docs) == 0 || j.total <= 0 {
+		return
+	}
+	l := newResultLedger(j.total)
+	for i := 0; i < j.total; i++ {
+		if doc, ok := docs[i]; ok {
+			l.record(i, doc)
+		}
+	}
+	j.ledger = l
 }
 
 // Watermark returns the job's contiguous completed prefix: every task below

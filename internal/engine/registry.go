@@ -39,6 +39,12 @@ type JobEnvelope struct {
 	Kind string          `json:"kind"`
 	Seed uint64          `json:"seed"`
 	Spec json.RawMessage `json:"spec,omitempty"`
+	// Priority is the optional admission-control class ("low", "normal",
+	// "high"; empty means "normal"). It biases when the job's tasks are
+	// scheduled, never what they compute, so it is deliberately excluded
+	// from cache keys: a high-priority rerun of a cached spec is a cache
+	// hit, not a recomputation.
+	Priority string `json:"priority,omitempty"`
 }
 
 // Decode resolves the envelope's spec through the registry.

@@ -39,6 +39,14 @@ type runJob struct {
 	sizer      Sizer  // spec's Sizer, if any; nil means uniform cost
 	costKey    string // observed-cost bucket: wire kind when known, else Kind()
 
+	// Admission-control attributes, set once at submission and immutable
+	// after: client names the submitting tenant ("" = anonymous) for quota
+	// accounting, weight scales the job's urgency in fair-share comparisons
+	// (<= 0 means the default 1.0). Both bias which pending task a worker
+	// takes next — they can never reach results.
+	client string
+	weight float64
+
 	// Wire identity and codec — set once before enqueue, immutable after.
 	// coder is non-nil whenever the spec implements TaskCoder; wire is
 	// additionally non-nil for distributable jobs (RemoteInfo supplied), and
@@ -109,6 +117,24 @@ type SchedStats struct {
 	// Observed maps cost keys (wire kind when known) to the EWMA task
 	// latency model feeding fair-share weighting and lease sizing.
 	Observed map[string]ObservedCost `json:"observed,omitempty"`
+	// Clients maps named submitting clients to their live dispatcher load.
+	// Anonymous jobs (no client identity) are not listed, so the map is
+	// omitted entirely on a server running without admission control.
+	Clients map[string]ClientLoad `json:"clients,omitempty"`
+}
+
+// ClientLoad is one named client's live dispatcher footprint plus the
+// in-flight cost share cap the quota policy holds it to (0 = uncapped).
+type ClientLoad struct {
+	// Jobs counts the client's active jobs.
+	Jobs int `json:"jobs"`
+	// InFlight counts the client's tasks running locally or out on leases.
+	InFlight int `json:"in_flight"`
+	// InFlightCost is the EWMA-weighted wall-clock estimate of that
+	// in-flight work — the quantity the quota compares against ShareCap.
+	InFlightCost float64 `json:"in_flight_cost"`
+	// ShareCap is the client's configured share of total in-flight cost.
+	ShareCap float64 `json:"share_cap,omitempty"`
 }
 
 // ObservedCost is the per-kind EWMA latency model built from completed local
@@ -201,7 +227,103 @@ func (e *Engine) Stats() SchedStats {
 			st.Observed[k] = ObservedCost{MsPerTask: o.msPerTask, MsPerCost: o.msPerCost, Samples: o.n}
 		}
 	}
+	for _, j := range e.active {
+		if j.client == "" {
+			continue
+		}
+		if st.Clients == nil {
+			st.Clients = make(map[string]ClientLoad)
+		}
+		cl := st.Clients[j.client]
+		cl.Jobs++
+		cl.InFlight += j.inFlight + j.leased
+		cl.InFlightCost += e.inFlightCostLocked(j)
+		cl.ShareCap = e.shareLocked(j.client)
+		st.Clients[j.client] = cl
+	}
 	return st
+}
+
+// SetClientShares configures the per-client in-flight cost quota enforced in
+// take: def caps every client's share of the engine's total in-flight cost,
+// and per overrides the cap for specific clients. Shares are fractions in
+// (0, 1); zero or anything outside that range means uncapped. Enforcement is
+// work-conserving — a client is only passed over while at least one other
+// client has runnable work — so quotas shape contention and can never idle
+// workers or strand a job.
+func (e *Engine) SetClientShares(def float64, per map[string]float64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.shareDefault = def
+	e.shareOverride = nil
+	if len(per) > 0 {
+		e.shareOverride = make(map[string]float64, len(per))
+		for client, share := range per {
+			e.shareOverride[client] = share
+		}
+	}
+}
+
+// shareLocked resolves a client's configured in-flight cost share cap
+// (0 = uncapped). Callers must hold e.mu.
+func (e *Engine) shareLocked(client string) float64 {
+	share := e.shareDefault
+	if s, ok := e.shareOverride[client]; ok {
+		share = s
+	}
+	if share <= 0 || share >= 1 {
+		return 0
+	}
+	return share
+}
+
+// inFlightCostLocked estimates the wall-clock cost of a job's running and
+// leased tasks: count × observed EWMA ms/task, or the bare count while the
+// kind is unobserved (the same cold-start fallback lessLoadedLocked uses).
+// Callers must hold e.mu.
+func (e *Engine) inFlightCostLocked(j *runJob) float64 {
+	n := float64(j.inFlight + j.leased)
+	if o := e.obs[j.costKey]; o != nil && o.n > 0 && o.msPerTask > 0 {
+		return n * o.msPerTask
+	}
+	return n
+}
+
+// overQuotaLocked computes the set of clients currently holding more than
+// their configured share of total in-flight cost — the clients take's first
+// pass skips. It returns nil whenever enforcement cannot matter: no quota
+// configured, nothing in flight, or fewer than two distinct clients active
+// (a lone client over its share with nobody contending would only idle
+// workers). If every client with runnable state is over — possible with
+// small shares — the quota is likewise waived, keeping take work-conserving.
+// Callers must hold e.mu.
+func (e *Engine) overQuotaLocked() map[string]bool {
+	if e.shareDefault <= 0 && len(e.shareOverride) == 0 {
+		return nil
+	}
+	cost := make(map[string]float64)
+	total := 0.0
+	for _, j := range e.active {
+		c := e.inFlightCostLocked(j)
+		cost[j.client] += c
+		total += c
+	}
+	if len(cost) < 2 || total <= 0 {
+		return nil
+	}
+	var over map[string]bool
+	for client, c := range cost {
+		if share := e.shareLocked(client); share > 0 && c > share*total {
+			if over == nil {
+				over = make(map[string]bool)
+			}
+			over[client] = true
+		}
+	}
+	if len(over) == len(cost) {
+		return nil
+	}
+	return over
 }
 
 // orderTasks builds a job's initial deque: LPT order when the spec can size
@@ -284,10 +406,19 @@ func (e *Engine) worker() {
 // per-task latency once *both* jobs being compared have cost samples, so a
 // job of 100ms tasks and a job of 1ms tasks split wall-clock rather than
 // worker slots; with either side unobserved the comparison stays the plain
-// count, preserving cold-start behavior. Ties prefer the worker's previous
+// count, preserving cold-start behavior. Either way the load is divided by
+// the job's priority weight, so a high-priority job tolerates
+// proportionally more in-flight work before losing a comparison.
+// Ties prefer the worker's previous
 // job (cheap affinity), then round-robin from a rotating cursor so equal
 // jobs alternate. A take from a different still-live job counts as a steal.
 // Within the chosen job, tasks pop from the front of the LPT deque.
+//
+// Client quotas gate the scan: the first pass skips jobs whose client is
+// over its in-flight cost share (overQuotaLocked), and only if that pass
+// finds nothing runnable does a second pass consider everyone — so a quota
+// reshapes contention but never idles a worker that has work available
+// (work conservation), and an over-quota client's own jobs still drain.
 //
 // take also owns worker retirement: when nothing is pending anywhere it
 // decrements the live count and reports false in the same critical section
@@ -297,21 +428,30 @@ func (e *Engine) take(lastp **runJob) (*runJob, int, bool) {
 	last := *lastp
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	over := e.overQuotaLocked()
 	var best *runJob
 	bestIdx := -1
 	if n := len(e.active); n > 0 {
 		start := e.rr % n
-		for k := 0; k < n; k++ {
-			idx := (start + k) % n
-			j := e.active[idx]
-			if len(j.pending) == 0 {
-				continue
+		for pass := 0; pass < 2 && best == nil; pass++ {
+			if pass == 1 && len(over) == 0 {
+				break // first pass already considered every job
 			}
-			switch {
-			case best == nil,
-				e.lessLoadedLocked(j, best),
-				!e.lessLoadedLocked(best, j) && j == last && best != last:
-				best, bestIdx = j, idx
+			for k := 0; k < n; k++ {
+				idx := (start + k) % n
+				j := e.active[idx]
+				if len(j.pending) == 0 {
+					continue
+				}
+				if pass == 0 && over[j.client] {
+					continue
+				}
+				switch {
+				case best == nil,
+					e.lessLoadedLocked(j, best),
+					!e.lessLoadedLocked(best, j) && j == last && best != last:
+					best, bestIdx = j, idx
+				}
 			}
 		}
 	}
@@ -333,13 +473,24 @@ func (e *Engine) take(lastp **runJob) (*runJob, int, bool) {
 // lessLoadedLocked reports whether a carries strictly less load than b.
 // When both jobs' kinds have observed latency, load is predicted in-flight
 // wall-clock (inFlight × EWMA ms/task); otherwise the plain in-flight count.
-// Callers must hold e.mu.
+// Load is divided by the job's priority weight — a weight-2 job looks half
+// as loaded as a weight-1 job at the same in-flight count, so it wins takes
+// until it holds roughly twice the share; with every weight at the default
+// 1.0 the comparison is exactly the historical unweighted one. Callers must
+// hold e.mu.
 func (e *Engine) lessLoadedLocked(a, b *runJob) bool {
+	wa, wb := a.weight, b.weight
+	if wa <= 0 {
+		wa = 1
+	}
+	if wb <= 0 {
+		wb = 1
+	}
 	oa, ob := e.obs[a.costKey], e.obs[b.costKey]
 	if oa != nil && ob != nil && oa.n > 0 && ob.n > 0 && oa.msPerTask > 0 && ob.msPerTask > 0 {
-		return float64(a.inFlight)*oa.msPerTask < float64(b.inFlight)*ob.msPerTask
+		return float64(a.inFlight)*oa.msPerTask/wa < float64(b.inFlight)*ob.msPerTask/wb
 	}
-	return a.inFlight < b.inFlight
+	return float64(a.inFlight)/wa < float64(b.inFlight)/wb
 }
 
 // execute runs one task and publishes its completion. Publication order is

@@ -8,6 +8,36 @@ package engine
 // never 422s a document the decoder would take. schema_test.go enforces the
 // agreement case by case.
 
+// Shared $defs are package-level singletons: every kind that references
+// "#/$defs/gen" (and friends) points its Defs map at the SAME *Schema
+// instance, so the catalog serves one canonical definition of each shared
+// sub-document instead of per-kind copies that could silently drift apart.
+// The per-kind "task" documents stay kind-local — they genuinely differ.
+var (
+	genDef     = genSpecSchema()
+	gameDef    = gameSchema()
+	summaryDef = summarySchema()
+)
+
+// sharedDefs builds a Defs map wiring the named shared singletons in.
+// Callers may add kind-local entries (like "task") to the returned map.
+func sharedDefs(names ...string) map[string]*Schema {
+	out := make(map[string]*Schema, len(names)+1)
+	for _, n := range names {
+		switch n {
+		case "gen":
+			out[n] = genDef
+		case "game":
+			out[n] = gameDef
+		case "summary":
+			out[n] = summaryDef
+		default:
+			panic("specs_schema: unknown shared $def " + n)
+		}
+	}
+	return out
+}
+
 // genSpecSchema describes core.GenSpec (no json tags: Go field names).
 func genSpecSchema() *Schema {
 	return SchemaObject(map[string]*Schema{
@@ -66,7 +96,7 @@ func learnSweepSchema() *Schema {
 	})
 	s.Title = "learn_sweep"
 	s.Description = "Better-response learning sweep: Runs runs per scheduler on a fixed or generated game, aggregating steps-to-equilibrium statistics."
-	s.Defs = map[string]*Schema{"gen": genSpecSchema(), "game": gameSchema()}
+	s.Defs = sharedDefs("gen", "game")
 	return s
 }
 
@@ -78,7 +108,7 @@ func designSweepSchema() *Schema {
 	})
 	s.Title = "design_sweep"
 	s.Description = "Section-5 reward-design sweep: Algorithm 2 between random equilibrium pairs on random games."
-	s.Defs = map[string]*Schema{"gen": genSpecSchema()}
+	s.Defs = sharedDefs("gen")
 	return s
 }
 
@@ -99,7 +129,7 @@ func equilibriumSweepSchema() *Schema {
 	})
 	s.Title = "equilibrium_sweep"
 	s.Description = "Equilibrium census: enumerate pure equilibria of random games, aggregating the count distribution."
-	s.Defs = map[string]*Schema{"gen": genSpecSchema()}
+	s.Defs = sharedDefs("gen")
 	return s
 }
 
@@ -141,13 +171,11 @@ func learnSweepResultSchema() *Schema {
 		"total_runs": SchemaInt("total learning runs across schedulers"),
 	})
 	s.Title = "learn_sweep result"
-	s.Defs = map[string]*Schema{
-		"summary": summarySchema(),
-		"task": SchemaOpenObject(map[string]*Schema{
-			"steps":     SchemaInt("better-response steps taken"),
-			"converged": SchemaBool("run reached a verified equilibrium"),
-		}),
-	}
+	s.Defs = sharedDefs("summary")
+	s.Defs["task"] = SchemaOpenObject(map[string]*Schema{
+		"steps":     SchemaInt("better-response steps taken"),
+		"converged": SchemaBool("run reached a verified equilibrium"),
+	})
 	return s
 }
 
@@ -162,17 +190,15 @@ func designSweepResultSchema() *Schema {
 		"last_error": SchemaString("sample of one discarded draw's error"),
 	})
 	s.Title = "design_sweep result"
-	s.Defs = map[string]*Schema{
-		"summary": summarySchema(),
-		"task": SchemaOpenObject(map[string]*Schema{
-			"skipped":  SchemaBool("no usable game within max_tries"),
-			"reached":  SchemaBool("target equilibrium reached"),
-			"cost":     SchemaNumber("total subsidy spent"),
-			"steps":    SchemaNumber("total better-response steps"),
-			"errs":     SchemaInt("discarded draws"),
-			"last_err": SchemaString("sample error from a discarded draw"),
-		}),
-	}
+	s.Defs = sharedDefs("summary")
+	s.Defs["task"] = SchemaOpenObject(map[string]*Schema{
+		"skipped":  SchemaBool("no usable game within max_tries"),
+		"reached":  SchemaBool("target equilibrium reached"),
+		"cost":     SchemaNumber("total subsidy spent"),
+		"steps":    SchemaNumber("total better-response steps"),
+		"errs":     SchemaInt("discarded draws"),
+		"last_err": SchemaString("sample error from a discarded draw"),
+	})
 	return s
 }
 
@@ -185,15 +211,13 @@ func replaySweepResultSchema() *Schema {
 		"migrated":        SchemaInt("runs whose peak share exceeded twice the pre-spike share"),
 	})
 	s.Title = "replay_sweep result"
-	s.Defs = map[string]*Schema{
-		"summary": summarySchema(),
-		// replay.Outcome has no json tags: Go field names on the wire.
-		"task": SchemaOpenObject(map[string]*Schema{
-			"PreSpikeBCHShare": SchemaNumber("mean BCH hashrate share before the spike"),
-			"PeakBCHShare":     SchemaNumber("max share during/after the spike"),
-			"FinalBCHShare":    SchemaNumber("share at the end of the run"),
-		}),
-	}
+	s.Defs = sharedDefs("summary")
+	// replay.Outcome has no json tags: Go field names on the wire.
+	s.Defs["task"] = SchemaOpenObject(map[string]*Schema{
+		"PreSpikeBCHShare": SchemaNumber("mean BCH hashrate share before the spike"),
+		"PeakBCHShare":     SchemaNumber("max share during/after the spike"),
+		"FinalBCHShare":    SchemaNumber("share at the end of the run"),
+	})
 	return s
 }
 
@@ -204,9 +228,7 @@ func equilibriumSweepResultSchema() *Schema {
 		"equilibria_per_game": SchemaRef("summary"),
 	})
 	s.Title = "equilibrium_sweep result"
-	s.Defs = map[string]*Schema{
-		"summary": summarySchema(),
-		"task":    SchemaInt("pure equilibria found in this task's game"),
-	}
+	s.Defs = sharedDefs("summary")
+	s.Defs["task"] = SchemaInt("pure equilibria found in this task's game")
 	return s
 }

@@ -1,0 +1,58 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestSharedDefSingletons: the catalog serves ONE canonical schema instance
+// for each shared $def — every kind referencing "#/$defs/gen" (or "game",
+// or "summary") points at the same *Schema, so the definitions cannot
+// drift apart per kind.
+func TestSharedDefSingletons(t *testing.T) {
+	bySlot := map[string][]*Schema{}
+	for _, e := range Catalog() {
+		for _, s := range []*Schema{e.Schema, e.ResultSchema} {
+			if s == nil {
+				continue
+			}
+			for name, def := range s.Defs {
+				if name == "task" {
+					continue // deliberately kind-local
+				}
+				bySlot[name] = append(bySlot[name], def)
+			}
+		}
+	}
+	singletons := map[string]*Schema{"gen": genDef, "game": gameDef, "summary": summaryDef}
+	for _, name := range []string{"gen", "game", "summary"} {
+		defs := bySlot[name]
+		if len(defs) == 0 {
+			t.Fatalf("shared $def %q referenced by no catalog schema", name)
+		}
+		for i, def := range defs {
+			if def != singletons[name] {
+				t.Errorf("$def %q instance %d is a copy, not the shared singleton", name, i)
+			}
+		}
+	}
+	if len(bySlot["gen"]) < 2 || len(bySlot["summary"]) < 2 {
+		t.Fatalf("gen/summary referenced by %d/%d schemas, want several each",
+			len(bySlot["gen"]), len(bySlot["summary"]))
+	}
+}
+
+// TestFingerprintDefMarkers: the catalog fingerprint hashes each version's
+// $def names, so renaming or dropping an addressable def reads as drift.
+func TestFingerprintDefMarkers(t *testing.T) {
+	names := defNames(learnSweepSchema(), learnSweepResultSchema())
+	if got := strings.Join(names, ","); got != "game,gen,summary,task" {
+		t.Fatalf("defNames = %q", got)
+	}
+	if names := defNames(nil, nil); names != nil {
+		t.Fatalf("defNames(nil) = %v", names)
+	}
+	if names := defNames(replaySweepSchema()); names != nil {
+		t.Fatalf("replay_sweep spec schema has no defs, got %v", names)
+	}
+}

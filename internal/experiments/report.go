@@ -1,5 +1,5 @@
 // Package experiments implements the E1–E13 experiment suite indexed in
-// DESIGN.md §4: one function per paper artifact (figure, proposition, theorem,
+// DESIGN.md §6: one function per paper artifact (figure, proposition, theorem,
 // or discussion follow-up), each returning a Report with the table/series
 // the paper-shaped output needs. cmd/gocbench renders reports to the
 // terminal; bench_test.go wraps them in testing.B benchmarks; EXPERIMENTS.md

@@ -122,6 +122,7 @@ import (
 	"gameofcoins/internal/engine"
 	"gameofcoins/internal/replay"
 	"gameofcoins/internal/store"
+	"gameofcoins/internal/traffic"
 )
 
 // JobRequest is the wire form of a job submission. Type selects the engine
@@ -157,6 +158,9 @@ type JobRequest struct {
 type JobHandle struct {
 	Handle  string `json:"handle"`
 	Clients int    `json:"clients"`
+	// Client is the authenticated identity the handle was minted for;
+	// omitted on an open (keyless) server.
+	Client string `json:"client,omitempty"`
 	engine.Status
 }
 
@@ -165,8 +169,9 @@ type JobHandle struct {
 type Server struct {
 	manager *engine.Manager
 	mux     *http.ServeMux
-	store   store.Store       // nil: persistence disabled entirely
-	fleet   *dist.Coordinator // lease-based remote worker coordinator (/dist/*)
+	store   store.Store         // nil: persistence disabled entirely
+	fleet   *dist.Coordinator   // lease-based remote worker coordinator (/dist/*)
+	traffic *traffic.Controller // admission control: auth, rate limit, quota policy
 
 	// Store writes go through a single ordered queue drained by one
 	// background goroutine: ops are enqueued while s.mu is held — so the
@@ -203,6 +208,14 @@ type Server struct {
 	v1pin         map[string]struct{} // job id → attached via v1
 	nextHandle    uint64
 	handleSweepAt int // pruneHandlesLocked's next sweep threshold
+
+	// owners records which authenticated client each handle was minted for
+	// (handles minted anonymously — open server, rehydrated handles — are
+	// absent). Ownership gates DELETE when a keyring is enforced: releasing
+	// another client's claim on a shared job would let one tenant cancel
+	// another's work. Deliberately in-memory only: after a restart rehydrated
+	// handles are ownerless, which fails open to the pre-traffic semantics.
+	owners map[string]string
 }
 
 // MaxHandles caps the v2 handle table. Handles are minted per client and
@@ -229,6 +242,11 @@ type Options struct {
 	// always on — with no workers joined it grants nothing and costs one
 	// idle goroutine.
 	Dist dist.Config
+	// Traffic is the admission controller: API-key auth, per-client
+	// submission rate limits, and the in-flight cost share cap pushed into
+	// the engine's fair-share dispatcher. nil runs the server open and
+	// unlimited — exactly the pre-traffic behavior.
+	Traffic *traffic.Controller
 }
 
 // New returns a server running jobs on an engine with the given worker
@@ -250,12 +268,19 @@ func NewWithOptions(workers int, opts Options) (*Server, error) {
 		manager: engine.NewManager(engine.New(workers)),
 		mux:     http.NewServeMux(),
 		store:   opts.Store,
+		traffic: opts.Traffic,
 		games:   map[string]*core.Game{},
 		cache:   map[string]string{},
 		handles: map[string]string{},
 		refs:    map[string]int{},
 		v1pin:   map[string]struct{}{},
+		owners:  map[string]string{},
 	}
+	if s.traffic == nil {
+		s.traffic = traffic.New(traffic.Config{})
+	}
+	// The quota policy lives in the engine's take path; push it there once.
+	s.manager.Engine().SetClientShares(s.traffic.MaxShare(), nil)
 	if s.store != nil {
 		s.pkick = make(chan struct{}, 1)
 		s.pstop = make(chan struct{})
@@ -422,10 +447,14 @@ func (s *Server) rehydrateJob(rec store.JobRecord, failInterrupted bool, ranges 
 		res, err := engine.DecodeResult(rec.Kind, rec.Version, rec.Result)
 		if err != nil {
 			return s.recomputeJob(rec, failInterrupted,
-				fmt.Sprintf("stored result unreadable after restart: %v", err), nil)
+				fmt.Sprintf("stored result unreadable after restart: %v", err), ranges)
 		}
-		if _, err := s.manager.Restore(rec.ID, rec.Kind, rec.Tasks, res, engine.StateDone, ""); err == nil {
+		if j, err := s.manager.Restore(rec.ID, rec.Kind, rec.Tasks, res, engine.StateDone, ""); err == nil {
 			s.cache[rec.Key] = rec.ID
+			// Persisted per-task ranges rebuild the result ledger, so ?range
+			// fetches and resumed result streams survive the restart.
+			prefill, _ := flattenRanges(rec.Tasks, ranges)
+			j.PrefillResults(prefill)
 		}
 	case store.JobFailed:
 		_, _ = s.manager.Restore(rec.ID, rec.Kind, rec.Tasks, nil, engine.StateFailed, rec.Error)
@@ -446,6 +475,28 @@ func (s *Server) rehydrateJob(rec store.JobRecord, failInterrupted bool, ranges 
 // the spec itself cannot be revived) the job is restored as failed instead,
 // with reason explaining why. The returned watchStart (if any) must be
 // attached by the caller once rehydration has finished building the tables.
+// flattenRanges turns persisted range records into a task-indexed document
+// map (entries outside [0, tasks) dropped) plus the store's contiguous
+// coverage from 0 — the point above which nothing is persisted yet.
+func flattenRanges(tasks int, ranges []store.RangeRecord) (map[int]json.RawMessage, int) {
+	var prefill map[int]json.RawMessage
+	from := 0
+	for _, rr := range ranges {
+		for k, doc := range rr.Results {
+			if i := rr.Lo + k; i >= 0 && i < tasks {
+				if prefill == nil {
+					prefill = make(map[int]json.RawMessage, len(rr.Results))
+				}
+				prefill[i] = doc
+			}
+		}
+		if rr.Lo <= from && rr.End() > from {
+			from = rr.End()
+		}
+	}
+	return prefill, from
+}
+
 func (s *Server) recomputeJob(rec store.JobRecord, failInterrupted bool, reason string, ranges []store.RangeRecord) []watchStart {
 	restoreFailed := func(msg string) {
 		if _, err := s.manager.Restore(rec.ID, rec.Kind, rec.Tasks, nil, engine.StateFailed, msg); err == nil {
@@ -472,21 +523,7 @@ func (s *Server) recomputeJob(rec store.JobRecord, failInterrupted bool, reason 
 	// scheduler only executes the uncovered suffix. from is the store's
 	// contiguous coverage — the watcher resumes persisting above it instead
 	// of rewriting spans the log already holds.
-	var prefill map[int]json.RawMessage
-	from := 0
-	for _, rr := range ranges {
-		for k, doc := range rr.Results {
-			if i := rr.Lo + k; i >= 0 && i < rec.Tasks {
-				if prefill == nil {
-					prefill = make(map[int]json.RawMessage, len(rr.Results))
-				}
-				prefill[i] = doc
-			}
-		}
-		if rr.Lo <= from && rr.End() > from {
-			from = rr.End()
-		}
-	}
+	prefill, from := flattenRanges(rec.Tasks, ranges)
 	job, err := s.manager.SubmitJobOpts(rec.ID, spec, rec.Seed, engine.SubmitOptions{
 		Remote: &engine.RemoteInfo{
 			WireKind: pinnedKind(rec.Kind, rec.Version),
@@ -527,22 +564,28 @@ func idLess(a, b, prefix string) bool {
 	}
 }
 
+// routes registers the endpoint table. Admission control (protect) wraps
+// everything except three surfaces: /healthz and the spec catalog stay open
+// so probes and clients can discover the server before holding a key, and
+// /dist/* stays open because the worker fleet sits inside the trust boundary
+// (it is fingerprint-gated separately). Submission endpoints additionally
+// charge the client's rate-limit bucket (the `true` rows).
 func (s *Server) routes() {
-	s.mux.HandleFunc("POST /v1/games", s.handleCreateGame)
-	s.mux.HandleFunc("GET /v1/games/{id}", s.handleGetGame)
-	s.mux.HandleFunc("POST /v1/jobs", s.handleCreateJob)
-	s.mux.HandleFunc("GET /v1/jobs", s.handleListJobs)
-	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobStatus)
-	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleJobResult)
-	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancelJob)
+	s.mux.HandleFunc("POST /v1/games", s.protect(s.handleCreateGame, false))
+	s.mux.HandleFunc("GET /v1/games/{id}", s.protect(s.handleGetGame, false))
+	s.mux.HandleFunc("POST /v1/jobs", s.protect(s.handleCreateJob, true))
+	s.mux.HandleFunc("GET /v1/jobs", s.protect(s.handleListJobs, false))
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.protect(s.handleJobStatus, false))
+	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.protect(s.handleJobResult, false))
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.protect(s.handleCancelJob, false))
 	s.mux.HandleFunc("GET /v2/specs", s.handleListSpecs)
 	s.mux.HandleFunc("GET /v2/specs/{kind}", s.handleSpecEntry)
-	s.mux.HandleFunc("POST /v2/jobs", s.handleCreateJobV2)
-	s.mux.HandleFunc("POST /v2/batch", s.handleCreateBatch)
-	s.mux.HandleFunc("GET /v2/jobs/{handle}", s.handleHandleStatus)
-	s.mux.HandleFunc("GET /v2/jobs/{handle}/result", s.handleHandleResult)
-	s.mux.HandleFunc("GET /v2/jobs/{handle}/events", s.handleHandleEvents)
-	s.mux.HandleFunc("DELETE /v2/jobs/{handle}", s.handleReleaseHandle)
+	s.mux.HandleFunc("POST /v2/jobs", s.protect(s.handleCreateJobV2, true))
+	s.mux.HandleFunc("POST /v2/batch", s.protect(s.handleCreateBatch, true))
+	s.mux.HandleFunc("GET /v2/jobs/{handle}", s.protect(s.handleHandleStatus, false))
+	s.mux.HandleFunc("GET /v2/jobs/{handle}/result", s.protect(s.handleHandleResult, false))
+	s.mux.HandleFunc("GET /v2/jobs/{handle}/events", s.protect(s.handleHandleEvents, false))
+	s.mux.HandleFunc("DELETE /v2/jobs/{handle}", s.protect(s.handleReleaseHandle, false))
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("POST /dist/join", s.handleDistJoin)
 	s.mux.HandleFunc("POST /dist/lease", s.handleDistLease)
@@ -640,8 +683,19 @@ func (s *Server) resolveGame(id string) (*core.Game, error) {
 // it also mints a per-client handle *inside the dedup critical section* —
 // minting later would let a concurrent last-handle DELETE cancel the job
 // between the cache lookup and the refcount increment.
-func (s *Server) submitEnvelope(env engine.JobEnvelope, mint bool) (*engine.Job, bool, JobHandle, error) {
+//
+// client is the authenticated identity the submission runs as ("" when the
+// server is open); it attributes the job in the engine's quota accounting and
+// owns the minted handle. The envelope's priority class becomes the job's
+// fair-share urgency weight. Neither enters the cache key: a cache hit
+// attaches the client to the job as-is, keeping the original submitter's
+// attribution and priority (dedup shares the computation, not the claim).
+func (s *Server) submitEnvelope(env engine.JobEnvelope, mint bool, client string) (*engine.Job, bool, JobHandle, error) {
 	var jh JobHandle
+	class, err := parsePriority(env.Priority)
+	if err != nil {
+		return nil, false, jh, err
+	}
 	// ResolveEnvelope is the whole registry path: version resolution ("kind"
 	// → latest, "kind@vN" pinned), schema validation (a mismatch surfaces as
 	// a *engine.SchemaError, which handlers map to 422 with the error's
@@ -686,7 +740,7 @@ func (s *Server) submitEnvelope(env engine.JobEnvelope, mint bool) (*engine.Job,
 			st := job.Status()
 			if _, hasResult := job.Result(); hasResult || !st.State.Terminal() {
 				if mint {
-					jh = s.mintHandleLocked(job.ID())
+					jh = s.mintHandleLocked(job.ID(), client)
 				} else {
 					s.pinV1Locked(job.ID())
 				}
@@ -699,10 +753,16 @@ func (s *Server) submitEnvelope(env engine.JobEnvelope, mint bool) (*engine.Job,
 	// Every envelope submission is distributable: the canonical document and
 	// versioned wire kind are the job's wire identity, and remote workers
 	// resolve the pinned kind through their (fingerprint-verified) registry.
-	job, err := s.manager.SubmitJob("", spec, env.Seed, &engine.RemoteInfo{
-		WireKind: pinnedKind(rs.Kind, rs.Version),
-		Spec:     canonical,
-		Seed:     env.Seed,
+	// Client and weight ride along for quota accounting and priority — pure
+	// scheduling inputs, invisible to the job's result and cache identity.
+	job, err := s.manager.SubmitJobOpts("", spec, env.Seed, engine.SubmitOptions{
+		Remote: &engine.RemoteInfo{
+			WireKind: pinnedKind(rs.Kind, rs.Version),
+			Spec:     canonical,
+			Seed:     env.Seed,
+		},
+		Client: client,
+		Weight: class.Weight(),
 	})
 	if err != nil {
 		s.mu.Unlock()
@@ -729,7 +789,7 @@ func (s *Server) submitEnvelope(env engine.JobEnvelope, mint bool) (*engine.Job,
 	// is canceled.
 	s.cache[key] = job.ID()
 	if mint {
-		jh = s.mintHandleLocked(job.ID())
+		jh = s.mintHandleLocked(job.ID(), client)
 	} else {
 		s.pinV1Locked(job.ID())
 	}
@@ -837,15 +897,18 @@ func (s *Server) pinV1Locked(jobID string) {
 // eviction of the same handle in log order. Callers must hold s.mu; the
 // returned JobHandle carries the handle id and refcount (the job status is
 // filled in outside the lock).
-func (s *Server) mintHandleLocked(jobID string) JobHandle {
+func (s *Server) mintHandleLocked(jobID, client string) JobHandle {
 	s.nextHandle++
 	handle := fmt.Sprintf("h-%d", s.nextHandle)
 	s.handles[handle] = jobID
 	s.handleOrder = append(s.handleOrder, handle)
 	s.refs[jobID]++
+	if client != "" {
+		s.owners[handle] = client
+	}
 	s.enqueuePersist(func() { s.recordPersist(s.store.PutHandle(handle, jobID)) })
 	s.pruneHandlesLocked()
-	return JobHandle{Handle: handle, Clients: s.refs[jobID]}
+	return JobHandle{Handle: handle, Clients: s.refs[jobID], Client: client}
 }
 
 // internalError marks a submission failure that is the server's fault —
@@ -910,7 +973,7 @@ func (s *Server) handleCreateJob(w http.ResponseWriter, r *http.Request) {
 		writeSubmitError(w, err)
 		return
 	}
-	job, cached, _, err := s.submitEnvelope(env, false)
+	job, cached, _, err := s.submitEnvelope(env, false, clientFrom(r))
 	if err != nil {
 		writeSubmitError(w, err)
 		return
@@ -1088,6 +1151,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 		"kinds":               len(engine.SpecKinds()),
 		"engine":              s.manager.Engine().Stats(),
 		"dist":                s.fleet.Stats(),
+		"traffic":             s.traffic.Stats(),
 	}
 	if n := s.persistFails.Load(); n > 0 {
 		body["persist_failures"] = n
@@ -1112,7 +1176,7 @@ func (s *Server) handleCreateJobV2(w http.ResponseWriter, r *http.Request) {
 	// Every POST mints a fresh handle, cache hit or not: the handle is this
 	// client's claim on the (possibly shared) job, and the refcount is what
 	// keeps one client's DELETE from canceling another's work.
-	job, cached, jh, err := s.submitEnvelope(env, true)
+	job, cached, jh, err := s.submitEnvelope(env, true, clientFrom(r))
 	if err != nil {
 		writeSubmitError(w, err)
 		return
@@ -1184,7 +1248,7 @@ func (s *Server) handleCreateBatch(w http.ResponseWriter, r *http.Request) {
 			if err := idec.Decode(&env); err != nil {
 				return JobHandle{}, fmt.Errorf("decode job envelope: %w", err)
 			}
-			job, cached, jh, err := s.submitEnvelope(env, true)
+			job, cached, jh, err := s.submitEnvelope(env, true, clientFrom(r))
 			if err != nil {
 				return JobHandle{}, err
 			}
@@ -1396,6 +1460,7 @@ func (s *Server) handleHandleEvents(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleReleaseHandle(w http.ResponseWriter, r *http.Request) {
 	handle := r.PathValue("handle")
+	client := clientFrom(r)
 	s.mu.Lock()
 	jobID, ok := s.handles[handle]
 	if !ok {
@@ -1403,7 +1468,17 @@ func (s *Server) handleReleaseHandle(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, fmt.Errorf("unknown handle %q", handle))
 		return
 	}
+	// With auth enforced, only the handle's owner may release it: a release
+	// can cancel the shared job, and one tenant must not be able to tear
+	// down another's work. Ownerless handles (rehydrated from a previous
+	// life) stay releasable by any authenticated client.
+	if owner, owned := s.owners[handle]; owned && owner != client {
+		s.mu.Unlock()
+		writeError(w, http.StatusForbidden, fmt.Errorf("handle %q belongs to another client", handle))
+		return
+	}
 	delete(s.handles, handle)
+	delete(s.owners, handle)
 	s.persistHandleRemovalLocked(handle)
 	s.refs[jobID]--
 	remaining := s.refs[jobID]
@@ -1475,6 +1550,7 @@ func (s *Server) pruneHandlesLocked() {
 	for h, id := range s.handles {
 		if _, err := s.manager.Get(id); err != nil {
 			delete(s.handles, h)
+			delete(s.owners, h)
 			s.persistHandleRemovalLocked(h)
 			if s.refs[id]--; s.refs[id] <= 0 {
 				delete(s.refs, id)
@@ -1493,6 +1569,7 @@ func (s *Server) pruneHandlesLocked() {
 		}
 		if len(s.handles) > target {
 			delete(s.handles, h)
+			delete(s.owners, h)
 			s.persistHandleRemovalLocked(h)
 			if s.refs[id]--; s.refs[id] <= 0 {
 				delete(s.refs, id)

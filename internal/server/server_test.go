@@ -375,7 +375,7 @@ func TestHandleOrderBoundedUnderChurn(t *testing.T) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for i := 0; i < 5*engine.DefaultRetention; i++ {
-		jh := s.mintHandleLocked("job-bogus")
+		jh := s.mintHandleLocked("job-bogus", "")
 		// Immediate release, as a Submit→Release client produces.
 		delete(s.handles, jh.Handle)
 		if s.refs["job-bogus"]--; s.refs["job-bogus"] <= 0 {

@@ -521,15 +521,17 @@ func TestStreamPropertyRestart(t *testing.T) {
 				t.Fatalf("aggregate = %s, want %s", agg.Result, aggBase.Result)
 			}
 
-			// The terminal record subsumes the spans: once the done record
-			// lands, the store carries no range records for the job.
+			// The done record keeps the job's spans — a later restart must
+			// still serve ?range from them — and by then they must cover
+			// every task contiguously from 0.
 			waitRecordState(t, p2.st, jobID, store.JobDone)
 			snap, err := p2.st.Load()
 			if err != nil {
 				t.Fatal(err)
 			}
-			if _, ok := snap.Ranges[jobID]; ok {
-				t.Fatalf("finished job still holds range records: %+v", snap.Ranges[jobID])
+			recs := snap.Ranges[jobID]
+			if len(recs) != 1 || recs[0].Lo != 0 || len(recs[0].Results) != tr.n {
+				t.Fatalf("done job's persisted ranges = %+v, want one [0,%d) span", recs, tr.n)
 			}
 		})
 	}

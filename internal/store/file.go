@@ -19,6 +19,13 @@ import (
 // always kept — they are the restart-recovery signal.
 const DefaultMaxJobRecords = 4096
 
+// DefaultMaxRangeDocs caps how many per-task result documents a store keeps
+// per job (the -compact-ranges knob). The retained low-index prefix is what
+// restart prefill and download resume consume; jobs with more tasks than
+// the cap lose per-task servability past it after a restart, but never the
+// aggregate result.
+const DefaultMaxRangeDocs = 4096
+
 // compactMinOps is the default floor below which the log is never compacted,
 // so small servers don't churn the file on every write.
 const compactMinOps = 1024
@@ -40,6 +47,10 @@ const (
 type File struct {
 	// MaxJobs overrides DefaultMaxJobRecords when positive. Set before use.
 	MaxJobs int
+	// MaxRangeDocs caps the per-task result documents retained per job:
+	// positive overrides DefaultMaxRangeDocs, negative disables the cap.
+	// Set before use.
+	MaxRangeDocs int
 	// CompactMinOps overrides the compaction floor when positive (tests).
 	CompactMinOps int
 
@@ -160,12 +171,12 @@ func (s *File) apply(o op) error {
 			return fmt.Errorf("job op without a record")
 		}
 		s.snap.Jobs[o.Job.ID] = *o.Job
-		if o.Job.State != JobSubmitted {
-			// Terminal record: the aggregate subsumes the per-task spans.
+		if o.Job.State == JobFailed || o.Job.State == JobCanceled {
+			// No result to serve: the per-task spans are dead weight.
 			delete(s.snap.Ranges, o.Job.ID)
 		}
 	case "range":
-		s.snap.addRange(o.JobID, o.Lo, o.Results)
+		s.snap.addRange(o.JobID, o.Lo, o.Results, maxRangeDocs(s.MaxRangeDocs))
 	case "handle":
 		s.snap.Handles[o.ID] = o.JobID
 		if n := handleSeq(o.ID); n > s.snap.NextHandle {

@@ -60,7 +60,8 @@ func TestMemRangeFold(t *testing.T) {
 	if _, ok := snap.Ranges["job-9"]; ok {
 		t.Fatal("range for an unknown job was stored")
 	}
-	// A terminal record subsumes the spans.
+	// A done record keeps its spans — they are what makes ?range fetches
+	// and resumed downloads work after a restart.
 	if err := s.PutJob(JobRecord{ID: "job-1", Tasks: 10, State: JobDone, Result: json.RawMessage(`1`)}); err != nil {
 		t.Fatal(err)
 	}
@@ -68,8 +69,92 @@ func TestMemRangeFold(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	if !reflect.DeepEqual(snap.Ranges["job-1"], want) {
+		t.Fatalf("done job's ranges = %+v, want %+v", snap.Ranges["job-1"], want)
+	}
+	// A failed record clears them: there is no result they could serve.
+	if err := s.PutJob(JobRecord{ID: "job-1", Tasks: 10, State: JobFailed, Error: "boom"}); err != nil {
+		t.Fatal(err)
+	}
+	snap, err = s.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(snap.Ranges) != 0 {
-		t.Fatalf("terminal job kept its ranges: %+v", snap.Ranges)
+		t.Fatalf("failed job kept its ranges: %+v", snap.Ranges)
+	}
+}
+
+// TestRangeCompactionCap: MaxRangeDocs bounds the per-task documents kept
+// per job, trimming from the highest indices so the resumable low prefix
+// survives; negative disables the cap.
+func TestRangeCompactionCap(t *testing.T) {
+	s := NewMem()
+	s.MaxRangeDocs = 4
+	if err := s.PutJob(JobRecord{ID: "job-1", Tasks: 10, State: JobSubmitted}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutJobRange("job-1", 0, docs(10, 11, 12)); err != nil {
+		t.Fatal(err)
+	}
+	// An island entirely above the cap is trimmed away...
+	if err := s.PutJobRange("job-1", 8, docs(18, 19)); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := s.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []RangeRecord{
+		{Lo: 0, Results: docs(10, 11, 12)},
+		{Lo: 8, Results: docs(18)},
+	}
+	if !reflect.DeepEqual(snap.Ranges["job-1"], want) {
+		t.Fatalf("ranges = %+v, want %+v", snap.Ranges["job-1"], want)
+	}
+	// Monotonic watermark-order growth (what the server's watcher emits)
+	// saturates at the cap: the low prefix survives, later spans trim away.
+	mono := NewMem()
+	mono.MaxRangeDocs = 4
+	if err := mono.PutJob(JobRecord{ID: "job-1", Tasks: 10, State: JobSubmitted}); err != nil {
+		t.Fatal(err)
+	}
+	if err := mono.PutJobRange("job-1", 0, docs(10, 11, 12)); err != nil {
+		t.Fatal(err)
+	}
+	if err := mono.PutJobRange("job-1", 3, docs(13, 14, 15)); err != nil {
+		t.Fatal(err)
+	}
+	if err := mono.PutJobRange("job-1", 6, docs(16, 17)); err != nil {
+		t.Fatal(err)
+	}
+	snap, err = mono.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want = []RangeRecord{{Lo: 0, Results: docs(10, 11, 12, 13)}}
+	if !reflect.DeepEqual(snap.Ranges["job-1"], want) {
+		t.Fatalf("capped monotonic growth = %+v, want %+v", snap.Ranges["job-1"], want)
+	}
+
+	unbounded := NewMem()
+	unbounded.MaxRangeDocs = -1
+	if err := unbounded.PutJob(JobRecord{ID: "job-1", Tasks: 10_000, State: JobSubmitted}); err != nil {
+		t.Fatal(err)
+	}
+	big := make([]json.RawMessage, DefaultMaxRangeDocs+8)
+	for i := range big {
+		big[i] = json.RawMessage(`1`)
+	}
+	if err := unbounded.PutJobRange("job-1", 0, big); err != nil {
+		t.Fatal(err)
+	}
+	snap, err = unbounded.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(snap.Ranges["job-1"][0].Results); n != len(big) {
+		t.Fatalf("uncapped store trimmed to %d docs", n)
 	}
 }
 
@@ -96,8 +181,19 @@ func TestFileRangeRoundTrip(t *testing.T) {
 	if err := s.PutJobRange("job-2", 0, docs(20)); err != nil {
 		t.Fatal(err)
 	}
-	// job-2 finishes: its spans must not survive the terminal record.
+	// job-2 finishes: its spans ride along with the done record, so range
+	// fetches keep working after the reopen.
 	if err := s.PutJob(JobRecord{ID: "job-2", Kind: "toy_sum", Tasks: 4, State: JobDone, Result: json.RawMessage(`41`)}); err != nil {
+		t.Fatal(err)
+	}
+	// job-3 fails: its spans are dead weight and must not survive.
+	if err := s.PutJob(JobRecord{ID: "job-3", Kind: "toy_sum", Tasks: 4, State: JobSubmitted}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutJobRange("job-3", 0, docs(30)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutJob(JobRecord{ID: "job-3", Kind: "toy_sum", Tasks: 4, State: JobFailed, Error: "boom"}); err != nil {
 		t.Fatal(err)
 	}
 	if err := s.Close(); err != nil {
@@ -117,8 +213,11 @@ func TestFileRangeRoundTrip(t *testing.T) {
 	if !reflect.DeepEqual(snap.Ranges["job-1"], want) {
 		t.Fatalf("job-1 ranges = %+v, want %+v", snap.Ranges["job-1"], want)
 	}
-	if _, ok := snap.Ranges["job-2"]; ok {
-		t.Fatal("finished job's ranges survived the restart")
+	if !reflect.DeepEqual(snap.Ranges["job-2"], []RangeRecord{{Lo: 0, Results: docs(20)}}) {
+		t.Fatalf("done job's ranges did not survive the restart: %+v", snap.Ranges["job-2"])
+	}
+	if _, ok := snap.Ranges["job-3"]; ok {
+		t.Fatal("failed job's ranges survived the restart")
 	}
 }
 

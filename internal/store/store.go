@@ -85,10 +85,12 @@ type Snapshot struct {
 	Games map[string]*core.Game
 	// Jobs maps job IDs to their latest records.
 	Jobs map[string]JobRecord
-	// Ranges maps *submitted* (interrupted) job IDs to their persisted
-	// result spans — the completed prefix a restart prefills so only the
-	// missing suffix recomputes. Terminal job records clear their ranges:
-	// the aggregate result subsumes them.
+	// Ranges maps job IDs to their persisted per-task result spans. For a
+	// *submitted* (interrupted) job they are the completed prefix a restart
+	// prefills so only the missing suffix recomputes; for a *done* job they
+	// keep ?range fetches and resumed result streams servable across a
+	// restart (bounded by the MaxRangeDocs compaction cap). Failed and
+	// canceled records clear their ranges — there is no result to serve.
 	Ranges map[string][]RangeRecord
 	// Handles maps live v2 handle IDs to job IDs.
 	Handles map[string]string
@@ -100,19 +102,21 @@ type Snapshot struct {
 	NextHandle uint64
 }
 
-// addRange folds one range record into the snapshot. Spans are appended in
-// watermark order, so the common case extends the previous record in place;
-// an overlap keeps the bytes already recorded (first-writer-wins) and only
+// addRange folds one range record into the snapshot, then applies the
+// maxDocs compaction cap (see trimRanges). Spans are appended in watermark
+// order, so the common case extends the previous record in place; an
+// overlap keeps the bytes already recorded (first-writer-wins) and only
 // the genuinely new suffix lands. Records for jobs that are not live
-// "submitted" ones are dropped — their aggregate already persisted (or the
-// job was evicted), so the spans are dead weight.
-func (s *Snapshot) addRange(jobID string, lo int, results []json.RawMessage) {
-	if rec, ok := s.Jobs[jobID]; !ok || rec.State != JobSubmitted {
+// "submitted" or "done" ones are dropped — there is no result the spans
+// could serve (or the job was evicted), so they are dead weight.
+func (s *Snapshot) addRange(jobID string, lo int, results []json.RawMessage, maxDocs int) {
+	if rec, ok := s.Jobs[jobID]; !ok || (rec.State != JobSubmitted && rec.State != JobDone) {
 		return
 	}
 	if lo < 0 || len(results) == 0 {
 		return
 	}
+	defer s.trimRanges(jobID, maxDocs)
 	recs := s.Ranges[jobID]
 	if n := len(recs); n > 0 {
 		last := &recs[n-1]
@@ -131,6 +135,36 @@ func (s *Snapshot) addRange(jobID string, lo int, results []json.RawMessage) {
 	s.Ranges[jobID] = append(recs, RangeRecord{Lo: lo, Results: results})
 }
 
+// trimRanges enforces the per-job compaction cap: at most max per-task
+// documents survive, trimmed from the highest task indices — the low
+// contiguous prefix is what restart prefill and download resume consume,
+// so it is the part worth keeping. max <= 0 means unbounded.
+func (s *Snapshot) trimRanges(jobID string, max int) {
+	if max <= 0 {
+		return
+	}
+	recs := s.Ranges[jobID]
+	total := 0
+	for _, r := range recs {
+		total += len(r.Results)
+	}
+	for total > max && len(recs) > 0 {
+		last := &recs[len(recs)-1]
+		if drop := total - max; drop >= len(last.Results) {
+			total -= len(last.Results)
+			recs = recs[:len(recs)-1]
+		} else {
+			last.Results = last.Results[:len(last.Results)-drop]
+			total -= drop
+		}
+	}
+	if len(recs) == 0 {
+		delete(s.Ranges, jobID)
+	} else {
+		s.Ranges[jobID] = recs
+	}
+}
+
 // Store persists the server's durable state. Implementations must be safe
 // for concurrent use; the server calls the Put/Delete methods while holding
 // its own mutex and never reacquires it from store callbacks, so a store
@@ -141,14 +175,17 @@ type Store interface {
 	Load() (Snapshot, error)
 	// PutGame upserts a registered game.
 	PutGame(id string, g *core.Game) error
-	// PutJob upserts a job record keyed by rec.ID. Writing a terminal
-	// state clears the job's persisted ranges: the aggregate result (or
-	// the error) subsumes them.
+	// PutJob upserts a job record keyed by rec.ID. Writing a failed or
+	// canceled state clears the job's persisted ranges — there is no result
+	// they could serve. Done records keep theirs (bounded by the
+	// implementation's MaxRangeDocs compaction cap), so range fetches and
+	// resumed result streams survive a restart.
 	PutJob(rec JobRecord) error
-	// PutJobRange appends one span of a running job's per-task results:
-	// the encoded documents of tasks [lo, lo+len(results)). Only jobs in
-	// the submitted state accumulate ranges; overlapping spans resolve
-	// first-writer-wins.
+	// PutJobRange appends one span of a job's per-task results: the encoded
+	// documents of tasks [lo, lo+len(results)). Only jobs in the submitted
+	// or done state accumulate ranges; overlapping spans resolve
+	// first-writer-wins, and spans past the compaction cap are trimmed from
+	// the highest indices.
 	PutJobRange(jobID string, lo int, results []json.RawMessage) error
 	// PutHandle records a live handle claiming a job.
 	PutHandle(handle, jobID string) error
@@ -195,7 +232,7 @@ func (s *Snapshot) dropExcessJobs(limit int) {
 		}
 	}
 	for id := range s.Ranges {
-		if rec, ok := s.Jobs[id]; !ok || rec.State != JobSubmitted {
+		if rec, ok := s.Jobs[id]; !ok || (rec.State != JobSubmitted && rec.State != JobDone) {
 			delete(s.Ranges, id)
 		}
 	}
@@ -221,6 +258,10 @@ func jobSeq(id string) uint64 {
 type Mem struct {
 	// MaxJobs overrides DefaultMaxJobRecords when positive. Set before use.
 	MaxJobs int
+	// MaxRangeDocs caps the per-task result documents retained per job:
+	// positive overrides DefaultMaxRangeDocs, negative disables the cap.
+	// Set before use.
+	MaxRangeDocs int
 
 	mu   sync.Mutex
 	snap Snapshot
@@ -289,7 +330,7 @@ func (m *Mem) PutJob(rec JobRecord) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.snap.Jobs[rec.ID] = rec
-	if rec.State != JobSubmitted {
+	if rec.State == JobFailed || rec.State == JobCanceled {
 		delete(m.snap.Ranges, rec.ID)
 	}
 	limit := m.MaxJobs
@@ -308,8 +349,17 @@ func (m *Mem) PutJob(rec JobRecord) error {
 func (m *Mem) PutJobRange(jobID string, lo int, results []json.RawMessage) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	m.snap.addRange(jobID, lo, results)
+	m.snap.addRange(jobID, lo, results, maxRangeDocs(m.MaxRangeDocs))
 	return nil
+}
+
+// maxRangeDocs resolves a MaxRangeDocs field: zero means the default cap,
+// negative means unbounded (trimRanges treats <= 0 as no cap).
+func maxRangeDocs(v int) int {
+	if v == 0 {
+		return DefaultMaxRangeDocs
+	}
+	return v
 }
 
 // PutHandle implements Store.

@@ -1,0 +1,203 @@
+package traffic
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseClass(t *testing.T) {
+	cases := []struct {
+		in     string
+		want   Class
+		weight float64
+		err    bool
+	}{
+		{"", ClassNormal, 1.0, false},
+		{"low", ClassLow, 0.5, false},
+		{"normal", ClassNormal, 1.0, false},
+		{"high", ClassHigh, 2.0, false},
+		{"urgent", "", 0, true},
+		{"Normal", "", 0, true}, // classes are case-sensitive wire tokens
+	}
+	for _, c := range cases {
+		got, err := ParseClass(c.in)
+		if c.err {
+			if err == nil {
+				t.Errorf("ParseClass(%q): want error, got %q", c.in, got)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParseClass(%q): %v", c.in, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("ParseClass(%q) = %q, want %q", c.in, got, c.want)
+		}
+		if w := got.Weight(); w != c.weight {
+			t.Errorf("%q.Weight() = %v, want %v", got, w, c.weight)
+		}
+	}
+	// Class ordering the scheduler relies on: each step is a strict
+	// urgency increase.
+	if !(ClassLow.Weight() < ClassNormal.Weight() && ClassNormal.Weight() < ClassHigh.Weight()) {
+		t.Error("class weights are not strictly increasing low < normal < high")
+	}
+}
+
+func TestParseKeyring(t *testing.T) {
+	k, err := ParseKeyring(strings.NewReader(`
+# analytics team
+alpha:alpha-secret-1
+
+beta:  beta-secret-2
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", k.Len())
+	}
+	if got := k.Clients(); len(got) != 2 || got[0] != "alpha" || got[1] != "beta" {
+		t.Fatalf("Clients = %v", got)
+	}
+	for key, want := range map[string]string{
+		"alpha-secret-1": "alpha",
+		"beta-secret-2":  "beta",
+	} {
+		client, ok := k.Lookup(key)
+		if !ok || client != want {
+			t.Errorf("Lookup(%q) = %q, %v; want %q, true", key, client, ok, want)
+		}
+	}
+	for _, bad := range []string{"", "alpha-secret", "alpha-secret-11", "ALPHA-SECRET-1"} {
+		if client, ok := k.Lookup(bad); ok {
+			t.Errorf("Lookup(%q) unexpectedly matched %q", bad, client)
+		}
+	}
+}
+
+func TestParseKeyringRejectsBadEntries(t *testing.T) {
+	for name, text := range map[string]string{
+		"no separator":    "alphaalpha-secret-1",
+		"empty client":    ":alpha-secret-1",
+		"short key":       "alpha:short",
+		"space in client": "al pha:alpha-secret-1",
+		"dup client":      "alpha:alpha-secret-1\nalpha:other-secret-2",
+		"dup key":         "alpha:alpha-secret-1\nbeta:alpha-secret-1",
+		"empty file":      "# nothing\n",
+	} {
+		if _, err := ParseKeyring(strings.NewReader(text)); err == nil {
+			t.Errorf("%s: want error", name)
+		}
+	}
+}
+
+func TestNilKeyringLookup(t *testing.T) {
+	var k *Keyring
+	if _, ok := k.Lookup("anything"); ok {
+		t.Error("nil keyring matched a key")
+	}
+	if k.Len() != 0 || k.Clients() != nil {
+		t.Error("nil keyring is not empty")
+	}
+}
+
+// fakeClock drives a Limiter deterministically.
+type fakeClock struct{ t time.Time }
+
+func (f *fakeClock) now() time.Time          { return f.t }
+func (f *fakeClock) advance(d time.Duration) { f.t = f.t.Add(d) }
+func newFakeLimiter(rate float64, burst int) (*Limiter, *fakeClock) {
+	fc := &fakeClock{t: time.Unix(1_700_000_000, 0)}
+	l := NewLimiter(rate, burst)
+	l.now = fc.now
+	return l, fc
+}
+
+func TestLimiterBurstThenThrottle(t *testing.T) {
+	l, fc := newFakeLimiter(2, 3) // 2/sec, burst 3
+	for i := 0; i < 3; i++ {
+		if _, ok := l.Allow("a"); !ok {
+			t.Fatalf("burst submission %d denied", i)
+		}
+	}
+	wait, ok := l.Allow("a")
+	if ok {
+		t.Fatal("4th immediate submission admitted past the burst")
+	}
+	if wait <= 0 || wait > 500*time.Millisecond {
+		t.Fatalf("retry-after = %v, want (0, 500ms] at 2/sec", wait)
+	}
+	// Waiting exactly the advertised Retry-After accrues the next token.
+	fc.advance(wait)
+	if _, ok := l.Allow("a"); !ok {
+		t.Fatal("submission denied after waiting the advertised Retry-After")
+	}
+	// Clients have independent buckets.
+	if _, ok := l.Allow("b"); !ok {
+		t.Fatal("fresh client throttled by another client's spend")
+	}
+}
+
+func TestLimiterRefillCapsAtBurst(t *testing.T) {
+	l, fc := newFakeLimiter(10, 2)
+	for i := 0; i < 2; i++ {
+		l.Allow("a")
+	}
+	fc.advance(time.Hour) // long idle must not bank unbounded tokens
+	for i := 0; i < 2; i++ {
+		if _, ok := l.Allow("a"); !ok {
+			t.Fatalf("submission %d denied after refill", i)
+		}
+	}
+	if _, ok := l.Allow("a"); ok {
+		t.Fatal("tokens accrued past the burst cap")
+	}
+}
+
+func TestLimiterDisabled(t *testing.T) {
+	l, _ := newFakeLimiter(0, 1)
+	for i := 0; i < 100; i++ {
+		if _, ok := l.Allow("a"); !ok {
+			t.Fatal("disabled limiter denied a submission")
+		}
+	}
+}
+
+func TestControllerOpenVsEnforced(t *testing.T) {
+	open := New(Config{})
+	if open.Enforced() {
+		t.Fatal("zero-config controller is enforced")
+	}
+	if client, ok := open.Authenticate("whatever"); !ok || client != "" {
+		t.Fatalf("open Authenticate = %q, %v; want anonymous pass", client, ok)
+	}
+
+	k, err := ParseKeyring(strings.NewReader("alpha:alpha-secret-1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gated := New(Config{Keyring: k, Rate: 100, Burst: 2, MaxShare: 0.5})
+	if !gated.Enforced() {
+		t.Fatal("keyed controller not enforced")
+	}
+	if _, ok := gated.Authenticate(""); ok {
+		t.Fatal("missing key authenticated")
+	}
+	if client, ok := gated.Authenticate("alpha-secret-1"); !ok || client != "alpha" {
+		t.Fatalf("Authenticate = %q, %v", client, ok)
+	}
+	gated.NoteUnauthorized()
+	if _, ok := gated.Admit("alpha"); !ok {
+		t.Fatal("first submission throttled")
+	}
+	st := gated.Stats()
+	if !st.Enforced || st.Clients != 1 || st.Unauthorized != 1 || st.MaxShare != 0.5 {
+		t.Fatalf("Stats = %+v", st)
+	}
+	if st.PerClient["alpha"].Admitted != 1 {
+		t.Fatalf("per-client stats = %+v", st.PerClient)
+	}
+}

@@ -1,0 +1,428 @@
+// Package trafficbench is the multi-tenant load harness for the admission
+// control subsystem (internal/traffic): it stands up a keyed gocserve
+// in-process, drives four tenants at mixed priorities and job sizes through
+// the real HTTP stack, and reports whether the weighted fair-share split,
+// the 401/429 edges, and the result bytes all behave.
+//
+// Like distbench, the workload is sleep-cost tasks, so the measured shares
+// are a function of scheduling — not of how many physical cores the CI
+// machine happens to have — and every run re-checks determinism: each
+// admitted tenant's aggregate result is byte-compared against a rerun of
+// the same (spec, seed) on a fresh single-client server. Admission control
+// changes who runs when; it must never change result bytes.
+//
+// The fairness measurement: one job per tenant, sized so the high-priority
+// tenant drains first while everyone else still has pending work. At the
+// moment the first tenant finishes, each tenant's completed-task count is a
+// direct sample of its capacity share, compared against the
+// priority-weighted fair share w_i/Σw. The acceptance bound is a relative
+// deviation of at most 20% per tenant.
+package trafficbench
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"time"
+
+	"gameofcoins/client"
+	"gameofcoins/internal/engine"
+	"gameofcoins/internal/rng"
+	"gameofcoins/internal/server"
+	"gameofcoins/internal/traffic"
+)
+
+// Options sizes the harness. The zero value is usable: withDefaults fills
+// in the benchmark-scale configuration.
+type Options struct {
+	// Workers is the contended server's engine pool size. Tasks sleep
+	// rather than burn CPU, so this is a scheduling parameter, not a
+	// hardware requirement.
+	Workers int
+	// TaskDur is the per-task sleep before scaling. Longer tasks give the
+	// fair-share sampler a wider window and a cleaner share estimate.
+	TaskDur time.Duration
+	// Rate and Burst configure the per-client submission token bucket on
+	// the contended server; the burst probe submits Burst+3 jobs
+	// back-to-back with retries disabled to force 429s.
+	Rate  float64
+	Burst int
+	// Scale multiplies TaskDur. Tests shrink it; 1.0 is benchmark scale.
+	Scale float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Workers <= 0 {
+		o.Workers = 8
+	}
+	if o.TaskDur <= 0 {
+		o.TaskDur = 5 * time.Millisecond
+	}
+	if o.Rate <= 0 {
+		o.Rate = 50
+	}
+	if o.Burst <= 0 {
+		o.Burst = 8
+	}
+	if o.Scale <= 0 {
+		o.Scale = 1.0
+	}
+	return o
+}
+
+// FairShareTolerance is the acceptance bound on each tenant's relative
+// deviation from its priority-weighted fair share.
+const FairShareTolerance = 0.20
+
+// tenant is one simulated client of the contended server.
+type tenant struct {
+	name     string
+	key      string
+	priority string
+	weight   float64
+	tasks    int
+	seed     uint64
+}
+
+// tenants returns the fixed four-tenant fleet: one high, two normal, one
+// low, with mixed job sizes chosen so the high tenant finishes first while
+// every other tenant still has pending work (the condition under which the
+// snapshot is a clean capacity-share sample). Seeds are distinct so no two
+// tenants deduplicate onto the same cached job.
+func tenants() []tenant {
+	return []tenant{
+		{name: "anna", key: "anna-key-000001", priority: "high", weight: 2.0, tasks: 240, seed: 101},
+		{name: "bert", key: "bert-key-000002", priority: "normal", weight: 1.0, tasks: 160, seed: 102},
+		{name: "cleo", key: "cleo-key-000003", priority: "normal", weight: 1.0, tasks: 160, seed: 103},
+		{name: "dane", key: "dane-key-000004", priority: "low", weight: 0.5, tasks: 120, seed: 104},
+	}
+}
+
+// TenantReport is one tenant's slice of the run.
+type TenantReport struct {
+	Client   string  `json:"client"`
+	Priority string  `json:"priority"`
+	Weight   float64 `json:"weight"`
+	Tasks    int     `json:"tasks"`
+	// DoneAtSnapshot is the tenant's completed-task count at the moment
+	// the first tenant finished; Share is its fraction of all completed
+	// tasks at that instant, FairShare the priority-weighted target
+	// w_i/Σw, and Deviation the relative error |Share-FairShare|/FairShare.
+	DoneAtSnapshot int     `json:"done_at_snapshot"`
+	Share          float64 `json:"share"`
+	FairShare      float64 `json:"fair_share"`
+	Deviation      float64 `json:"deviation"`
+	// Identical reports that this tenant's aggregate result bytes matched
+	// a rerun of the same (spec, seed) on a fresh single-client server.
+	Identical bool `json:"identical"`
+}
+
+// Report is the benchmark's JSON document.
+type Report struct {
+	Workers    int     `json:"workers"`
+	TaskDurMS  float64 `json:"task_dur_ms"`
+	RatePerSec float64 `json:"rate_per_sec"`
+	Burst      int     `json:"burst"`
+
+	// UnauthStatus is the HTTP status an unkeyed submission received
+	// (must be 401: job endpoints are gated, /healthz and /v2/specs open).
+	UnauthStatus int `json:"unauth_status"`
+	// ProbeSubmitted/ProbeThrottled count the no-retry burst probe's
+	// submissions and 429 rejections; ProbeRetryAfterSec is the largest
+	// Retry-After the probe saw (degradation is clean only if > 0).
+	ProbeSubmitted     int     `json:"probe_submitted"`
+	ProbeThrottled     int     `json:"probe_throttled"`
+	ProbeRetryAfterSec float64 `json:"probe_retry_after_sec"`
+
+	// MakespanMS is burst-submit to last-tenant-done on the contended
+	// server; MaxDeviation the worst tenant's fair-share deviation.
+	MakespanMS   float64        `json:"makespan_ms"`
+	MaxDeviation float64        `json:"max_deviation"`
+	Tenants      []TenantReport `json:"tenants"`
+
+	// Pass folds the acceptance: unauthenticated 401, at least one 429
+	// carrying Retry-After, every tenant within FairShareTolerance of its
+	// weighted fair share, and every result byte-identical to its
+	// single-client rerun.
+	Pass bool `json:"pass"`
+}
+
+func (r Report) String() string {
+	return fmt.Sprintf(
+		"traffic: %d tenants on %d workers: makespan %.1fms, max fair-share deviation %.1f%% (bound %.0f%%); unauth=%d, %d/%d probe submissions throttled (Retry-After %.2fs), identical=%v, pass=%v",
+		len(r.Tenants), r.Workers, r.MakespanMS, 100*r.MaxDeviation, 100*FairShareTolerance,
+		r.UnauthStatus, r.ProbeThrottled, r.ProbeSubmitted, r.ProbeRetryAfterSec,
+		r.allIdentical(), r.Pass)
+}
+
+func (r Report) allIdentical() bool {
+	for _, t := range r.Tenants {
+		if !t.Identical {
+			return false
+		}
+	}
+	return len(r.Tenants) > 0
+}
+
+// benchSpec is the tenant workload: NTasks uniform sleep tasks, each
+// returning a value drawn from its forked stream so the byte-identity
+// recheck compares real deterministic content, not just task counts.
+type benchSpec struct {
+	NTasks  int   `json:"tasks"`
+	DelayNS int64 `json:"delay_ns"`
+}
+
+type benchTask struct {
+	Index int    `json:"index"`
+	U     uint64 `json:"u"`
+}
+
+func (s benchSpec) Kind() string { return "trafficbench_sleep" }
+func (s benchSpec) Tasks() int   { return s.NTasks }
+
+func (s benchSpec) RunTask(ctx context.Context, i int, r *rng.Rand) (any, error) {
+	t := time.NewTimer(time.Duration(s.DelayNS))
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	case <-t.C:
+	}
+	return benchTask{Index: i, U: r.Uint64()}, nil
+}
+
+func (s benchSpec) Aggregate(results []any) (any, error) {
+	out := make([]benchTask, len(results))
+	for i, r := range results {
+		t, ok := r.(benchTask)
+		if !ok {
+			return nil, fmt.Errorf("task %d: unexpected type %T", i, r)
+		}
+		out[i] = t
+	}
+	return out, nil
+}
+
+func (s benchSpec) EncodeTaskResult(res any) (json.RawMessage, error) { return json.Marshal(res) }
+
+func (s benchSpec) DecodeTaskResult(raw json.RawMessage) (any, error) {
+	var v benchTask
+	if err := json.Unmarshal(raw, &v); err != nil {
+		return nil, err
+	}
+	return v, nil
+}
+
+func init() {
+	engine.RegisterSpec("trafficbench_sleep", 1, func(raw json.RawMessage) (engine.Spec, error) {
+		var s benchSpec
+		if err := json.Unmarshal(raw, &s); err != nil {
+			return nil, err
+		}
+		return s, nil
+	}, nil)
+}
+
+// Run executes the harness and returns the report. An error means the
+// harness itself broke (a tenant's job failed, a request other than the
+// deliberate probes errored); a run that merely misses an acceptance bound
+// returns Pass=false with the evidence in the report.
+func Run(opts Options) (Report, error) {
+	o := opts.withDefaults()
+	fleet := tenants()
+	rep := Report{
+		Workers:    o.Workers,
+		TaskDurMS:  float64(o.TaskDur) * o.Scale / float64(time.Millisecond),
+		RatePerSec: o.Rate,
+		Burst:      o.Burst,
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+
+	// The contended server: keyed, rate limited, priority-weighted. One
+	// extra "probe" identity exists purely to absorb the 429 burst so the
+	// throttling it provokes never skews the four measured tenants.
+	var keys strings.Builder
+	for _, t := range fleet {
+		fmt.Fprintf(&keys, "%s:%s\n", t.name, t.key)
+	}
+	const probeKey = "probe-key-000005"
+	fmt.Fprintf(&keys, "probe:%s\n", probeKey)
+	kr, err := traffic.ParseKeyring(strings.NewReader(keys.String()))
+	if err != nil {
+		return rep, err
+	}
+	srv, err := server.NewWithOptions(o.Workers, server.Options{
+		Traffic: traffic.New(traffic.Config{Keyring: kr, Rate: o.Rate, Burst: o.Burst}),
+	})
+	if err != nil {
+		return rep, err
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	delay := int64(float64(o.TaskDur) * o.Scale)
+
+	// Edge 1: an unkeyed submission must bounce off the auth gate.
+	rep.UnauthStatus = submitStatus(ctx, client.New(ts.URL), benchSpec{NTasks: 1, DelayNS: delay}, 1)
+
+	// Edge 2: a back-to-back burst past the token bucket, retries off.
+	// Identical envelopes are fine here — deduplication happens after
+	// admission, so every submission spends a token.
+	probe := client.New(ts.URL, client.WithAPIKey(probeKey), client.WithRetryLimit(0))
+	probeSpec := benchSpec{NTasks: 1, DelayNS: delay}
+	for i := 0; i < o.Burst+3; i++ {
+		rep.ProbeSubmitted++
+		_, err := probe.Submit(ctx, probeSpec.Kind(), 1, probeSpec)
+		var apiErr *client.APIError
+		switch {
+		case err == nil:
+		case errors.As(err, &apiErr) && apiErr.StatusCode == 429:
+			rep.ProbeThrottled++
+			if ra := apiErr.RetryAfter.Seconds(); ra > rep.ProbeRetryAfterSec {
+				rep.ProbeRetryAfterSec = ra
+			}
+		default:
+			return rep, fmt.Errorf("burst probe submission %d: %w", i, err)
+		}
+	}
+
+	// The measured burst: one mixed-size job per tenant, submitted
+	// together. Default clients retry on 429, so admission pressure delays
+	// but never drops a tenant.
+	handles := make([]*client.Handle, len(fleet))
+	start := time.Now()
+	for i, t := range fleet {
+		c := client.New(ts.URL, client.WithAPIKey(t.key))
+		h, err := c.Submit(ctx, "trafficbench_sleep", t.seed,
+			benchSpec{NTasks: t.tasks, DelayNS: delay}, client.WithPriority(t.priority))
+		if err != nil {
+			return rep, fmt.Errorf("tenant %s submit: %w", t.name, err)
+		}
+		handles[i] = h
+	}
+
+	// Sample completed-task counts until the first tenant finishes: that
+	// round is the capacity-share snapshot. Then wait out the rest.
+	snapshot, err := sampleUntilFirstDone(ctx, fleet, handles)
+	if err != nil {
+		return rep, err
+	}
+	for i, h := range handles {
+		if _, err := h.Wait(ctx); err != nil {
+			return rep, fmt.Errorf("tenant %s wait: %w", fleet[i].name, err)
+		}
+	}
+	rep.MakespanMS = float64(time.Since(start)) / float64(time.Millisecond)
+
+	// Fold the snapshot into shares vs priority-weighted fair shares.
+	var sumW float64
+	var sumDone int
+	for i, t := range fleet {
+		sumW += t.weight
+		sumDone += snapshot[i]
+	}
+	if sumDone == 0 {
+		return rep, errors.New("fair-share snapshot sampled zero completed tasks")
+	}
+	for i, t := range fleet {
+		tr := TenantReport{
+			Client:         t.name,
+			Priority:       t.priority,
+			Weight:         t.weight,
+			Tasks:          t.tasks,
+			DoneAtSnapshot: snapshot[i],
+			Share:          float64(snapshot[i]) / float64(sumDone),
+			FairShare:      t.weight / sumW,
+		}
+		tr.Deviation = abs(tr.Share-tr.FairShare) / tr.FairShare
+		if tr.Deviation > rep.MaxDeviation {
+			rep.MaxDeviation = tr.Deviation
+		}
+		rep.Tenants = append(rep.Tenants, tr)
+	}
+
+	// Determinism recheck: every tenant's aggregate bytes must match a
+	// rerun of the same (spec, seed) on a fresh, open, single-client
+	// server. Admission control must be invisible in the result plane.
+	solo := server.New(o.Workers)
+	defer solo.Close()
+	tsSolo := httptest.NewServer(solo)
+	defer tsSolo.Close()
+	soloClient := client.New(tsSolo.URL)
+	for i, t := range fleet {
+		var contended json.RawMessage
+		if err := handles[i].Result(ctx, &contended); err != nil {
+			return rep, fmt.Errorf("tenant %s result: %w", t.name, err)
+		}
+		h, err := soloClient.Submit(ctx, "trafficbench_sleep", t.seed, benchSpec{NTasks: t.tasks, DelayNS: delay})
+		if err != nil {
+			return rep, fmt.Errorf("tenant %s solo rerun: %w", t.name, err)
+		}
+		if _, err := h.Wait(ctx); err != nil {
+			return rep, fmt.Errorf("tenant %s solo wait: %w", t.name, err)
+		}
+		var alone json.RawMessage
+		if err := h.Result(ctx, &alone); err != nil {
+			return rep, fmt.Errorf("tenant %s solo result: %w", t.name, err)
+		}
+		rep.Tenants[i].Identical = string(contended) == string(alone)
+	}
+
+	rep.Pass = rep.UnauthStatus == 401 &&
+		rep.ProbeThrottled > 0 && rep.ProbeRetryAfterSec > 0 &&
+		rep.MaxDeviation <= FairShareTolerance &&
+		rep.allIdentical()
+	return rep, nil
+}
+
+// sampleUntilFirstDone polls every tenant's handle until one reports all
+// its tasks complete, and returns that round's per-tenant done counts.
+func sampleUntilFirstDone(ctx context.Context, fleet []tenant, handles []*client.Handle) ([]int, error) {
+	tick := time.NewTicker(2 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		done := make([]int, len(handles))
+		finished := false
+		for i, h := range handles {
+			st, err := h.Status(ctx)
+			if err != nil {
+				return nil, fmt.Errorf("tenant %s status: %w", fleet[i].name, err)
+			}
+			done[i] = st.Progress.Done
+			if st.Progress.Done >= fleet[i].tasks {
+				finished = true
+			}
+		}
+		if finished {
+			return done, nil
+		}
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-tick.C:
+		}
+	}
+}
+
+// submitStatus submits and returns the HTTP status of the failure, or 0 on
+// unexpected success / a non-API error.
+func submitStatus(ctx context.Context, c *client.Client, spec benchSpec, seed uint64) int {
+	_, err := c.Submit(ctx, spec.Kind(), seed, spec)
+	var apiErr *client.APIError
+	if errors.As(err, &apiErr) {
+		return apiErr.StatusCode
+	}
+	return 0
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # bench.sh — record the engine's perf trajectory.
 #
-# Runs two benchmarks and writes their JSON reports at the repo root:
+# Runs three benchmarks and writes their JSON reports at the repo root:
 #
 #   BENCH_sched.json — the skewed-cost tail-latency benchmark (gocbench
 #     -sched, see internal/schedbench): makespan + p50/p99 task latency for
@@ -11,6 +11,12 @@
 #     see internal/distbench): one sweep on a starved local pool vs the same
 #     pool plus a remote-worker fleet behind the lease coordinator, both
 #     makespans, the speedup, and the byte-identity check.
+#   BENCH_traffic.json — the multi-tenant admission-control harness (gocbench
+#     -traffic, see internal/trafficbench): four keyed tenants at mixed
+#     priorities and sizes on a rate-limited server, each tenant's measured
+#     capacity share vs its priority-weighted fair share (20% bound), the
+#     401/429 edges with Retry-After, and the per-tenant byte-identity check
+#     against single-client reruns.
 #
 # CI runs it non-gating so every PR leaves comparable datapoints.
 set -euo pipefail
@@ -18,9 +24,13 @@ cd "$(dirname "$0")/.."
 
 SCHED_OUT="${1:-BENCH_sched.json}"
 DIST_OUT="${2:-BENCH_dist.json}"
+TRAFFIC_OUT="${3:-BENCH_traffic.json}"
 go run ./cmd/gocbench -sched "$SCHED_OUT"
 echo "wrote $SCHED_OUT:"
 cat "$SCHED_OUT"
 go run ./cmd/gocbench -dist "$DIST_OUT"
 echo "wrote $DIST_OUT:"
 cat "$DIST_OUT"
+go run ./cmd/gocbench -traffic "$TRAFFIC_OUT"
+echo "wrote $TRAFFIC_OUT:"
+cat "$TRAFFIC_OUT"

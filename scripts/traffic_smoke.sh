@@ -1,0 +1,90 @@
+#!/usr/bin/env bash
+# Admission-control smoke test: a real gocserve process with a keyring and a
+# tight submission rate limit. Checks the multi-tenant contract end to end:
+# an unkeyed submission bounces with 401, two keyed clients submitting the
+# same envelope get byte-identical results (deduplicated across tenants), a
+# priority-classed envelope is accepted, and a rapid burst past the token
+# bucket is answered 429 with a Retry-After header. CI runs this; also handy
+# locally: ./scripts/traffic_smoke.sh
+set -euo pipefail
+
+addr=127.0.0.1:8391
+base="http://$addr"
+workdir=$(mktemp -d)
+pids=()
+cleanup() { for p in "${pids[@]:-}"; do kill -9 "$p" 2>/dev/null || true; done; }
+trap cleanup EXIT
+
+printf 'alpha:alpha-secret-0001\nbeta:beta-secret-0002\n' > "$workdir/keys.txt"
+
+go build -o "$workdir/gocserve" ./cmd/gocserve
+"$workdir/gocserve" -addr "$addr" -keys "$workdir/keys.txt" -rate 3 -burst 3 &
+pids+=($!)
+
+for _ in $(seq 1 100); do
+  curl -sf "$base/healthz" >/dev/null 2>&1 && break
+  sleep 0.1
+done
+curl -sf "$base/healthz" >/dev/null || { echo "gocserve never became healthy" >&2; exit 1; }
+
+envelope='{"kind":"equilibrium_sweep","seed":7,"spec":{"gen":{"Miners":5,"Coins":2},"games":50}}'
+
+# 1. The auth gate: no key, no job endpoint. (/healthz above stayed open.)
+code=$(curl -s -o /dev/null -w '%{http_code}' -X POST "$base/v2/jobs" -d "$envelope")
+[ "$code" = 401 ] || { echo "unkeyed submission got HTTP $code, want 401" >&2; exit 1; }
+echo "unkeyed submission rejected with 401"
+
+# Helper: submit an envelope under a key, wait for the job, fetch its result.
+fetch_result() { # key envelope outfile
+  local key=$1 env=$2 out=$3 handle state
+  curl -sf -X POST "$base/v2/jobs" -H "Authorization: Bearer $key" -d "$env" > "$out.handle"
+  handle=$(sed -n 's/.*"handle": *"\(h-[0-9]*\)".*/\1/p' "$out.handle" | head -1)
+  [ -n "$handle" ] || { echo "no handle in response:" >&2; cat "$out.handle" >&2; exit 1; }
+  for _ in $(seq 1 100); do
+    state=$(curl -sf "$base/v2/jobs/$handle" -H "Authorization: Bearer $key" |
+      sed -n 's/.*"state": *"\([a-z]*\)".*/\1/p' | head -1)
+    [ "$state" = done ] && break
+    [ "$state" = failed ] && { echo "job failed" >&2; exit 1; }
+    sleep 0.1
+  done
+  [ "$state" = done ] || { echo "job never finished (state=$state)" >&2; exit 1; }
+  curl -sf "$base/v2/jobs/$handle/result" -H "Authorization: Bearer $key" > "$out"
+}
+
+# 2. Two keyed tenants, one envelope: results must be byte-identical (the
+# deduplicated job is computed once; admission control never touches bytes).
+fetch_result alpha-secret-0001 "$envelope" "$workdir/alpha.json"
+sleep 0.5 # let a rate token refill before beta's submission
+fetch_result beta-secret-0002 "$envelope" "$workdir/beta.json"
+cmp "$workdir/alpha.json" "$workdir/beta.json" ||
+  { echo "alpha and beta results differ for the same envelope" >&2; exit 1; }
+grep -q '"cached": *true' "$workdir/beta.json.handle" ||
+  { echo "beta's identical submission was not served from cache" >&2; cat "$workdir/beta.json.handle" >&2; exit 1; }
+echo "two keyed clients: byte-identical results, cross-tenant dedup confirmed"
+
+# 3. A priority-classed envelope is schema-accepted end to end.
+sleep 0.5
+fetch_result alpha-secret-0001 \
+  '{"kind":"equilibrium_sweep","seed":8,"priority":"high","spec":{"gen":{"Miners":5,"Coins":2},"games":50}}' \
+  "$workdir/high.json"
+echo "high-priority envelope accepted and completed"
+
+# 4. Burst past the token bucket: at rate 3/burst 3, ten back-to-back
+# submissions must see at least one 429, and the 429 must carry Retry-After.
+throttled=0
+retry_after=""
+for seed in $(seq 100 109); do
+  resp=$(curl -s -D "$workdir/hdr" -o /dev/null -w '%{http_code}' \
+    -X POST "$base/v2/jobs" -H "Authorization: Bearer alpha-secret-0001" \
+    -d '{"kind":"equilibrium_sweep","seed":'"$seed"',"spec":{"gen":{"Miners":4,"Coins":2},"games":10}}')
+  if [ "$resp" = 429 ]; then
+    throttled=$((throttled + 1))
+    retry_after=$(sed -n 's/^[Rr]etry-[Aa]fter: *\([0-9]*\).*/\1/p' "$workdir/hdr" | head -1)
+  fi
+done
+[ "$throttled" -ge 1 ] || { echo "10-submission burst saw no 429 (rate 3, burst 3)" >&2; exit 1; }
+[ -n "$retry_after" ] && [ "$retry_after" -ge 1 ] ||
+  { echo "429 carried no usable Retry-After header" >&2; exit 1; }
+echo "burst throttled cleanly: $throttled/10 submissions got 429, Retry-After ${retry_after}s"
+
+echo "traffic smoke OK"
