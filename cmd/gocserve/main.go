@@ -102,7 +102,7 @@ func run(ctx context.Context, args []string) error {
 	leaseTasks := fs.Int("lease-tasks", dist.DefaultMaxLeaseTasks, "max tasks per remote worker lease")
 	leaseTarget := fs.Float64("lease-target-ms", dist.DefaultTargetLeaseMillis, "target predicted wall-clock per lease once task latency is observed")
 	keysFile := fs.String("keys", "", "API keyring file (\"client:key\" per line); when set, job endpoints require a key and submissions are attributed per client")
-	rate := fs.Float64("rate", 0, "per-client submission rate limit in jobs/sec (0 = unlimited; needs -keys)")
+	rate := fs.Float64("rate", 0, "per-client submission rate limit in jobs/sec (0 = unlimited; without -keys every caller shares one anonymous bucket, so one noisy client can exhaust it for all)")
 	burst := fs.Int("burst", 0, "submission burst allowance per client (defaults to max(2*rate, 1))")
 	maxShare := fs.Float64("max-share", 0, "per-client cap on the share of in-flight work cost, in (0,1); enforced only while other clients are waiting (0 = uncapped)")
 	compactRanges := fs.Int("compact-ranges", 0, fmt.Sprintf("per-job cap on persisted streamed-result documents (0 = default %d, negative = unbounded)", store.DefaultMaxRangeDocs))
@@ -129,7 +129,9 @@ v2 API (self-describing, versioned spec envelopes):
   DELETE /v2/jobs/{h}             release the handle; the deduplicated job is
                                   canceled only when its last handle is gone
 
-v1 API (legacy flat requests; DELETE cancels the shared job for everyone):
+v1 API (legacy flat requests; DELETE cancels the shared job for everyone —
+under -keys only for the submitting client, and only while no other
+client holds a v2 handle on it):
   POST /v1/games · GET /v1/games/{id} · POST /v1/jobs · GET /v1/jobs[/{id}]
   GET /v1/jobs/{id}/result · DELETE /v1/jobs/{id} · GET /healthz
 

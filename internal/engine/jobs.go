@@ -47,6 +47,11 @@ type Job struct {
 	id    string
 	kind  string
 	total int
+	// client is the submitting tenant from SubmitOptions (immutable after
+	// submit; "" = anonymous). The serving layer reads it to ownership-gate
+	// v1 cancellation — dedup attaches later clients to a shared job
+	// without reassigning it, so it always names the original submitter.
+	client string
 
 	done atomic.Int64
 	// running and queued mirror the dispatcher's view as of the last
@@ -74,6 +79,9 @@ type Job struct {
 
 // ID returns the job's manager-unique identifier.
 func (j *Job) ID() string { return j.id }
+
+// Client returns the tenant the job was submitted as ("" = anonymous).
+func (j *Job) Client() string { return j.client }
 
 // Status returns a snapshot of the job.
 func (j *Job) Status() Status {
@@ -339,6 +347,7 @@ func (m *Manager) submit(id string, spec Spec, seed uint64, opts SubmitOptions) 
 		cancel()
 		return nil, err
 	}
+	j.client = opts.Client
 	if _, ok := spec.(TaskCoder); ok && n > 0 {
 		j.ledger = newResultLedger(n)
 	}

@@ -1074,12 +1074,43 @@ func (s *Server) handleCancelJob(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, err)
 		return
 	}
+	// With auth enforced, v1 cancel is ownership-gated like v2 release: job
+	// IDs are enumerable via GET /v1/jobs, so without this any tenant could
+	// tear down another's running work. The job's engine attribution names
+	// the original submitter (dedup attaches later clients without
+	// reassigning it); unattributed jobs (rehydrated from a previous life)
+	// stay cancelable by any authenticated client, exactly like ownerless
+	// handles.
+	enforced := s.traffic.Enforced()
+	client := clientFrom(r)
+	if enforced {
+		if owner := job.Client(); owner != "" && owner != client {
+			writeError(w, http.StatusForbidden, fmt.Errorf("job %s belongs to another client", job.ID()))
+			return
+		}
+	}
 	// Retract the job's cache entries inside the critical section, exactly
 	// like the v2 last-handle release path — without this a concurrent
 	// identical submission could attach to the dying job between Cancel and
 	// the asynchronous post-Done retraction, and receive a canceled,
 	// resultless job.
 	s.mu.Lock()
+	if enforced {
+		// Even the submitter may not yank a job out from under other tenants
+		// still holding live v2 handles on it — that is what refcounted
+		// release is for. Checked in the same critical section as the cache
+		// retraction so no handle can mint between the check and the cancel.
+		for h, id := range s.handles {
+			if id != job.ID() {
+				continue
+			}
+			if owner, owned := s.owners[h]; owned && owner != client {
+				s.mu.Unlock()
+				writeError(w, http.StatusConflict, fmt.Errorf("job %s is claimed by another client's handle", job.ID()))
+				return
+			}
+		}
+	}
 	s.retractCacheLocked(job)
 	s.mu.Unlock()
 	job.Cancel()
@@ -1267,14 +1298,43 @@ func (s *Server) handleCreateBatch(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"results": results})
 }
 
-// jobForHandle resolves a handle to its job and the job's live handle count.
-func (s *Server) jobForHandle(handle string) (*engine.Job, int, error) {
+// foreignHandleError marks an access to a handle minted for a different
+// client; handlers map it to 403 where other resolution failures are 404.
+type foreignHandleError struct{ handle string }
+
+func (e foreignHandleError) Error() string {
+	return fmt.Sprintf("handle %q belongs to another client", e.handle)
+}
+
+// writeHandleError maps a jobForHandle failure: a foreign handle is 403,
+// anything else (unknown handle, evicted job) 404.
+func writeHandleError(w http.ResponseWriter, err error) {
+	var fe foreignHandleError
+	if errors.As(err, &fe) {
+		writeError(w, http.StatusForbidden, err)
+		return
+	}
+	writeError(w, http.StatusNotFound, err)
+}
+
+// jobForHandle resolves a handle to its job and the job's live handle count,
+// enforcing ownership: a handle minted for one client is forbidden to every
+// other, on reads as much as release — handles are sequential ("h-1",
+// "h-2", ...), so without this any authenticated tenant could enumerate
+// them and read other tenants' statuses and results. Ownerless handles
+// (open server, or rehydrated from a previous life) stay readable by any
+// authenticated client, matching the release rule.
+func (s *Server) jobForHandle(handle, client string) (*engine.Job, int, error) {
 	s.mu.Lock()
 	jobID, ok := s.handles[handle]
+	owner, owned := s.owners[handle]
 	clients := s.refs[jobID]
 	s.mu.Unlock()
 	if !ok {
 		return nil, 0, fmt.Errorf("unknown handle %q", handle)
+	}
+	if owned && owner != client {
+		return nil, 0, foreignHandleError{handle}
 	}
 	job, err := s.manager.Get(jobID)
 	if err != nil {
@@ -1285,18 +1345,18 @@ func (s *Server) jobForHandle(handle string) (*engine.Job, int, error) {
 
 func (s *Server) handleHandleStatus(w http.ResponseWriter, r *http.Request) {
 	handle := r.PathValue("handle")
-	job, clients, err := s.jobForHandle(handle)
+	job, clients, err := s.jobForHandle(handle, clientFrom(r))
 	if err != nil {
-		writeError(w, http.StatusNotFound, err)
+		writeHandleError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, JobHandle{Handle: handle, Clients: clients, Status: job.Status()})
 }
 
 func (s *Server) handleHandleResult(w http.ResponseWriter, r *http.Request) {
-	job, _, err := s.jobForHandle(r.PathValue("handle"))
+	job, _, err := s.jobForHandle(r.PathValue("handle"), clientFrom(r))
 	if err != nil {
-		writeError(w, http.StatusNotFound, err)
+		writeHandleError(w, err)
 		return
 	}
 	if rng := r.URL.Query().Get("range"); rng != "" {
@@ -1406,9 +1466,9 @@ func writeResultRange(w http.ResponseWriter, job *engine.Job, rng string) {
 // gaps. The terminal event is never suppressed (progress counters reset if a
 // restart recomputes the job, so a stale ID must not swallow the ending).
 func (s *Server) handleHandleEvents(w http.ResponseWriter, r *http.Request) {
-	job, _, err := s.jobForHandle(r.PathValue("handle"))
+	job, _, err := s.jobForHandle(r.PathValue("handle"), clientFrom(r))
 	if err != nil {
-		writeError(w, http.StatusNotFound, err)
+		writeHandleError(w, err)
 		return
 	}
 	fl, ok := w.(http.Flusher)

@@ -16,7 +16,8 @@ import (
 // identity ("" on an open server).
 type clientKey struct{}
 
-// clientFrom returns the client identity protect stored on the request.
+// clientFrom returns the client identity protect stored on the request
+// context ("" on an open server or an unwrapped handler).
 func clientFrom(r *http.Request) string {
 	c, _ := r.Context().Value(clientKey{}).(string)
 	return c
