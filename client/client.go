@@ -418,6 +418,11 @@ type BatchError struct {
 	StatusCode int
 	Message    string
 	Path       string
+	// RetryAfter is the server's per-item backoff hint on 429 items (zero
+	// otherwise): how long until the rate limiter will admit this client's
+	// next submission. SubmitBatch has already waited it out up to the
+	// client's retry limit by the time this error surfaces.
+	RetryAfter time.Duration
 }
 
 // Error implements error.
@@ -443,6 +448,14 @@ type BatchResult struct {
 // own slot — inspect each BatchResult. The returned error covers the batch
 // call itself (encoding, transport, a rejected request); per-item failures
 // live in the results.
+//
+// The server admits batch items individually against the client's rate
+// limit, so a large batch can be partially throttled: some items minted,
+// the rest 429 with per-item Retry-After hints. SubmitBatch honors those
+// hints the way Submit honors the header — it waits out the longest hint
+// and resubmits only the throttled items, up to the client's retry limit
+// (WithRetryLimit) — so by the time results return, a 429 BatchError means
+// the retry budget is spent. Handles already minted are never resubmitted.
 func (c *Client) SubmitBatch(ctx context.Context, items []BatchItem) ([]BatchResult, error) {
 	envs := make([]engine.JobEnvelope, len(items))
 	for i, it := range items {
@@ -452,24 +465,65 @@ func (c *Client) SubmitBatch(ctx context.Context, items []BatchItem) ([]BatchRes
 		}
 		envs[i] = engine.JobEnvelope{Kind: versionedWire(it.Kind, it.Version), Seed: it.Seed, Spec: raw, Priority: it.Priority}
 	}
-	var out struct {
-		Results []server.BatchResult `json:"results"`
+	results := make([]BatchResult, len(items))
+	pending := make([]int, len(items))
+	for i := range items {
+		pending[i] = i
 	}
-	if err := c.do(ctx, http.MethodPost, "/v2/batch", server.BatchRequest{Jobs: envs}, &out); err != nil {
-		return nil, err
-	}
-	if len(out.Results) != len(items) {
-		return nil, fmt.Errorf("client: batch returned %d results for %d items", len(out.Results), len(items))
-	}
-	results := make([]BatchResult, len(out.Results))
-	for i, r := range out.Results {
-		if r.Job != nil {
-			results[i] = BatchResult{Handle: &Handle{c: c, id: r.Job.Handle, Submitted: *r.Job}}
-			continue
+	backoff := retryBackoffMin
+	for attempt := 0; ; attempt++ {
+		sub := make([]engine.JobEnvelope, len(pending))
+		for j, i := range pending {
+			sub[j] = envs[i]
 		}
-		results[i] = BatchResult{Err: &BatchError{StatusCode: r.Code, Message: r.Error, Path: r.Path}}
+		var out struct {
+			Results []server.BatchResult `json:"results"`
+		}
+		if err := c.do(ctx, http.MethodPost, "/v2/batch", server.BatchRequest{Jobs: sub}, &out); err != nil {
+			return nil, err
+		}
+		if len(out.Results) != len(sub) {
+			return nil, fmt.Errorf("client: batch returned %d results for %d items", len(out.Results), len(sub))
+		}
+		var throttled []int
+		var wait time.Duration
+		for j, r := range out.Results {
+			i := pending[j]
+			if r.Job != nil {
+				results[i] = BatchResult{Handle: &Handle{c: c, id: r.Job.Handle, Submitted: *r.Job}}
+				continue
+			}
+			be := &BatchError{StatusCode: r.Code, Message: r.Error, Path: r.Path,
+				RetryAfter: time.Duration(r.RetryAfter) * time.Second}
+			results[i] = BatchResult{Err: be}
+			if r.Code == http.StatusTooManyRequests {
+				throttled = append(throttled, i)
+				if be.RetryAfter > wait {
+					wait = be.RetryAfter
+				}
+			}
+		}
+		if len(throttled) == 0 || attempt >= c.retries {
+			return results, nil
+		}
+		if wait < backoff {
+			wait = backoff
+		}
+		if wait > retryWaitMax {
+			wait = retryWaitMax
+		}
+		select {
+		case <-time.After(wait):
+		case <-ctx.Done():
+			// Hand back what was minted so the caller can release it; the
+			// still-throttled slots keep their 429 errors.
+			return results, ctx.Err()
+		}
+		if backoff *= 2; backoff > retryWaitMax {
+			backoff = retryWaitMax
+		}
+		pending = throttled
 	}
-	return results, nil
 }
 
 // ID returns the server-side handle identifier.

@@ -1,13 +1,18 @@
-// Command goclint is the repo's determinism multichecker: it loads the named
-// packages (./... by default), runs every analyzer in the goclint suite —
-// nodeterm, maporder, rngfork, errdrop — and exits nonzero if any finding
-// survives the //goclint:allow directives. CI gates on it via
-// scripts/lint.sh; see DESIGN.md "Determinism invariants and static
-// enforcement" for the rules and the directive grammar.
+// Command goclint is the repo's static-enforcement multichecker: it loads
+// the named packages (./... by default), runs every analyzer in the goclint
+// suite — the determinism rules (nodeterm, maporder, rngfork, errdrop) and
+// the concurrency rules (lockguard, blockinglock, lockorder, ctxleak) — and
+// exits nonzero if any finding survives the //goclint:allow directives. CI
+// gates on it via scripts/lint.sh; see DESIGN.md "Determinism invariants and
+// static enforcement" for the rules and the directive grammar.
+//
+// With -unused-allows, directives that no longer suppress anything are
+// printed as warnings (stale suppressions rot the audit trail); warnings do
+// not affect the exit status.
 //
 // Usage:
 //
-//	goclint [-list] [packages]
+//	goclint [-list] [-unused-allows] [packages]
 package main
 
 import (
@@ -20,16 +25,17 @@ import (
 
 func main() {
 	list := flag.Bool("list", false, "list the analyzers in the suite and exit")
+	unusedAllows := flag.Bool("unused-allows", false, "warn about //goclint:allow directives that suppress no finding")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: goclint [-list] [packages]\n\nAnalyzers:\n")
+		fmt.Fprintf(os.Stderr, "usage: goclint [-list] [-unused-allows] [packages]\n\nAnalyzers:\n")
 		for _, a := range analysis.All() {
-			fmt.Fprintf(os.Stderr, "  %-10s %s\n", a.Name, a.Doc)
+			fmt.Fprintf(os.Stderr, "  %-12s %s\n", a.Name, a.Doc)
 		}
 	}
 	flag.Parse()
 	if *list {
 		for _, a := range analysis.All() {
-			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
 		}
 		return
 	}
@@ -42,13 +48,18 @@ func main() {
 		fmt.Fprintln(os.Stderr, "goclint:", err)
 		os.Exit(2)
 	}
-	diags, err := analysis.Lint(pkgs, analysis.All())
+	diags, unused, err := analysis.LintWithUnused(pkgs, analysis.All())
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "goclint:", err)
 		os.Exit(2)
 	}
 	for _, d := range diags {
 		fmt.Println(d)
+	}
+	if *unusedAllows {
+		for _, u := range unused {
+			fmt.Printf("warning: %s\n", u)
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "goclint: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))

@@ -120,7 +120,10 @@ v2 API (self-describing, versioned spec envelopes):
                                   schema mismatches are 422 with a JSON-pointer
                                   "path" into the spec document
   POST   /v2/batch                {"jobs":[envelope,...]} (<= 256) -> per-item
-                                  handles/errors, in request order
+                                  handles/errors, in request order; the rate
+                                  limit is charged per item, so a partial
+                                  throttle 429s only the items past the
+                                  budget, each with a "retry_after" hint
   GET    /v2/jobs/{h}             poll the handle's job status
   GET    /v2/jobs/{h}/events      SSE progress stream, then one "end" event
                                   (reconnect with Last-Event-ID to skip

@@ -80,9 +80,34 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 // surviving findings sorted by position, with //goclint:allow-suppressed
 // findings removed. The returned findings are ready to print.
 func Lint(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	diags, _, err := LintWithUnused(pkgs, analyzers)
+	return diags, err
+}
+
+// UnusedAllow is one //goclint:allow directive (one rule of one) that
+// suppressed nothing when the suite ran — a stale suppression whose hazard
+// has since been fixed, moved, or never existed. Stale allows rot the audit
+// trail: they read as "this line is dangerous on purpose" about code that is
+// no longer dangerous at all.
+type UnusedAllow struct {
+	Pos  token.Position // the directive comment's position
+	Rule string
+}
+
+// String renders the warning in file:line form.
+func (u UnusedAllow) String() string {
+	return fmt.Sprintf("%s:%d: unused //goclint:allow %s (suppresses no current finding)", u.Pos.Filename, u.Pos.Line, u.Rule)
+}
+
+// LintWithUnused is Lint plus the stale-directive report: every parsed allow
+// that matched no diagnostic of any analyzer that ran. An allow naming a rule
+// whose analyzer does not apply to the package is unused by definition.
+func LintWithUnused(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, []UnusedAllow, error) {
 	var all []Diagnostic
+	var unused []UnusedAllow
 	for _, pkg := range pkgs {
 		allows := collectAllows(pkg)
+		used := map[allowKey]bool{}
 		for _, a := range analyzers {
 			if a.AppliesTo != nil && !a.AppliesTo(pkg.Path) {
 				continue
@@ -90,12 +115,22 @@ func Lint(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 			var diags []Diagnostic
 			pass := &Pass{Analyzer: a, Pkg: pkg, diags: &diags}
 			if err := a.Run(pass); err != nil {
-				return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
+				return nil, nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
 			}
 			for _, d := range diags {
-				if !allows.suppresses(d) {
+				if key, ok := allows.match(d); ok {
+					used[key] = true
+				} else {
 					all = append(all, d)
 				}
+			}
+		}
+		for key := range allows {
+			if !used[key] {
+				unused = append(unused, UnusedAllow{
+					Pos:  token.Position{Filename: key.file, Line: key.line},
+					Rule: key.rule,
+				})
 			}
 		}
 	}
@@ -112,7 +147,17 @@ func Lint(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 		}
 		return a.Rule < b.Rule
 	})
-	return all, nil
+	sort.Slice(unused, func(i, j int) bool {
+		a, b := unused[i], unused[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Rule < b.Rule
+	})
+	return all, unused, nil
 }
 
 // allowKey identifies one (file, line, rule) a directive covers.
@@ -128,8 +173,20 @@ type allowSet map[allowKey]bool
 // suppresses reports whether a directive covers the diagnostic: the rule must
 // be named on the flagged line itself or the line directly above it.
 func (s allowSet) suppresses(d Diagnostic) bool {
-	return s[allowKey{d.Pos.Filename, d.Pos.Line, d.Rule}] ||
-		s[allowKey{d.Pos.Filename, d.Pos.Line - 1, d.Rule}]
+	_, ok := s.match(d)
+	return ok
+}
+
+// match returns the directive key covering the diagnostic, preferring the
+// same-line directive over the line-above one.
+func (s allowSet) match(d Diagnostic) (allowKey, bool) {
+	if key := (allowKey{d.Pos.Filename, d.Pos.Line, d.Rule}); s[key] {
+		return key, true
+	}
+	if key := (allowKey{d.Pos.Filename, d.Pos.Line - 1, d.Rule}); s[key] {
+		return key, true
+	}
+	return allowKey{}, false
 }
 
 const allowPrefix = "//goclint:allow"

@@ -1,0 +1,164 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Blockinglock flags operations that can block indefinitely while a
+// sync.Mutex/RWMutex is held: a channel send or receive outside a select
+// with a default case, a select without a default, ranging over a channel,
+// `net`/`net/http` calls, store.Store method calls, time.Sleep, and zero-arg
+// Wait() methods (WaitGroup, Cond, exec.Cmd). Any of these inside a critical
+// section stalls every other goroutine contending for the mutex — the exact
+// hazard the server's single-writer persist queue exists to avoid (store ops
+// are enqueued under s.mu but the I/O runs outside it). This analyzer makes
+// that design rule checkable.
+//
+// The model is linear within a function body: Lock adds, Unlock removes, a
+// deferred Unlock holds to the end. Closures are scanned with an empty held
+// set (they may run on another goroutine).
+var Blockinglock = &Analyzer{
+	Name:      "blockinglock",
+	Doc:       "flag blocking operations (channel ops, net/http, store I/O, Sleep, Wait) while a mutex is held",
+	AppliesTo: func(path string) bool { return concurrencyPackages[path] },
+	Run:       runBlockinglock,
+}
+
+func runBlockinglock(pass *Pass) error {
+	info := pass.Pkg.Info
+	forEachFunc(pass.Pkg, func(decl *ast.FuncDecl) {
+		// Comm clauses are judged at the select level: a select with a
+		// default never blocks (its comms are exempt); one without is
+		// reported once as a whole, not per clause. Collected up front so
+		// the held-scan can skip comm statements positionally.
+		exemptComms := map[ast.Stmt]bool{}
+		ast.Inspect(decl.Body, func(n ast.Node) bool {
+			if sel, ok := n.(*ast.SelectStmt); ok {
+				for _, clause := range sel.Body.List {
+					if cc, ok := clause.(*ast.CommClause); ok && cc.Comm != nil {
+						exemptComms[cc.Comm] = true
+					}
+				}
+			}
+			return true
+		})
+
+		reported := map[token.Pos]bool{}
+		heldScan(info, decl.Body, func(n ast.Node, held []heldMutex) {
+			if len(held) == 0 {
+				return
+			}
+			h := sortedHeld(held)[0]
+			report := func(pos token.Pos, what string) {
+				if reported[pos] {
+					return
+				}
+				reported[pos] = true
+				pass.Reportf(pos, "%s while %s is held (acquired at %s); move it outside the critical section or //goclint:allow blockinglock with a rationale",
+					what, h.key, pass.Pkg.Fset.Position(h.pos))
+			}
+			switch node := n.(type) {
+			case *ast.SendStmt:
+				if !exemptComms[ast.Stmt(node)] {
+					report(node.Arrow, "channel send")
+				}
+			case *ast.UnaryExpr:
+				if node.Op == token.ARROW && !receiveInComm(node, exemptComms) {
+					report(node.OpPos, "channel receive")
+				}
+			case *ast.SelectStmt:
+				if !selectHasDefault(node) {
+					report(node.Select, "select without a default case")
+				}
+			case *ast.RangeStmt:
+				if t := info.TypeOf(node.X); t != nil {
+					if _, ok := t.Underlying().(*types.Chan); ok {
+						report(node.For, "range over a channel")
+					}
+				}
+			case *ast.CallExpr:
+				if what, blocking := blockingCall(info, node, pass.Pkg.Path); blocking {
+					report(node.Pos(), what)
+				}
+			}
+		})
+	})
+	return nil
+}
+
+// receiveInComm reports whether the receive expression is a select comm
+// (`case v := <-ch:` or `case <-ch:`) — judged at the select level, not
+// individually. The comm statement wraps the receive in an AssignStmt or
+// ExprStmt; match by position containment.
+func receiveInComm(recv *ast.UnaryExpr, comms map[ast.Stmt]bool) bool {
+	for comm := range comms {
+		if within(recv.Pos(), comm) {
+			return true
+		}
+	}
+	return false
+}
+
+// selectHasDefault reports whether the select has a default clause.
+func selectHasDefault(sel *ast.SelectStmt) bool {
+	for _, clause := range sel.Body.List {
+		if cc, ok := clause.(*ast.CommClause); ok && cc.Comm == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// blockingNetFuncs are the package-level net / net/http functions that do
+// network I/O (constructors and pure helpers like http.NewRequest or
+// net.JoinHostPort are not blocking points).
+var blockingNetFuncs = map[string]bool{
+	"net.Dial": true, "net.DialTimeout": true, "net.Listen": true, "net.ListenPacket": true,
+	"net.LookupHost": true, "net.LookupAddr": true, "net.LookupIP": true,
+	"net/http.Get": true, "net/http.Post": true, "net/http.PostForm": true, "net/http.Head": true,
+	"net/http.ListenAndServe": true, "net/http.ListenAndServeTLS": true,
+	"net/http.Serve": true, "net/http.ServeTLS": true,
+}
+
+// blockingNetMethods are methods on net / net/http types that block on the
+// wire: conn reads/writes, accepts, request round-trips, server loops.
+var blockingNetMethods = map[string]bool{
+	"Read": true, "Write": true, "Accept": true, "Do": true, "Get": true, "Post": true,
+	"PostForm": true, "Head": true, "RoundTrip": true, "Serve": true,
+	"ListenAndServe": true, "ListenAndServeTLS": true, "Shutdown": true,
+}
+
+// blockingCall classifies a call as a known indefinitely-blocking operation.
+// callerPath scopes the store.Store rule: the store package's own helpers
+// run under its single-writer mutex by design and are exempt — the rule is
+// for store *clients* (server, engine) doing durable I/O inside their own
+// critical sections.
+func blockingCall(info *types.Info, call *ast.CallExpr, callerPath string) (string, bool) {
+	f := calleeFunc(info, call)
+	if f == nil {
+		return "", false
+	}
+	if name := pkgFuncName(f); name != "" {
+		if name == "time.Sleep" {
+			return "time.Sleep", true
+		}
+		return "call of " + name, blockingNetFuncs[name]
+	}
+	// Methods.
+	if f.Pkg() != nil {
+		pkg := f.Pkg().Path()
+		if (pkg == "net" || pkg == "net/http") && blockingNetMethods[f.Name()] {
+			return "call of " + pkg + " method " + f.Name(), true
+		}
+		if strings.HasSuffix(pkg, "/internal/store") && !strings.HasSuffix(callerPath, "/internal/store") {
+			return "store I/O call store." + f.Name(), true
+		}
+	}
+	if f.Name() == "Wait" && len(call.Args) == 0 {
+		return "call of Wait", true
+	}
+	return "", false
+}

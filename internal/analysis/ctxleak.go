@@ -1,0 +1,112 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Ctxleak flags context.WithCancel/WithTimeout/WithDeadline (and their
+// *Cause variants) whose cancel function goes nowhere: assigned to the blank
+// identifier, or bound to a variable that is never used again. A dropped
+// cancel pins the derived context's goroutine and timer for the parent's
+// lifetime — in a long-lived server that is a slow leak, not a crash.
+//
+// Any further use of the cancel variable counts as handling: a defer, a
+// direct call, passing it to a function, storing it in a field or map, or
+// returning it all transfer responsibility visibly. The rule is deliberately
+// shallow — it catches the drop-on-the-floor shape, not every missed return
+// path — so it can stay zero-false-positive on idiomatic code.
+var Ctxleak = &Analyzer{
+	Name: "ctxleak",
+	Doc:  "flag context cancel functions that are discarded or never used",
+	Run:  runCtxleak,
+}
+
+// cancelSources are the context constructors whose second result must not be
+// dropped.
+var cancelSources = map[string]bool{
+	"context.WithCancel":        true,
+	"context.WithTimeout":       true,
+	"context.WithDeadline":      true,
+	"context.WithCancelCause":   true,
+	"context.WithTimeoutCause":  true,
+	"context.WithDeadlineCause": true,
+}
+
+func runCtxleak(pass *Pass) error {
+	info := pass.Pkg.Info
+	forEachFunc(pass.Pkg, func(decl *ast.FuncDecl) {
+		ast.Inspect(decl.Body, func(n ast.Node) bool {
+			assign, ok := n.(*ast.AssignStmt)
+			if !ok || len(assign.Rhs) != 1 || len(assign.Lhs) != 2 {
+				return true
+			}
+			call, ok := assign.Rhs[0].(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			name := pkgFuncName(calleeFunc(info, call))
+			if !cancelSources[name] {
+				return true
+			}
+			cancelExpr := assign.Lhs[1]
+			id, ok := cancelExpr.(*ast.Ident)
+			if !ok {
+				return true // stored straight into a field/index: handled
+			}
+			if id.Name == "_" {
+				pass.Reportf(id.Pos(), "cancel func from %s discarded; the derived context leaks until its parent ends — defer it, call it on every return path, or store it", name)
+				return true
+			}
+			obj := info.Defs[id]
+			if obj == nil {
+				obj = info.Uses[id] // plain `=` rebind of an existing variable
+			}
+			if obj == nil {
+				return true
+			}
+			if !usedAfter(info, decl, obj, id) {
+				pass.Reportf(id.Pos(), "cancel func from %s assigned to %s but never used; defer it, call it on every return path, or store it", name, id.Name)
+			}
+			return true
+		})
+	})
+	return nil
+}
+
+// usedAfter reports whether obj has any meaningful use in the function other
+// than the binding identifier itself. `_ = cancel` is not meaningful — it
+// launders the unused-variable error without transferring responsibility —
+// so it is collected first and excluded.
+func usedAfter(info *types.Info, decl *ast.FuncDecl, obj types.Object, binding *ast.Ident) bool {
+	laundered := map[*ast.Ident]bool{}
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok || len(assign.Lhs) != 1 || len(assign.Rhs) != 1 {
+			return true
+		}
+		if !isBlank(assign.Lhs[0]) {
+			return true
+		}
+		if id, ok := assign.Rhs[0].(*ast.Ident); ok {
+			laundered[id] = true
+		}
+		return true
+	})
+	used := false
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		if used {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok || id == binding || laundered[id] {
+			return true
+		}
+		if info.Uses[id] == obj {
+			used = true
+			return false
+		}
+		return true
+	})
+	return used
+}

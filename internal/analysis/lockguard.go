@@ -1,0 +1,248 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Lockguard enforces annotation-driven guarded-field discipline. A struct
+// field whose declaration carries a `// guarded by mu` comment (doc or
+// trailing line comment; `mu` must name a sync.Mutex/RWMutex field of the
+// same struct) may only be read or written by functions that acquire that
+// mutex on the same base expression — `s.mu.Lock()` covers `s.games`,
+// `j.mu.Lock()` covers `j.state` — or that follow the caller-holds-the-lock
+// convention (a `...Locked`-suffixed method accessing through its receiver).
+// Values constructed in the same function (`j := &Job{...}`) are exempt:
+// before publication no other goroutine can see them, which is exactly the
+// rehydrate/prefill initialization pattern.
+//
+// One diagnostic is reported per (function, mutex) pair at the first
+// offending access, listing every guarded field the function touches — so an
+// intentional lock-free function needs one //goclint:allow lockguard line,
+// not one per field read.
+var Lockguard = &Analyzer{
+	Name:      "lockguard",
+	Doc:       "check `// guarded by mu` annotated struct fields are only accessed under their mutex",
+	AppliesTo: func(path string) bool { return concurrencyPackages[path] },
+	Run:       runLockguard,
+}
+
+// guardedByRe extracts the mutex field name from an annotation comment. The
+// grammar rides inside ordinary prose ("Lifetime counters, guarded by mu."),
+// mirroring how the codebase already documents its invariants.
+var guardedByRe = regexp.MustCompile(`(?i)\bguarded by ([A-Za-z_][A-Za-z0-9_]*)`)
+
+// fieldGuard records that one struct field is protected by a sibling mutex.
+type fieldGuard struct {
+	structName string
+	mutex      string // sibling field name of type sync.Mutex/RWMutex
+}
+
+// collectGuards parses every struct declaration's field annotations into a
+// map from the field's types.Var. An annotation naming something that is not
+// a mutex field of the same struct is ignored — free-form prose like
+// "guarded by the engine mutex" stays prose.
+func collectGuards(pkg *Package) map[*types.Var]fieldGuard {
+	guards := map[*types.Var]fieldGuard{}
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			// First pass: the struct's mutex fields by name.
+			mutexes := map[string]bool{}
+			for _, field := range st.Fields.List {
+				for _, name := range field.Names {
+					if obj, ok := pkg.Info.Defs[name].(*types.Var); ok && isSyncMutex(obj.Type()) {
+						mutexes[name.Name] = true
+					}
+				}
+			}
+			if len(mutexes) == 0 {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				mu := annotatedMutex(field)
+				if mu == "" || !mutexes[mu] {
+					continue
+				}
+				for _, name := range field.Names {
+					if obj, ok := pkg.Info.Defs[name].(*types.Var); ok {
+						guards[obj] = fieldGuard{structName: ts.Name.Name, mutex: mu}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return guards
+}
+
+// annotatedMutex returns the mutex name from a field's doc or line comment.
+func annotatedMutex(field *ast.Field) string {
+	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if cg == nil {
+			continue
+		}
+		if m := guardedByRe.FindStringSubmatch(cg.Text()); m != nil {
+			return m[1]
+		}
+	}
+	return ""
+}
+
+func runLockguard(pass *Pass) error {
+	guards := collectGuards(pass.Pkg)
+	if len(guards) == 0 {
+		return nil
+	}
+	forEachFunc(pass.Pkg, func(decl *ast.FuncDecl) {
+		checkGuardedAccess(pass, guards, decl)
+	})
+	return nil
+}
+
+// violation accumulates one function's unguarded accesses to fields behind
+// one mutex expression.
+type violation struct {
+	pos    token.Pos
+	fields map[string]bool
+}
+
+func checkGuardedAccess(pass *Pass, guards map[*types.Var]fieldGuard, decl *ast.FuncDecl) {
+	info := pass.Pkg.Info
+
+	// Mutexes this function acquires, keyed by printed expression ("s.mu").
+	// Position inside the body is irrelevant for lockguard: acquiring the
+	// right lock anywhere makes the function a lock-holding context.
+	locked := map[string]bool{}
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if op, mx := mutexCall(info, call); op != opNone {
+				locked[mutexKey(mx)] = true
+			}
+		}
+		return true
+	})
+
+	recv := recvIdent(decl)
+	callerHolds := lockedSuffix(decl.Name.Name)
+
+	// Objects constructed in this function body: pre-publication, exempt.
+	constructed := constructedLocals(info, decl.Body)
+
+	// One violation per mutex expression, first access wins the position.
+	viols := map[string]*violation{} // "Server.mu via s.mu" message key → fields
+	order := []string{}
+
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		s, ok := info.Selections[sel]
+		if !ok || s.Kind() != types.FieldVal {
+			return true
+		}
+		fv, ok := s.Obj().(*types.Var)
+		if !ok {
+			return true
+		}
+		guard, guarded := guards[fv]
+		if !guarded {
+			return true
+		}
+		base := types.ExprString(sel.X)
+		if locked[base+"."+guard.mutex] {
+			return true
+		}
+		if callerHolds && recv != "" && base == recv {
+			return true
+		}
+		if root := rootObject(info, sel.X); root != nil && constructed[root] {
+			return true
+		}
+		key := guard.structName + "." + guard.mutex + "|" + base
+		v := viols[key]
+		if v == nil {
+			v = &violation{pos: sel.Pos(), fields: map[string]bool{}}
+			viols[key] = v
+			order = append(order, key)
+		}
+		v.fields[fv.Name()] = true
+		return true
+	})
+
+	for _, key := range order {
+		v := viols[key]
+		i := strings.IndexByte(key, '|')
+		node, base := key[:i], key[i+1:]
+		mu := node[strings.IndexByte(node, '.')+1:]
+		fields := make([]string, 0, len(v.fields))
+		for f := range v.fields {
+			fields = append(fields, f)
+		}
+		sort.Strings(fields)
+		pass.Reportf(v.pos,
+			"%s accesses %s (guarded by %s) without acquiring %s.%s; lock it, rename the helper with a Locked suffix, or //goclint:allow lockguard with a rationale",
+			decl.Name.Name, strings.Join(fields, ", "), node, base, mu)
+	}
+}
+
+// constructedLocals returns the set of local objects assigned from a
+// composite literal (`x := T{...}`, `x := &T{...}`) or new() in this body —
+// values that cannot yet be shared with another goroutine.
+func constructedLocals(info *types.Info, body *ast.BlockStmt) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok || len(assign.Lhs) != len(assign.Rhs) {
+			return true
+		}
+		for i, lhs := range assign.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			obj := info.Defs[id]
+			if obj == nil {
+				obj = info.Uses[id]
+			}
+			if obj == nil || !isConstruction(info, assign.Rhs[i]) {
+				continue
+			}
+			out[obj] = true
+		}
+		return true
+	})
+	return out
+}
+
+// isConstruction reports whether expr builds a fresh value: a composite
+// literal, &composite, or new(T).
+func isConstruction(info *types.Info, expr ast.Expr) bool {
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.CompositeLit:
+		return true
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			_, ok := ast.Unparen(e.X).(*ast.CompositeLit)
+			return ok
+		}
+	case *ast.CallExpr:
+		if id, ok := ast.Unparen(e.Fun).(*ast.Ident); ok && id.Name == "new" {
+			b, ok := info.Uses[id].(*types.Builtin)
+			return ok && b.Name() == "new"
+		}
+	}
+	return false
+}

@@ -1,0 +1,220 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Lockorder builds an intra-package lock-acquisition graph — an edge A→B
+// means mutex B was acquired somewhere while A was held, either directly in
+// one function body or through one level of same-package calls (holding A
+// and calling a method that acquires B) — and reports every cycle as a
+// potential deadlock, with both acquisition sites in the diagnostic. Mutex
+// identity is (struct type, field): every instance of Server.mu shares one
+// position in the ordering discipline, which is how the codebase documents
+// its lock hierarchy ("lock order is server.mu → manager/job mutexes").
+//
+// Deliberate same-type edges (locking two instances of one struct) trip the
+// self-edge check; if a canonical instance order makes that safe, carry a
+// //goclint:allow lockorder with the rationale.
+var Lockorder = &Analyzer{
+	Name:      "lockorder",
+	Doc:       "detect lock-acquisition-order cycles (potential deadlocks) within a package",
+	AppliesTo: func(path string) bool { return concurrencyPackages[path] },
+	Run:       runLockorder,
+}
+
+// lockEdge is one observed A-held-while-B-acquired pair, with the two
+// acquisition sites: where A was locked and where B was locked under it.
+type lockEdge struct {
+	from, to       string
+	fromPos, toPos token.Pos
+	throughCall    string // callee name when resolved through a call, "" when direct
+}
+
+func runLockorder(pass *Pass) error {
+	info := pass.Pkg.Info
+
+	// Pass 1: per function, the mutexes it acquires directly (node, site).
+	type acquisition struct {
+		node string
+		pos  token.Pos
+	}
+	directLocks := map[*types.Func][]acquisition{}
+	forEachFunc(pass.Pkg, func(decl *ast.FuncDecl) {
+		fn, _ := info.Defs[decl.Name].(*types.Func)
+		if fn == nil {
+			return
+		}
+		ast.Inspect(decl.Body, func(n ast.Node) bool {
+			if _, ok := n.(*ast.FuncLit); ok {
+				return false // closures may run elsewhere; not this function's locks
+			}
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if op, mx := mutexCall(info, call); op == opLock {
+				directLocks[fn] = append(directLocks[fn], acquisition{node: mutexNode(info, mx), pos: call.Pos()})
+				return false
+			}
+			return true
+		})
+	})
+
+	// Pass 2: edges — direct nested locks, plus locks acquired by a
+	// same-package callee invoked while holding.
+	var edges []lockEdge
+	forEachFunc(pass.Pkg, func(decl *ast.FuncDecl) {
+		heldScan(info, decl.Body, func(n ast.Node, held []heldMutex) {
+			if len(held) == 0 {
+				return
+			}
+			// Direct nested acquisition: heldScan hands lock calls to the
+			// visitor as their enclosing statement, before updating held.
+			if stmt, ok := n.(*ast.ExprStmt); ok {
+				if call, ok := stmt.X.(*ast.CallExpr); ok {
+					if op, mx := mutexCall(info, call); op == opLock {
+						node := mutexNode(info, mx)
+						for _, h := range held {
+							edges = append(edges, lockEdge{from: h.node, to: node, fromPos: h.pos, toPos: call.Pos()})
+						}
+					}
+				}
+				return
+			}
+			// One level of call resolution: holding a lock and calling a
+			// same-package function that acquires its own.
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return
+			}
+			callee := calleeFunc(info, call)
+			if callee == nil || callee.Pkg() != pass.Pkg.Types {
+				return
+			}
+			for _, acq := range directLocks[callee] {
+				for _, h := range held {
+					edges = append(edges, lockEdge{from: h.node, to: acq.node, fromPos: h.pos, toPos: acq.pos, throughCall: callee.Name()})
+				}
+			}
+		})
+	})
+
+	// Keep the first edge per (from, to) pair, in deterministic source order.
+	sort.SliceStable(edges, func(i, j int) bool {
+		return pass.Pkg.Fset.Position(edges[i].toPos).Offset < pass.Pkg.Fset.Position(edges[j].toPos).Offset
+	})
+	graph := map[string]map[string]lockEdge{}
+	for _, e := range edges {
+		if graph[e.from] == nil {
+			graph[e.from] = map[string]lockEdge{}
+		}
+		if _, seen := graph[e.from][e.to]; !seen {
+			graph[e.from][e.to] = e
+		}
+	}
+
+	// Cycle detection: an edge A→B closes a cycle when B can reach A. Each
+	// 2-cycle reports once (lexicographically smaller `from`); a self-edge
+	// (A held while another A is acquired) is its own report.
+	var nodes []string
+	for from := range graph {
+		nodes = append(nodes, from)
+	}
+	sort.Strings(nodes)
+	for _, from := range nodes {
+		var tos []string
+		for to := range graph[from] {
+			tos = append(tos, to)
+		}
+		sort.Strings(tos)
+		for _, to := range tos {
+			e := graph[from][to]
+			if from == to {
+				pass.Reportf(e.toPos, "%s acquired while another %s is already held (at %s)%s; two instances locked without a canonical order can deadlock",
+					to, from, pass.Pkg.Fset.Position(e.fromPos), throughSuffix(e))
+				continue
+			}
+			if !reaches(graph, to, from) {
+				continue
+			}
+			if from > to {
+				continue // the cycle reports from its smaller endpoint
+			}
+			back := backEdge(graph, to, from)
+			pass.Reportf(e.toPos, "lock order cycle: %s acquired while %s is held (at %s)%s, but %s is also acquired while %s is held (at %s); pick one order",
+				to, from, pass.Pkg.Fset.Position(e.fromPos), throughSuffix(e),
+				back.to, back.from, pass.Pkg.Fset.Position(back.toPos))
+		}
+	}
+	return nil
+}
+
+func throughSuffix(e lockEdge) string {
+	if e.throughCall == "" {
+		return ""
+	}
+	return fmt.Sprintf(" via call of %s", e.throughCall)
+}
+
+// reaches reports whether to is reachable from `start` in the lock graph.
+func reaches(graph map[string]map[string]lockEdge, start, target string) bool {
+	seen := map[string]bool{}
+	var dfs func(n string) bool
+	dfs = func(n string) bool {
+		if n == target {
+			return true
+		}
+		if seen[n] {
+			return false
+		}
+		seen[n] = true
+		var next []string
+		for to := range graph[n] {
+			next = append(next, to)
+		}
+		sort.Strings(next)
+		for _, to := range next {
+			if dfs(to) {
+				return true
+			}
+		}
+		return false
+	}
+	return dfs(start)
+}
+
+// backEdge returns the first edge on a path start⇝target whose head is
+// target — the "other half" of the cycle for the diagnostic.
+func backEdge(graph map[string]map[string]lockEdge, start, target string) lockEdge {
+	seen := map[string]bool{}
+	var dfs func(n string) (lockEdge, bool)
+	dfs = func(n string) (lockEdge, bool) {
+		if seen[n] {
+			return lockEdge{}, false
+		}
+		seen[n] = true
+		var next []string
+		for to := range graph[n] {
+			next = append(next, to)
+		}
+		sort.Strings(next)
+		for _, to := range next {
+			if to == target {
+				return graph[n][to], true
+			}
+		}
+		for _, to := range next {
+			if e, ok := dfs(to); ok {
+				return e, true
+			}
+		}
+		return lockEdge{}, false
+	}
+	e, _ := dfs(start)
+	return e
+}

@@ -1,7 +1,11 @@
 package analysis
 
-// All returns the full goclint suite in reporting order. cmd/goclint runs
-// exactly this set; adding an analyzer here is all it takes to gate CI on it.
+// All returns the full goclint suite in reporting order: the determinism
+// rules (PR 7), then the concurrency rules. cmd/goclint runs exactly this
+// set; adding an analyzer here is all it takes to gate CI on it.
 func All() []*Analyzer {
-	return []*Analyzer{Nodeterm, Maporder, Rngfork, Errdrop}
+	return []*Analyzer{
+		Nodeterm, Maporder, Rngfork, Errdrop,
+		Lockguard, Blockinglock, Lockorder, Ctxleak,
+	}
 }

@@ -1,0 +1,138 @@
+// Package blockinglock is the golden suite for the blockinglock analyzer:
+// operations that can block indefinitely — channel sends/receives outside a
+// select-with-default, selects without default, net/http I/O, store.Store
+// calls, time.Sleep, Wait() — are flagged while a mutex is held, and stay
+// silent outside critical sections, inside nonblocking selects, and inside
+// closures (which may run on another goroutine).
+package blockinglock
+
+import (
+	"net/http"
+	"sync"
+	"time"
+
+	"gameofcoins/internal/store"
+)
+
+type q struct {
+	mu sync.Mutex
+	ch chan int
+	wg sync.WaitGroup
+}
+
+// sendUnderLock holds q.mu across a bare channel send: finding.
+func (x *q) sendUnderLock() {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	x.ch <- 1 // want `channel send while x\.mu is held`
+}
+
+// sendOutside releases before sending: silent.
+func (x *q) sendOutside() {
+	x.mu.Lock()
+	x.mu.Unlock()
+	x.ch <- 1
+}
+
+// nonblockingKick is the single-writer queue idiom — select with default
+// under the lock never blocks: silent.
+func (x *q) nonblockingKick() {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	select {
+	case x.ch <- 1:
+	default:
+	}
+}
+
+// blockingSelect has no default: one finding at the select, not per clause.
+func (x *q) blockingSelect() int {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	select { // want `select without a default case while x\.mu is held`
+	case v := <-x.ch:
+		return v
+	}
+}
+
+// recvUnderLock blocks on a bare receive: finding.
+func (x *q) recvUnderLock() int {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	return <-x.ch // want `channel receive while x\.mu is held`
+}
+
+// rangeUnderLock blocks draining a channel: finding.
+func (x *q) rangeUnderLock() (n int) {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	for range x.ch { // want `range over a channel while x\.mu is held`
+		n++
+	}
+	return n
+}
+
+// sleepUnderLock stalls every contender for the mutex: finding.
+func (x *q) sleepUnderLock() {
+	x.mu.Lock()
+	time.Sleep(time.Millisecond) // want `time\.Sleep while x\.mu is held`
+	x.mu.Unlock()
+}
+
+// waitUnderLock parks holding the mutex: finding.
+func (x *q) waitUnderLock() {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	x.wg.Wait() // want `call of Wait while x\.mu is held`
+}
+
+// httpUnderLock does network I/O inside the critical section: finding.
+func (x *q) httpUnderLock() error {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	resp, err := http.Get("http://localhost/") // want `call of net/http\.Get while x\.mu is held`
+	if err != nil {
+		return err
+	}
+	return resp.Body.Close()
+}
+
+// storeUnderLock does durable I/O inside the critical section — the exact
+// hazard the server's persist queue exists to avoid: finding.
+func storeUnderLock(mu *sync.Mutex, s store.Store, rec store.JobRecord) error {
+	mu.Lock()
+	defer mu.Unlock()
+	return s.PutJob(rec) // want `store I/O call store\.PutJob while mu is held`
+}
+
+// storeOutsideLock enqueues under the lock, writes outside it: silent.
+func storeOutsideLock(mu *sync.Mutex, s store.Store, rec store.JobRecord) error {
+	mu.Lock()
+	pending := rec
+	mu.Unlock()
+	return s.PutJob(pending)
+}
+
+// closureEscapes hands the send to another goroutine — the lock is not held
+// where the send runs: silent.
+func (x *q) closureEscapes() {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	go func() { x.ch <- 1 }()
+}
+
+// allowedSend is a deliberate bounded-channel send with the directive:
+// suppressed.
+func (x *q) allowedSend() {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	//goclint:allow blockinglock -- golden: buffered channel with a dedicated drainer, cannot block
+	x.ch <- 1
+}
+
+// pureCallsUnderLock: ordinary non-blocking calls stay silent.
+func (x *q) pureCallsUnderLock(r *http.Request) string {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	return r.PathValue("id") + http.StatusText(http.StatusOK)
+}

@@ -1,0 +1,78 @@
+// Package ctxleak is the golden suite for the ctxleak analyzer: a context
+// cancel func that is discarded (blank) or never meaningfully used leaks the
+// derived context until its parent ends; deferring it, calling it, passing
+// it on, storing it, or returning it all count as handling.
+package ctxleak
+
+import (
+	"context"
+	"time"
+)
+
+// leakBlank throws the cancel away at the binding: finding.
+func leakBlank(ctx context.Context) context.Context {
+	c, _ := context.WithCancel(ctx) // want `cancel func from context\.WithCancel discarded`
+	return c
+}
+
+// leakLaundered satisfies the compiler with `_ = cancel` but still never
+// calls, defers, stores, or passes it: finding.
+func leakLaundered(ctx context.Context) context.Context {
+	c, cancel := context.WithTimeout(ctx, time.Second) // want `cancel func from context\.WithTimeout assigned to cancel but never used`
+	_ = cancel
+	return c
+}
+
+// deferred is the canonical shape: silent.
+func deferred(ctx context.Context) error {
+	c, cancel := context.WithTimeout(ctx, time.Second)
+	defer cancel()
+	return c.Err()
+}
+
+// calledOnPaths cancels explicitly: any real call counts as handling.
+func calledOnPaths(ctx context.Context, fail bool) error {
+	c, cancel := context.WithDeadline(ctx, time.Now().Add(time.Second))
+	if fail {
+		cancel()
+		return c.Err()
+	}
+	cancel()
+	return nil
+}
+
+type holder struct {
+	cancel context.CancelFunc
+}
+
+// stored transfers responsibility to a field (the long-lived-server shape —
+// Manager.stop): silent.
+func (h *holder) stored(ctx context.Context) context.Context {
+	c, cancel := context.WithCancel(ctx)
+	h.cancel = cancel
+	return c
+}
+
+// storedAtBinding lands the cancel straight in a field: silent.
+func (h *holder) storedAtBinding(ctx context.Context) (c context.Context) {
+	c, h.cancel = context.WithCancel(ctx)
+	return c
+}
+
+// passed hands the cancel to another function: silent.
+func passed(ctx context.Context, run func(context.Context, context.CancelFunc)) {
+	c, cancel := context.WithCancel(ctx)
+	run(c, cancel)
+}
+
+// returned makes the caller responsible: silent.
+func returned(ctx context.Context) (context.Context, context.CancelFunc) {
+	return context.WithCancel(ctx)
+}
+
+// allowedDrop carries the directive: suppressed.
+func allowedDrop(ctx context.Context) context.Context {
+	//goclint:allow ctxleak -- golden: parent is ephemeral in this test harness
+	c, _ := context.WithCancel(ctx)
+	return c
+}

@@ -1,0 +1,111 @@
+// Package lockorder is the golden suite for the lockorder analyzer: two
+// functions acquiring the same pair of mutexes in opposite orders — directly
+// or through one level of same-package calls — form a cycle (potential
+// deadlock); a consistent hierarchy and unrelated locks stay silent.
+package lockorder
+
+import "sync"
+
+type a struct{ mu sync.Mutex }
+type b struct{ mu sync.Mutex }
+
+// lockAB and lockBA together form the classic ABBA deadlock. The cycle is
+// reported once, at the smaller endpoint's edge (a.mu → b.mu).
+func lockAB(x *a, y *b) {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	y.mu.Lock() // want `lock order cycle: b\.mu acquired while a\.mu is held`
+	defer y.mu.Unlock()
+}
+
+func lockBA(x *a, y *b) {
+	y.mu.Lock()
+	defer y.mu.Unlock()
+	x.mu.Lock()
+	defer x.mu.Unlock()
+}
+
+// c/d close their cycle through one level of method calls: lockThenCall
+// holds c.mu while grab acquires d.mu, and reverse acquires c.mu under
+// d.mu. The via-call edge reports at the acquisition site inside the callee.
+type c struct{ mu sync.Mutex }
+type d struct{ mu sync.Mutex }
+
+func (x *c) lockThenCall(y *d) {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	y.grab()
+}
+
+func (y *d) grab() {
+	y.mu.Lock() // want `lock order cycle: d\.mu acquired while c\.mu is held .*via call of grab`
+	defer y.mu.Unlock()
+}
+
+func (y *d) reverse(x *c) {
+	y.mu.Lock()
+	defer y.mu.Unlock()
+	x.mu.Lock()
+	defer x.mu.Unlock()
+}
+
+// outer/inner form a consistent hierarchy — outer.mu always before
+// inner.mu, never the reverse: silent.
+type inner struct{ mu sync.Mutex }
+type outer struct {
+	mu sync.Mutex
+	in inner
+}
+
+func (o *outer) nested() {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.in.mu.Lock()
+	o.in.mu.Unlock()
+}
+
+func (o *outer) nestedAgain() {
+	o.mu.Lock()
+	o.in.mu.Lock()
+	o.in.mu.Unlock()
+	o.mu.Unlock()
+}
+
+// sequential release-then-acquire holds nothing across the second lock:
+// silent, whatever the order elsewhere.
+func (o *outer) sequential() {
+	o.in.mu.Lock()
+	o.in.mu.Unlock()
+	o.mu.Lock()
+	o.mu.Unlock()
+}
+
+// node: two instances of one type locked while one is held — no canonical
+// instance order, self-deadlock shape.
+type node struct{ mu sync.Mutex }
+
+func link(p, q *node) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	q.mu.Lock() // want `node\.mu acquired while another node\.mu is already held`
+	defer q.mu.Unlock()
+}
+
+// e/f cycle with the directive on the reporting edge: suppressed.
+type e struct{ mu sync.Mutex }
+type f struct{ mu sync.Mutex }
+
+func lockEF(x *e, y *f) {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	//goclint:allow lockorder -- golden: ef/fe never run concurrently by construction
+	y.mu.Lock()
+	defer y.mu.Unlock()
+}
+
+func lockFE(x *e, y *f) {
+	y.mu.Lock()
+	defer y.mu.Unlock()
+	x.mu.Lock()
+	defer x.mu.Unlock()
+}

@@ -1,0 +1,25 @@
+// Package unusedallow is the golden suite for the -unused-allows report: a
+// directive that suppresses a live finding is used; one covering code that
+// no longer trips its rule — or naming a rule that does not exist — is
+// stale and must be reported.
+package unusedallow
+
+import "encoding/json"
+
+// drop carries a directive that suppresses a real errdrop finding: used.
+func drop(v any) {
+	//goclint:allow errdrop -- golden: deliberate best-effort drop
+	json.Marshal(v)
+}
+
+// clean propagates its error; the directive suppresses nothing: unused.
+func clean(v any) ([]byte, error) {
+	//goclint:allow errdrop -- golden: stale, the hazard was fixed underneath it
+	return json.Marshal(v)
+}
+
+// ghost names a rule that does not exist: unused by definition.
+func ghost(v any) ([]byte, error) {
+	//goclint:allow nosuchrule -- golden: rule name typo
+	return json.Marshal(v)
+}

@@ -22,18 +22,18 @@ type Coordinator struct {
 	fp  string
 
 	mu         sync.Mutex
-	workers    map[string]*workerState
-	leases     map[string]*leaseState
-	nextWorker uint64
-	nextLease  uint64
+	workers    map[string]*workerState // guarded by mu
+	leases     map[string]*leaseState  // guarded by mu
+	nextWorker uint64                  // guarded by mu
+	nextLease  uint64                  // guarded by mu
 
-	// Lifetime counters, guarded by mu.
-	granted       uint64
-	completed     uint64
-	requeued      uint64
-	expired       uint64
-	rejectedJoins uint64
-	duplicates    uint64
+	// Lifetime counters.
+	granted       uint64 // guarded by mu
+	completed     uint64 // guarded by mu
+	requeued      uint64 // guarded by mu
+	expired       uint64 // guarded by mu
+	rejectedJoins uint64 // guarded by mu
+	duplicates    uint64 // guarded by mu
 
 	stopOnce sync.Once
 	stop     chan struct{}

@@ -91,26 +91,26 @@ type Engine struct {
 	workers int
 
 	mu        sync.Mutex
-	active    []*runJob // jobs with pending or in-flight tasks, submit order
-	rr        int       // rotating fair-share cursor over active
-	live      int       // worker goroutines currently running
-	steals    uint64    // cumulative cross-job takes
-	completed uint64    // cumulative finished tasks
+	active    []*runJob // guarded by mu; jobs with pending or in-flight tasks, submit order
+	rr        int       // guarded by mu; rotating fair-share cursor over active
+	live      int       // guarded by mu; worker goroutines currently running
+	steals    uint64    // guarded by mu; cumulative cross-job takes
+	completed uint64    // guarded by mu; cumulative finished tasks
 
 	// Remote task source (remote.go): distributable jobs keyed by run token,
 	// plus lifetime lease counters. The observed-cost model (sched.go) feeds
 	// both weighted fair share and lease sizing.
-	runs           map[uint64]*runJob
-	nextRun        uint64
-	obs            map[string]*obsCost
-	leasesGranted  uint64
-	remoteDone     uint64
-	remoteRequeued uint64
+	runs           map[uint64]*runJob  // guarded by mu
+	nextRun        uint64              // guarded by mu
+	obs            map[string]*obsCost // guarded by mu
+	leasesGranted  uint64              // guarded by mu
+	remoteDone     uint64              // guarded by mu
+	remoteRequeued uint64              // guarded by mu
 
 	// Admission-control quota (SetClientShares): the default cap on any one
 	// client's share of total in-flight cost, plus per-client overrides.
-	shareDefault  float64
-	shareOverride map[string]float64
+	shareDefault  float64            // guarded by mu
+	shareOverride map[string]float64 // guarded by mu
 }
 
 // New returns an engine with the given worker count; workers <= 0 selects

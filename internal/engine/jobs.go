@@ -62,12 +62,12 @@ type Job struct {
 	cancel  context.CancelFunc
 
 	mu     sync.Mutex
-	state  State
-	result any
-	err    error
+	state  State // guarded by mu
+	result any   // guarded by mu
+	err    error // guarded by mu
 	// watchers holds the live Watch channels; finish delivers the terminal
 	// status to each and closes it, then nils the map.
-	watchers map[chan Status]struct{}
+	watchers map[chan Status]struct{} // guarded by mu
 
 	// ledger records every published task result in wire form (ledger.go).
 	// Set once at submission for TaskCoder specs, nil otherwise; retained
@@ -260,9 +260,9 @@ type Manager struct {
 	Retention int
 
 	mu     sync.Mutex
-	jobs   map[string]*Job
-	order  []string // job IDs in creation order, for eviction
-	nextID uint64
+	jobs   map[string]*Job // guarded by mu
+	order  []string        // guarded by mu; job IDs in creation order, for eviction
+	nextID uint64          // guarded by mu
 	ctx    context.Context
 	stop   context.CancelFunc
 }

@@ -56,7 +56,9 @@
 //	POST   /v2/batch                  submit up to MaxBatchJobs envelopes in
 //	                                  one request → per-item handles/errors,
 //	                                  in request order, sharing the dedupe/
-//	                                  refcount path
+//	                                  refcount path; rate limits are charged
+//	                                  per item (partial throttles 429 only
+//	                                  their own slots, with retry_after hints)
 //	GET    /v2/jobs/{handle}          poll the handle's job status
 //	GET    /v2/jobs/{handle}/result   fetch the finished job's result;
 //	                                  ?range=lo-hi serves the per-task result
@@ -179,7 +181,7 @@ type Server struct {
 	// itself (which may compact and fsync the whole log) never runs under
 	// s.mu and can never stall a request.
 	pmu       sync.Mutex
-	pops      []func()
+	pops      []func() // guarded by pmu
 	pkick     chan struct{}
 	pstop     chan struct{}
 	pdone     chan struct{}
@@ -192,9 +194,9 @@ type Server struct {
 	persistLastErr atomic.Value // string: most recent store-write error
 
 	mu      sync.Mutex
-	closing bool // set by Close: suppress terminal records for shutdown-canceled jobs
-	games   map[string]*core.Game
-	cache   map[string]string // cache key → ID of the job holding the result
+	closing bool                  // guarded by mu; set by Close: suppress terminal records for shutdown-canceled jobs
+	games   map[string]*core.Game // guarded by mu
+	cache   map[string]string     // guarded by mu; cache key → ID of the job holding the result
 
 	// Per-client handles (v2). A handle is one client's reference to a
 	// deduplicated job; refs counts live handles per job so releasing a
@@ -202,12 +204,12 @@ type Server struct {
 	// v1pin marks jobs a v1 client submitted or attached to: v1 clients are
 	// unaccountable (no handles), so a job they touched is never canceled by
 	// v2 refcounting — only an explicit v1 DELETE or shutdown stops it.
-	handles       map[string]string   // handle id → job id
-	handleOrder   []string            // handle ids in mint order, for eviction
-	refs          map[string]int      // job id → live handle count
-	v1pin         map[string]struct{} // job id → attached via v1
-	nextHandle    uint64
-	handleSweepAt int // pruneHandlesLocked's next sweep threshold
+	handles       map[string]string   // guarded by mu; handle id → job id
+	handleOrder   []string            // guarded by mu; handle ids in mint order, for eviction
+	refs          map[string]int      // guarded by mu; job id → live handle count
+	v1pin         map[string]struct{} // guarded by mu; job id → attached via v1
+	nextHandle    uint64              // guarded by mu
+	handleSweepAt int                 // guarded by mu; pruneHandlesLocked's next sweep threshold
 
 	// owners records which authenticated client each handle was minted for
 	// (handles minted anonymously — open server, rehydrated handles — are
@@ -215,7 +217,7 @@ type Server struct {
 	// another client's claim on a shared job would let one tenant cancel
 	// another's work. Deliberately in-memory only: after a restart rehydrated
 	// handles are ownerless, which fails open to the pre-traffic semantics.
-	owners map[string]string
+	owners map[string]string // guarded by mu
 }
 
 // MaxHandles caps the v2 handle table. Handles are minted per client and
@@ -382,6 +384,7 @@ func (s *Server) rehydrate(failInterrupted bool) error {
 		return fmt.Errorf("server: load store: %w", err)
 	}
 	for id, g := range snap.Games {
+		//goclint:allow lockguard -- pre-publication: rehydrate runs inside NewWithOptions before the server is shared
 		s.games[id] = g
 	}
 	jobs := make([]store.JobRecord, 0, len(snap.Jobs))
@@ -450,6 +453,7 @@ func (s *Server) rehydrateJob(rec store.JobRecord, failInterrupted bool, ranges 
 				fmt.Sprintf("stored result unreadable after restart: %v", err), ranges)
 		}
 		if j, err := s.manager.Restore(rec.ID, rec.Kind, rec.Tasks, res, engine.StateDone, ""); err == nil {
+			//goclint:allow lockguard -- pre-publication: rehydrateJob runs under rehydrate before the server is shared
 			s.cache[rec.Key] = rec.ID
 			// Persisted per-task ranges rebuild the result ledger, so ?range
 			// fetches and resumed result streams survive the restart.
@@ -542,6 +546,7 @@ func (s *Server) recomputeJob(rec store.JobRecord, failInterrupted bool, reason 
 	rec.Result = nil
 	rec.Error = ""
 	s.recordPersist(s.store.PutJob(rec))
+	//goclint:allow lockguard -- pre-publication: recomputeJob runs under rehydrate before the server is shared
 	s.cache[rec.Key] = rec.ID
 	s.watchRanges(job, rec.ID, from, spec)
 	return []watchStart{{job: job, rec: rec}}
@@ -581,7 +586,11 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /v2/specs", s.handleListSpecs)
 	s.mux.HandleFunc("GET /v2/specs/{kind}", s.handleSpecEntry)
 	s.mux.HandleFunc("POST /v2/jobs", s.protect(s.handleCreateJobV2, true))
-	s.mux.HandleFunc("POST /v2/batch", s.protect(s.handleCreateBatch, true))
+	// Batch admission is per item, not per request: the handler charges the
+	// client's bucket once per envelope, so a partial throttle 429s only the
+	// items past the budget (each with its own Retry-After hint) instead of
+	// the whole batch costing a single token.
+	s.mux.HandleFunc("POST /v2/batch", s.protect(s.handleCreateBatch, false))
 	s.mux.HandleFunc("GET /v2/jobs/{handle}", s.protect(s.handleHandleStatus, false))
 	s.mux.HandleFunc("GET /v2/jobs/{handle}/result", s.protect(s.handleHandleResult, false))
 	s.mux.HandleFunc("GET /v2/jobs/{handle}/events", s.protect(s.handleHandleEvents, false))
@@ -1233,12 +1242,18 @@ type BatchRequest struct {
 // the request's jobs array: either the minted handle (exactly what a single
 // POST /v2/jobs would have returned) or the item's error with the status
 // code the single-submit path would have used — and, for schema mismatches,
-// the JSON-pointer path into that item's spec document.
+// the JSON-pointer path into that item's spec document. Rate-limited items
+// (code 429) additionally carry RetryAfter, the per-item analogue of the
+// Retry-After header a single throttled submission gets.
 type BatchResult struct {
 	Job   *JobHandle `json:"job,omitempty"`
 	Error string     `json:"error,omitempty"`
 	Code  int        `json:"code,omitempty"`
 	Path  string     `json:"path,omitempty"`
+	// RetryAfter is the throttle backoff hint in whole seconds (ceiling,
+	// minimum 1), present only on 429 items: how long until the limiter
+	// will have accrued the client's next token.
+	RetryAfter int `json:"retry_after,omitempty"`
 }
 
 // handleCreateBatch submits a batch of envelopes through the same
@@ -1270,8 +1285,21 @@ func (s *Server) handleCreateBatch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("batch of %d jobs exceeds the cap of %d", len(req.Jobs), MaxBatchJobs))
 		return
 	}
+	client := clientFrom(r)
 	results := make([]BatchResult, len(req.Jobs))
 	for i, raw := range req.Jobs {
+		// Per-item admission: each envelope spends one token, exactly what
+		// it would cost submitted alone, so a batch cannot outrun the rate
+		// limit by packing. Items past the budget fail only their own slot,
+		// with the same Retry-After signal a single 429 carries.
+		if retryAfter, admitted := s.traffic.Admit(client); !admitted {
+			results[i] = BatchResult{
+				Error:      "submission rate limit exceeded",
+				Code:       http.StatusTooManyRequests,
+				RetryAfter: retryAfterSecs(retryAfter),
+			}
+			continue
+		}
 		submitItem := func() (JobHandle, error) {
 			var env engine.JobEnvelope
 			idec := json.NewDecoder(bytes.NewReader(raw))

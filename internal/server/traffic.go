@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"time"
 
 	"gameofcoins/internal/engine"
 	"gameofcoins/internal/traffic"
@@ -58,17 +59,24 @@ func (s *Server) protect(h http.HandlerFunc, limit bool) http.HandlerFunc {
 		}
 		if limit {
 			if retryAfter, admitted := s.traffic.Admit(client); !admitted {
-				secs := int(math.Ceil(retryAfter.Seconds()))
-				if secs < 1 {
-					secs = 1
-				}
-				w.Header().Set("Retry-After", strconv.Itoa(secs))
+				w.Header().Set("Retry-After", strconv.Itoa(retryAfterSecs(retryAfter)))
 				writeError(w, http.StatusTooManyRequests, errors.New("submission rate limit exceeded"))
 				return
 			}
 		}
 		h(w, r.WithContext(context.WithValue(r.Context(), clientKey{}, client)))
 	}
+}
+
+// retryAfterSecs renders a limiter wait as Retry-After whole seconds:
+// ceiling, minimum 1 — the header (and the batch per-item hint) is integral,
+// and a sub-second wait rounded to 0 would read as "retry immediately".
+func retryAfterSecs(retryAfter time.Duration) int {
+	secs := int(math.Ceil(retryAfter.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
 }
 
 // parsePriority validates an envelope's priority class. An unknown class is

@@ -8,11 +8,14 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"gameofcoins/client"
 	"gameofcoins/internal/server"
@@ -274,6 +277,123 @@ func TestClientRetriesRateLimitedSubmit(t *testing.T) {
 	apiErr := apiStatus(t, err)
 	if apiErr.StatusCode != http.StatusTooManyRequests || apiErr.RetryAfter <= 0 {
 		t.Fatalf("retry-disabled submit: %+v", apiErr)
+	}
+}
+
+// TestBatchPartialThrottleRetryAfter: batch items are admitted individually
+// against the submitter's bucket, so a batch bigger than the remaining
+// budget is *partially* throttled — the items within budget mint handles,
+// the rest 429 in their own slots with per-item Retry-After hints, exactly
+// the signal a single throttled submission gets in its header.
+func TestBatchPartialThrottleRetryAfter(t *testing.T) {
+	base := trafficServer(t, traffic.Config{Keyring: testKeyring(t), Rate: 0.5, Burst: 2})
+	ctx := context.Background()
+	// Retries off: this test wants to see the raw partial throttle.
+	alpha := client.New(base, client.WithAPIKey("alpha-secret-1"), client.WithRetryLimit(0))
+
+	items := make([]client.BatchItem, 4)
+	for i := range items {
+		items[i] = client.BatchItem{Kind: "toy_sum", Seed: uint64(i + 1), Spec: toySpec{N: i + 1}}
+	}
+	results, err := alpha.SubmitBatch(ctx, items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Admission is in request order: the burst covers the first two items.
+	for i := 0; i < 2; i++ {
+		if results[i].Handle == nil {
+			t.Fatalf("item %d within the burst failed: %v", i, results[i].Err)
+		}
+	}
+	for i := 2; i < 4; i++ {
+		var be *client.BatchError
+		if !errors.As(results[i].Err, &be) {
+			t.Fatalf("item %d past the burst: got %v, want *client.BatchError", i, results[i].Err)
+		}
+		if be.StatusCode != http.StatusTooManyRequests {
+			t.Fatalf("item %d status = %d, want 429", i, be.StatusCode)
+		}
+		if be.RetryAfter < time.Second {
+			t.Fatalf("item %d RetryAfter = %v, want >= 1s at 0.5/sec", i, be.RetryAfter)
+		}
+	}
+}
+
+// TestClientRetriesThrottledBatchItems is the SDK regression test for
+// partial-throttle retries: only the 429 items are resubmitted, after
+// waiting out the largest per-item Retry-After hint; minted handles are
+// never sent twice. With retries disabled the hint surfaces on the
+// BatchError instead.
+func TestClientRetriesThrottledBatchItems(t *testing.T) {
+	var calls atomic.Int64
+	var mu sync.Mutex
+	var sizes []int
+	okJob := func(n int) string {
+		return fmt.Sprintf(`{"job":{"handle":"h-%d","clients":1,"id":"job-%d","kind":"toy_sum","state":"running","progress":{"done":0,"total":1}}}`, n, n)
+	}
+	stub := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			Jobs []json.RawMessage `json:"jobs"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			t.Errorf("decode batch request: %v", err)
+		}
+		mu.Lock()
+		sizes = append(sizes, len(req.Jobs))
+		mu.Unlock()
+		var body string
+		if calls.Add(1) == 1 {
+			// First attempt: item 0 minted, item 1 throttled with a hint.
+			body = `{"results":[` + okJob(1) + `,{"error":"submission rate limit exceeded","code":429,"retry_after":1}]}`
+		} else {
+			// Retry carries only the throttled item.
+			body = `{"results":[` + okJob(2) + `]}`
+		}
+		//goclint:allow errdrop -- test stub; a failed write fails the test downstream
+		_, _ = w.Write([]byte(body))
+	}))
+	defer stub.Close()
+
+	ctx := context.Background()
+	items := []client.BatchItem{
+		{Kind: "toy_sum", Seed: 1, Spec: toySpec{N: 1}},
+		{Kind: "toy_sum", Seed: 2, Spec: toySpec{N: 2}},
+	}
+	results, err := client.New(stub.URL).SubmitBatch(ctx, items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0].Handle == nil || results[0].Handle.ID() != "h-1" {
+		t.Fatalf("item 0 = %+v, want handle h-1 from the first attempt", results[0])
+	}
+	if results[1].Handle == nil || results[1].Handle.ID() != "h-2" {
+		t.Fatalf("item 1 = %+v, want handle h-2 from the retry", results[1])
+	}
+	if calls.Load() != 2 {
+		t.Fatalf("server saw %d attempts, want 2", calls.Load())
+	}
+	mu.Lock()
+	gotSizes := append([]int(nil), sizes...)
+	mu.Unlock()
+	if len(gotSizes) != 2 || gotSizes[0] != 2 || gotSizes[1] != 1 {
+		t.Fatalf("attempt sizes = %v, want [2 1] (retry resubmits only the throttled item)", gotSizes)
+	}
+
+	// Retries disabled: the partial throttle surfaces as-is, hint attached.
+	calls.Store(0)
+	results, err = client.New(stub.URL, client.WithRetryLimit(0)).SubmitBatch(ctx, items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var be *client.BatchError
+	if !errors.As(results[1].Err, &be) || be.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("retry-disabled item 1 = %+v, want a 429 BatchError", results[1].Err)
+	}
+	if be.RetryAfter != time.Second {
+		t.Fatalf("retry-disabled RetryAfter = %v, want 1s", be.RetryAfter)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("retry-disabled client made %d calls, want 1", calls.Load())
 	}
 }
 

@@ -56,11 +56,11 @@ type File struct {
 
 	mu     sync.Mutex
 	dir    string
-	f      *os.File
-	lock   *os.File
-	snap   Snapshot
-	ops    int // operations appended since open/compaction
-	closed bool
+	f      *os.File // guarded by mu
+	lock   *os.File // guarded by mu
+	snap   Snapshot // guarded by mu
+	ops    int      // guarded by mu; operations appended since open/compaction
+	closed bool     // guarded by mu
 }
 
 // OpenFile opens (creating if needed) the file store rooted at dir and
@@ -149,7 +149,7 @@ func (s *File) replay() (int64, error) {
 		if err := json.Unmarshal(line, &o); err != nil {
 			return 0, fmt.Errorf("store: corrupt log line %d: %w", lineno, err)
 		}
-		if err := s.apply(o); err != nil {
+		if err := s.applyLocked(o); err != nil {
 			return 0, fmt.Errorf("store: corrupt log line %d: %w", lineno, err)
 		}
 		start += nl + 1
@@ -158,7 +158,9 @@ func (s *File) replay() (int64, error) {
 	return good, nil
 }
 
-func (s *File) apply(o op) error {
+// applyLocked folds one op into the live snapshot. Callers hold s.mu —
+// except replay, which runs inside OpenFile before the store is shared.
+func (s *File) applyLocked(o op) error {
 	switch o.Op {
 	case "game":
 		var g core.Game
@@ -204,7 +206,7 @@ func (s *File) append(o op) error {
 	if s.closed {
 		return os.ErrClosed
 	}
-	if err := s.apply(o); err != nil {
+	if err := s.applyLocked(o); err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
 	line, err := json.Marshal(o)

@@ -211,8 +211,8 @@ type Limiter struct {
 	burst float64 // bucket capacity (minimum 1)
 
 	mu      sync.Mutex
-	buckets map[string]*bucket
-	now     func() time.Time // injectable clock for tests
+	buckets map[string]*bucket // guarded by mu
+	now     func() time.Time   // injectable clock for tests; set before first Allow
 }
 
 type bucket struct {
@@ -330,8 +330,8 @@ type Controller struct {
 	limiter *Limiter
 
 	mu           sync.Mutex
-	perClient    map[string]*ClientStats
-	unauthorized uint64
+	perClient    map[string]*ClientStats // guarded by mu
+	unauthorized uint64                  // guarded by mu
 }
 
 // New assembles a Controller from cfg. The zero Config is a fully open,

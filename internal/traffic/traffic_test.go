@@ -1,6 +1,7 @@
 package traffic
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 	"time"
@@ -154,6 +155,94 @@ func TestLimiterRefillCapsAtBurst(t *testing.T) {
 	}
 	if _, ok := l.Allow("a"); ok {
 		t.Fatal("tokens accrued past the burst cap")
+	}
+}
+
+// TestLimiterRetryAfterExactMath pins the denial hint to the token-bucket
+// arithmetic, on the fake clock so every quantity is exact: with an empty
+// bucket at rate r the wait is exactly 1/r, a partial refill shortens it by
+// exactly the accrued fraction, and waiting the advertised hint admits with
+// zero tokens to spare. This is the number the server ceilings into the
+// Retry-After header and the per-item batch hint.
+func TestLimiterRetryAfterExactMath(t *testing.T) {
+	l, fc := newFakeLimiter(2, 1) // 2 tokens/sec, burst 1
+	if _, ok := l.Allow("a"); !ok {
+		t.Fatal("first submission denied")
+	}
+	// Bucket is now exactly empty: need = (1-0)/2 sec = 500ms.
+	wait, ok := l.Allow("a")
+	if ok || wait != 500*time.Millisecond {
+		t.Fatalf("empty-bucket hint = %v, %v; want exactly 500ms denial", wait, ok)
+	}
+	// A quarter second accrues exactly half a token: need = (1-0.5)/2.
+	fc.advance(250 * time.Millisecond)
+	wait, ok = l.Allow("a")
+	if ok || wait != 250*time.Millisecond {
+		t.Fatalf("half-token hint = %v, %v; want exactly 250ms denial", wait, ok)
+	}
+	// Waiting out the hint lands on exactly one token — admitted, and the
+	// spend leaves exactly zero, so the next hint is the full 500ms again.
+	fc.advance(250 * time.Millisecond)
+	if _, ok := l.Allow("a"); !ok {
+		t.Fatal("submission denied after waiting the advertised hint")
+	}
+	wait, ok = l.Allow("a")
+	if ok || wait != 500*time.Millisecond {
+		t.Fatalf("post-spend hint = %v, %v; want exactly 500ms denial", wait, ok)
+	}
+}
+
+// TestLimiterEvictionAtCap drives the bucket map to maxBuckets on the fake
+// clock: the next unseen client recycles the stalest bucket, a recycled
+// client restarts with a full bucket (more permissive, never a lockout), and
+// untouched clients keep their spent state.
+func TestLimiterEvictionAtCap(t *testing.T) {
+	l, fc := newFakeLimiter(0.001, 1) // refill slow enough to be negligible
+	name := func(i int) string { return fmt.Sprintf("c%04d", i) }
+	for i := 0; i < maxBuckets; i++ {
+		if _, ok := l.Allow(name(i)); !ok {
+			t.Fatalf("client %d denied its first submission", i)
+		}
+		fc.advance(time.Millisecond) // distinct last-touched times
+	}
+	if len(l.buckets) != maxBuckets {
+		t.Fatalf("bucket map holds %d entries, want %d", len(l.buckets), maxBuckets)
+	}
+	// A newcomer past the cap evicts the stalest (client 0) and is admitted
+	// from a fresh full bucket.
+	if _, ok := l.Allow("newcomer"); !ok {
+		t.Fatal("newcomer denied at the cap")
+	}
+	if len(l.buckets) != maxBuckets {
+		t.Fatalf("bucket map grew past the cap: %d", len(l.buckets))
+	}
+	if _, stale := l.buckets[name(0)]; stale {
+		t.Fatal("stalest bucket survived eviction")
+	}
+	// The evicted client restarts full — admitted again, not locked out.
+	if _, ok := l.Allow(name(0)); !ok {
+		t.Fatal("recycled client denied; eviction must never lock out")
+	}
+	// An untouched client still owns its (empty) bucket.
+	if _, ok := l.Allow(name(7)); ok {
+		t.Fatal("unevicted client's spent bucket refilled by eviction churn")
+	}
+}
+
+// TestLimiterEvictionTieBreaksByName: equal last-touched times recycle the
+// lexicographically smaller client, so eviction is deterministic.
+func TestLimiterEvictionTieBreaksByName(t *testing.T) {
+	l, _ := newFakeLimiter(1, 1)
+	l.Allow("b")
+	l.Allow("a") // same fake-clock instant
+	l.mu.Lock()
+	l.evictStalestLocked()
+	l.mu.Unlock()
+	if _, ok := l.buckets["a"]; ok {
+		t.Fatal("tie eviction kept the lexicographically smaller client")
+	}
+	if _, ok := l.buckets["b"]; !ok {
+		t.Fatal("tie eviction recycled the wrong bucket")
 	}
 }
 

@@ -16,8 +16,13 @@ pids=()
 cleanup() { for p in "${pids[@]:-}"; do kill -9 "$p" 2>/dev/null || true; done; }
 trap cleanup EXIT
 
-go build -o "$bindir/gocserve" ./cmd/gocserve
-go build -o "$bindir/gocworker" ./cmd/gocworker
+go build -race -o "$bindir/gocserve" ./cmd/gocserve
+go build -race -o "$bindir/gocworker" ./cmd/gocworker
+
+# The binaries are race-instrumented; halt_on_error turns any detected
+# race into an immediate crash, so the smoke fails instead of the report
+# being lost when the process is killed at the end.
+export GORACE="halt_on_error=1"
 
 wait_healthy() {
   for _ in $(seq 1 100); do

@@ -4,10 +4,14 @@
 # Four checks, strictest first:
 #
 #   gofmt      — every tracked .go file formatted (gofmt -l must be empty).
-#   goclint    — the in-tree determinism suite (cmd/goclint): nodeterm,
-#                maporder, rngfork, errdrop over the whole module. Findings
-#                fail the build; suppressions need a //goclint:allow
-#                directive with a rationale. See DESIGN.md.
+#   goclint    — the in-tree static suite (cmd/goclint): the determinism
+#                rules (nodeterm, maporder, rngfork, errdrop) plus the
+#                concurrency-safety rules (lockguard, blockinglock,
+#                lockorder, ctxleak) over the whole module. Findings fail
+#                the build; suppressions need a //goclint:allow directive
+#                with a rationale. Stale directives that no longer suppress
+#                anything are reported as warnings (-unused-allows) but do
+#                not gate. See DESIGN.md.
 #   staticcheck / govulncheck — pinned via `go run tool@version` so nothing
 #                is installed into the image. These need module downloads,
 #                which offline environments (including the sealed test
@@ -31,8 +35,8 @@ else
     echo "ok"
 fi
 
-echo "== goclint (determinism suite) =="
-if go run ./cmd/goclint ./...; then
+echo "== goclint (determinism + concurrency suite) =="
+if go run ./cmd/goclint -unused-allows ./...; then
     echo "ok"
 else
     fail=1

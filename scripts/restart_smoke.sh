@@ -15,7 +15,12 @@ pid=""
 cleanup() { [ -n "$pid" ] && kill "$pid" 2>/dev/null || true; }
 trap cleanup EXIT
 
-go build -o "$bin" ./cmd/gocserve
+go build -race -o "$bin" ./cmd/gocserve
+
+# The binaries are race-instrumented; halt_on_error turns any detected
+# race into an immediate crash, so the smoke fails instead of the report
+# being lost when the process is killed at the end.
+export GORACE="halt_on_error=1"
 
 wait_healthy() {
   for _ in $(seq 1 100); do

@@ -13,8 +13,13 @@ pids=()
 cleanup() { for p in "${pids[@]:-}"; do kill -9 "$p" 2>/dev/null || true; done; }
 trap cleanup EXIT
 
-go build -o "$bindir/gocserve" ./cmd/gocserve
-go build -o "$bindir/gocstreamcheck" ./cmd/gocstreamcheck
+go build -race -o "$bindir/gocserve" ./cmd/gocserve
+go build -race -o "$bindir/gocstreamcheck" ./cmd/gocstreamcheck
+
+# The binaries are race-instrumented; halt_on_error turns any detected
+# race into an immediate crash, so the smoke fails instead of the report
+# being lost when the process is killed at the end.
+export GORACE="halt_on_error=1"
 
 "$bindir/gocserve" -addr "$addr" &
 pids+=($!)

@@ -17,7 +17,12 @@ trap cleanup EXIT
 
 printf 'alpha:alpha-secret-0001\nbeta:beta-secret-0002\n' > "$workdir/keys.txt"
 
-go build -o "$workdir/gocserve" ./cmd/gocserve
+go build -race -o "$workdir/gocserve" ./cmd/gocserve
+
+# The binaries are race-instrumented; halt_on_error turns any detected
+# race into an immediate crash, so the smoke fails instead of the report
+# being lost when the process is killed at the end.
+export GORACE="halt_on_error=1"
 "$workdir/gocserve" -addr "$addr" -keys "$workdir/keys.txt" -rate 3 -burst 3 &
 pids+=($!)
 
